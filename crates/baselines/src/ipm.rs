@@ -1,0 +1,172 @@
+//! IPM-style log-based comparator.
+//!
+//! IPM \[18\] records a 128-bit signature per MPI call into a log and derives
+//! communication patterns **post-mortem**. The paper's Table I faults this
+//! class of tools on two axes: no real-time detection ("No") and "Variable,
+//! large output (gigabytes)" memory. [`IpmLogger`] reproduces that behaviour
+//! for shared memory: it appends one 16-byte record per observed access to
+//! an in-memory log (shared-memory programs have no MPI calls, so the
+//! memory-access stream *is* the communication record) and only computes
+//! the communication matrix when [`IpmLogger::analyze`] runs after the
+//! program finished.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lc_profiler::{DenseMatrix, PerfectProfiler, ProfilerConfig};
+use lc_trace::{AccessEvent, AccessKind, AccessSink, FuncId, LoopId};
+use parking_lot::Mutex;
+
+/// Bytes per log record: IPM uses a 128-bit signature per call (§II).
+pub const BYTES_PER_RECORD: usize = 16;
+
+/// Compact log record (packs to 16 bytes like IPM's signature).
+#[derive(Clone, Copy, Debug)]
+struct LogRecord {
+    addr: u64,
+    tid: u32,
+    size: u16,
+    is_write: bool,
+}
+
+const LOG_SHARDS: usize = 32;
+
+type LogShard = Vec<(u64, LogRecord)>;
+
+/// Append-only access logger with post-mortem analysis.
+pub struct IpmLogger {
+    threads: usize,
+    shards: Box<[Mutex<LogShard>]>,
+    seq: AtomicU64,
+}
+
+impl IpmLogger {
+    /// New logger for `threads` threads.
+    pub fn new(threads: usize) -> Self {
+        let shards = (0..LOG_SHARDS).map(|_| Mutex::new(Vec::new())).collect();
+        Self {
+            threads,
+            shards,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Records logged so far.
+    pub fn records(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Log size — grows linearly with execution length, the Table I
+    /// "variable, large output" property.
+    pub fn memory_bytes(&self) -> usize {
+        self.records() * BYTES_PER_RECORD
+    }
+
+    /// Whether the tool can report patterns during execution (it cannot —
+    /// that is the point of this baseline).
+    pub const fn supports_realtime() -> bool {
+        false
+    }
+
+    /// Post-mortem analysis: replay the log in temporal order through an
+    /// exact detector and return the communication matrix.
+    pub fn analyze(&self) -> DenseMatrix {
+        let mut log: Vec<(u64, LogRecord)> = Vec::with_capacity(self.records());
+        for s in self.shards.iter() {
+            log.extend(s.lock().iter().copied());
+        }
+        log.sort_unstable_by_key(|(seq, _)| *seq);
+
+        let profiler = PerfectProfiler::perfect(ProfilerConfig {
+            threads: self.threads,
+            track_nested: false,
+            phase_window: None,
+        });
+        for (_, r) in &log {
+            profiler.on_access(&AccessEvent {
+                tid: r.tid,
+                addr: r.addr,
+                size: r.size as u32,
+                kind: if r.is_write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+                loop_id: LoopId::NONE,
+                parent_loop: LoopId::NONE,
+                func: FuncId::NONE,
+                site: 0,
+            });
+        }
+        profiler.global_matrix()
+    }
+}
+
+impl AccessSink for IpmLogger {
+    fn on_access(&self, ev: &AccessEvent) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.shards[ev.tid as usize % LOG_SHARDS].lock().push((
+            seq,
+            LogRecord {
+                addr: ev.addr,
+                tid: ev.tid,
+                size: ev.size as u16,
+                is_write: ev.kind == AccessKind::Write,
+            },
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tid: u32, addr: u64, kind: AccessKind) -> AccessEvent {
+        AccessEvent {
+            tid,
+            addr,
+            size: 8,
+            kind,
+            loop_id: LoopId::NONE,
+            parent_loop: LoopId::NONE,
+            func: FuncId::NONE,
+                site: 0,
+        }
+    }
+
+    #[test]
+    fn log_grows_per_event() {
+        let l = IpmLogger::new(4);
+        assert_eq!(l.memory_bytes(), 0);
+        for i in 0..100u64 {
+            l.on_access(&ev(0, i, AccessKind::Write));
+        }
+        assert_eq!(l.records(), 100);
+        assert_eq!(l.memory_bytes(), 1600);
+    }
+
+    #[test]
+    fn post_mortem_matrix_matches_online_semantics() {
+        let l = IpmLogger::new(4);
+        l.on_access(&ev(0, 0x10, AccessKind::Write));
+        l.on_access(&ev(1, 0x10, AccessKind::Read));
+        l.on_access(&ev(1, 0x10, AccessKind::Read));
+        l.on_access(&ev(2, 0x10, AccessKind::Read));
+        let m = l.analyze();
+        assert_eq!(m.get(0, 1), 8);
+        assert_eq!(m.get(0, 2), 8);
+        assert_eq!(m.total(), 16);
+    }
+
+    #[test]
+    fn no_realtime_support() {
+        assert!(!IpmLogger::supports_realtime());
+    }
+
+    #[test]
+    fn analysis_is_idempotent() {
+        let l = IpmLogger::new(2);
+        l.on_access(&ev(0, 0x10, AccessKind::Write));
+        l.on_access(&ev(1, 0x10, AccessKind::Read));
+        assert_eq!(l.analyze(), l.analyze());
+    }
+}

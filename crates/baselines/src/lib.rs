@@ -1,0 +1,31 @@
+//! # lc-baselines — comparator profilers
+//!
+//! The tools the paper compares against in Figure 5 and Table I, rebuilt as
+//! [`lc_trace::AccessSink`]s with faithful *memory-growth* and *capability*
+//! behaviour:
+//!
+//! * [`ShadowProfiler`] — Memcheck / Helgrind / Helgrind+ shadow-memory
+//!   cost models: exact detection, footprint-proportional memory.
+//! * [`IpmLogger`] — IPM-style append-only log: post-mortem only,
+//!   event-proportional memory.
+//! * [`Sd3Profiler`] — SD3-style stride-FSM compression with GCD overlap
+//!   dependence testing: memory varies with access regularity.
+//! * [`TlbProfiler`] — Cruz et al.'s TLB-sampling mechanism, simulated:
+//!   near-zero overhead and fixed memory, but approximate and
+//!   direction-blind.
+//! * [`pairwise`] — exact ground truth (O(n) and O(n²) cross-checking
+//!   implementations) used to validate every other detector.
+
+#![warn(missing_docs)]
+
+pub mod ipm;
+pub mod pairwise;
+pub mod sd3;
+pub mod shadow;
+pub mod tlb;
+
+pub use ipm::IpmLogger;
+pub use pairwise::{exact_dependences, naive_pairwise, DepSet};
+pub use sd3::{Sd3Profiler, StrideRecord};
+pub use shadow::{ShadowModel, ShadowProfiler};
+pub use tlb::TlbProfiler;

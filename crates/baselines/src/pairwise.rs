@@ -1,0 +1,185 @@
+//! Exact ground-truth dependence analysis over recorded traces.
+//!
+//! Two independent implementations of the paper's communication semantics
+//! (§IV-D1: first-read-per-thread-after-write RAW edges), used to validate
+//! everything else:
+//!
+//! * [`exact_dependences`] — single forward pass with full per-address
+//!   history, O(n).
+//! * [`naive_pairwise`] — the textbook "pairwise dependence checking" the
+//!   paper calls "unbearable" (§IV-D2): for every read, scan backwards for
+//!   the most recent earlier write, O(n²). Only usable on small traces;
+//!   exists so the two implementations can cross-check each other.
+
+use std::collections::{HashMap, HashSet};
+
+use lc_profiler::DenseMatrix;
+use lc_trace::{AccessKind, Trace};
+
+/// A set of inter-thread RAW edges with byte volumes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DepSet {
+    /// `(src, dst) -> bytes`.
+    pub edges: HashMap<(u32, u32), u64>,
+}
+
+impl DepSet {
+    /// Total communicated bytes.
+    pub fn total(&self) -> u64 {
+        self.edges.values().sum()
+    }
+
+    /// As a dense matrix for `threads` threads.
+    pub fn to_matrix(&self, threads: usize) -> DenseMatrix {
+        let mut m = DenseMatrix::zero(threads);
+        for (&(s, d), &b) in &self.edges {
+            m.bump(s as usize, d as usize, b);
+        }
+        m
+    }
+}
+
+/// O(n) exact pass: last writer + readers-since-write per address.
+pub fn exact_dependences(trace: &Trace) -> DepSet {
+    struct Hist {
+        writer: Option<u32>,
+        readers: HashSet<u32>,
+    }
+    let mut hist: HashMap<u64, Hist> = HashMap::new();
+    let mut out = DepSet::default();
+    for e in trace.events() {
+        let ev = &e.event;
+        let h = hist.entry(ev.addr).or_insert(Hist {
+            writer: None,
+            readers: HashSet::new(),
+        });
+        match ev.kind {
+            AccessKind::Read => {
+                if let Some(w) = h.writer {
+                    if w != ev.tid && h.readers.insert(ev.tid) {
+                        *out.edges.entry((w, ev.tid)).or_insert(0) += ev.size as u64;
+                    }
+                } else {
+                    h.readers.insert(ev.tid);
+                }
+            }
+            AccessKind::Write => {
+                h.writer = Some(ev.tid);
+                h.readers.clear();
+            }
+        }
+    }
+    out
+}
+
+/// O(n²) reference: for each read, scan backwards for the latest earlier
+/// write to the same address; count the edge only if this is the reader's
+/// first read of that address since that write.
+pub fn naive_pairwise(trace: &Trace) -> DepSet {
+    let events = trace.events();
+    let mut out = DepSet::default();
+    for (i, e) in events.iter().enumerate() {
+        let ev = &e.event;
+        if ev.kind != AccessKind::Read {
+            continue;
+        }
+        // Latest earlier write to this address.
+        let Some((wi, writer)) = events[..i]
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, p)| p.event.kind == AccessKind::Write && p.event.addr == ev.addr)
+            .map(|(wi, p)| (wi, p.event.tid))
+        else {
+            continue;
+        };
+        if writer == ev.tid {
+            continue;
+        }
+        // First read by this thread since that write?
+        let already = events[wi + 1..i].iter().any(|p| {
+            p.event.kind == AccessKind::Read && p.event.addr == ev.addr && p.event.tid == ev.tid
+        });
+        if !already {
+            *out.edges.entry((writer, ev.tid)).or_insert(0) += ev.size as u64;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_trace::{AccessEvent, FuncId, LoopId, StampedEvent};
+
+    fn trace(script: &[(u32, u64, AccessKind)]) -> Trace {
+        Trace::new(
+            script
+                .iter()
+                .enumerate()
+                .map(|(i, &(tid, addr, kind))| StampedEvent {
+                    seq: i as u64,
+                    event: AccessEvent {
+                        tid,
+                        addr,
+                        size: 8,
+                        kind,
+                        loop_id: LoopId::NONE,
+                        parent_loop: LoopId::NONE,
+                        func: FuncId::NONE,
+                site: 0,
+                    },
+                })
+                .collect(),
+        )
+    }
+
+    use AccessKind::{Read, Write};
+
+    #[test]
+    fn both_implementations_agree_on_scripted_trace() {
+        let t = trace(&[
+            (0, 0x10, Write),
+            (1, 0x10, Read),
+            (1, 0x10, Read),
+            (2, 0x10, Read),
+            (1, 0x20, Write),
+            (0, 0x20, Read),
+            (2, 0x10, Write),
+            (0, 0x10, Read),
+            (1, 0x10, Read),
+        ]);
+        let a = exact_dependences(&t);
+        let b = naive_pairwise(&t);
+        assert_eq!(a, b);
+        assert_eq!(a.edges[&(0, 1)], 8);
+        assert_eq!(a.edges[&(0, 2)], 8);
+        assert_eq!(a.edges[&(1, 0)], 8);
+        assert_eq!(a.edges[&(2, 0)], 8);
+        assert_eq!(a.edges[&(2, 1)], 8);
+        assert_eq!(a.total(), 40);
+    }
+
+    #[test]
+    fn read_before_write_is_silent_in_both() {
+        let t = trace(&[(1, 0x10, Read), (0, 0x10, Write), (1, 0x10, Read)]);
+        let a = exact_dependences(&t);
+        assert_eq!(a, naive_pairwise(&t));
+        assert_eq!(a.total(), 8); // only the post-write read
+    }
+
+    #[test]
+    fn to_matrix_places_edges() {
+        let t = trace(&[(0, 0x10, Write), (3, 0x10, Read)]);
+        let m = exact_dependences(&t).to_matrix(4);
+        assert_eq!(m.get(0, 3), 8);
+        assert_eq!(m.total(), 8);
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_set() {
+        let t = Trace::default();
+        assert_eq!(exact_dependences(&t).total(), 0);
+        assert_eq!(naive_pairwise(&t).total(), 0);
+    }
+}

@@ -1,0 +1,465 @@
+//! SD3-style stride-compressed dependence profiler.
+//!
+//! SD3 \[7\] "reduces space overhead of tracing memory accesses by
+//! compressing strided accesses using a finite state machine". This module
+//! reproduces that design point as a comparator: per-(thread, site, kind)
+//! streams run a stride-detection FSM (one stream per static access site,
+//! the analogue of SD3's per-PC tables); runs of constant stride collapse
+//! into `(base, stride, count)` records, and inter-thread RAW dependences
+//! are derived post-hoc with the classic GCD interval-overlap test.
+//!
+//! Properties reproduced from Table I: memory is **variable with the input
+//! size** (number of stride records grows with distinct access streams,
+//! though far slower than a raw log) and the result is exact for perfectly
+//! strided programs but approximate for irregular ones.
+
+use std::collections::HashMap;
+
+use lc_profiler::DenseMatrix;
+use lc_trace::{AccessEvent, AccessKind, AccessSink};
+use parking_lot::Mutex;
+
+/// A compressed run of accesses: `base, base+stride, …` (`count` elements
+/// of `size` bytes each). `stride == 0` encodes repeated access to one
+/// address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StrideRecord {
+    /// First address of the run.
+    pub base: u64,
+    /// Constant stride in bytes (0 = fixed address).
+    pub stride: u64,
+    /// Number of accesses in the run.
+    pub count: u64,
+    /// Access width in bytes.
+    pub size: u32,
+}
+
+impl StrideRecord {
+    /// Last address of the run.
+    pub fn end(&self) -> u64 {
+        self.base + self.stride * (self.count - 1)
+    }
+
+    /// Number of elements two strided runs touch in common (GCD test).
+    pub fn overlap_elems(&self, other: &StrideRecord) -> u64 {
+        let lo = self.base.max(other.base);
+        let hi = self.end().min(other.end());
+        if lo > hi {
+            return 0;
+        }
+        match (self.stride, other.stride) {
+            (0, 0) => u64::from(self.base == other.base),
+            (0, s) | (s, 0) => {
+                let (point, run) = if self.stride == 0 {
+                    (self.base, other)
+                } else {
+                    (other.base, self)
+                };
+                u64::from(
+                    point >= run.base && point <= run.end() && (point - run.base) % s == 0,
+                )
+            }
+            (sa, sb) => {
+                let g = gcd(sa, sb);
+                if self.base.abs_diff(other.base) % g != 0 {
+                    return 0; // arithmetic progressions never meet
+                }
+                // CRT: the common elements form a progression of stride
+                // lcm(sa, sb) starting at the smallest x ≥ self.base with
+                // x ≡ self.base (mod sa) and x ≡ other.base (mod sb).
+                let lcm = (sa / g) as i128 * sb as i128;
+                let sb_g = (sb / g) as i128;
+                let sa_g = ((sa / g) as i128).rem_euclid(sb_g);
+                let diff = (other.base as i128 - self.base as i128) / g as i128;
+                let k0 = if sb_g == 1 {
+                    0
+                } else {
+                    (diff.rem_euclid(sb_g) * mod_inv(sa_g, sb_g)).rem_euclid(sb_g)
+                };
+                let mut x0 = self.base as i128 + sa as i128 * k0;
+                let (lo, hi) = (lo as i128, hi as i128);
+                if x0 < lo {
+                    // ceil((lo - x0) / lcm) without unstable signed div_ceil
+                    let steps = (lo - x0 + lcm - 1) / lcm;
+                    x0 += steps * lcm;
+                }
+                if x0 > hi {
+                    0
+                } else {
+                    ((hi - x0) / lcm + 1) as u64
+                }
+            }
+        }
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Modular inverse of `a` modulo `m` (requires gcd(a, m) == 1, m ≥ 2) via
+/// the extended Euclidean algorithm.
+fn mod_inv(a: i128, m: i128) -> i128 {
+    debug_assert!(m >= 2);
+    let (mut old_r, mut r) = (a.rem_euclid(m), m);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    debug_assert_eq!(old_r, 1, "inputs must be coprime");
+    old_s.rem_euclid(m)
+}
+
+/// A single stride-detection FSM (SD3's per-instruction compressor).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FsmState {
+    /// One address seen; stride unknown.
+    FirstObserved,
+    /// Stride locked; run extending.
+    StrideLearned,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Fsm {
+    state: FsmState,
+    base: u64,
+    last: u64,
+    stride: i64,
+    count: u64,
+    size: u32,
+    /// Age stamp of the most recent extension (for LRU eviction).
+    touched: u64,
+}
+
+impl Fsm {
+    fn new(addr: u64, size: u32, now: u64) -> Self {
+        Self {
+            state: FsmState::FirstObserved,
+            base: addr,
+            last: addr,
+            stride: 0,
+            count: 1,
+            size,
+            touched: now,
+        }
+    }
+
+    /// Normalize to an ascending [`StrideRecord`].
+    fn to_record(self) -> StrideRecord {
+        let span = self.stride.unsigned_abs() * (self.count - 1);
+        StrideRecord {
+            base: if self.stride < 0 {
+                self.last
+            } else {
+                self.base
+            },
+            stride: self.stride.unsigned_abs(),
+            count: self.count,
+            size: self.size,
+        }
+        .assert_span(span)
+    }
+}
+
+impl StrideRecord {
+    #[inline]
+    fn assert_span(self, span: u64) -> Self {
+        debug_assert_eq!(self.stride * (self.count - 1), span);
+        self
+    }
+}
+
+/// Streams are keyed per instrumentation site (the PC analogue), so most
+/// streams are a single arithmetic sequence; the small FSM pool absorbs the
+/// residual interleaving (e.g. a site reached with alternating bases).
+const FSM_POOL: usize = 12;
+/// Strides beyond this are treated as stream breaks, not learned.
+const MAX_STRIDE: i64 = 1 << 16;
+
+#[derive(Clone, Debug, Default)]
+struct Stream {
+    fsms: Vec<Fsm>,
+    flushed: Vec<StrideRecord>,
+    clock: u64,
+}
+
+impl Stream {
+    fn observe(&mut self, addr: u64, size: u32) {
+        self.clock += 1;
+        let now = self.clock;
+
+        // 1. Extend a learned run expecting exactly this address.
+        if let Some(f) = self.fsms.iter_mut().find(|f| {
+            f.state == FsmState::StrideLearned
+                && f.size == size
+                && f.last.wrapping_add_signed(f.stride) == addr
+        }) {
+            f.last = addr;
+            f.count += 1;
+            f.touched = now;
+            return;
+        }
+
+        // 2. Teach the nearest fresh FSM its stride.
+        let candidate = self
+            .fsms
+            .iter_mut()
+            .filter(|f| f.state == FsmState::FirstObserved && f.size == size)
+            .min_by_key(|f| (addr as i64 - f.last as i64).unsigned_abs());
+        if let Some(f) = candidate {
+            let diff = addr as i64 - f.last as i64;
+            if diff.unsigned_abs() <= MAX_STRIDE as u64 {
+                if diff == 0 {
+                    f.count += 1; // repeated fixed address (stride 0)
+                } else {
+                    f.stride = diff;
+                    f.count += 1;
+                    f.last = addr;
+                }
+                f.state = FsmState::StrideLearned;
+                f.touched = now;
+                return;
+            }
+        }
+
+        // 3. Start a new FSM, evicting the least-recently-extended if full.
+        if self.fsms.len() >= FSM_POOL {
+            let (idx, _) = self
+                .fsms
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, f)| f.touched)
+                .expect("pool non-empty");
+            self.flushed.push(self.fsms.swap_remove(idx).to_record());
+        }
+        self.fsms.push(Fsm::new(addr, size, now));
+    }
+
+    fn record_count(&self) -> usize {
+        self.flushed.len() + self.fsms.len()
+    }
+
+    fn finish(mut self) -> Vec<StrideRecord> {
+        for f in self.fsms.drain(..) {
+            self.flushed.push(f.to_record());
+        }
+        self.flushed
+    }
+}
+
+/// SD3 keys per-instruction state by PC; the instrumentation's
+/// static access-site id plays that role here.
+type StreamKey = (u32, u64, AccessKind);
+
+/// The SD3-style comparator profiler.
+pub struct Sd3Profiler {
+    threads: usize,
+    streams: Mutex<HashMap<StreamKey, Stream>>,
+}
+
+impl Sd3Profiler {
+    /// New profiler for `threads` threads.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            streams: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of live + flushed stride records (the compressed footprint).
+    pub fn record_count(&self) -> usize {
+        self.streams.lock().values().map(Stream::record_count).sum()
+    }
+
+    /// Memory model: one [`StrideRecord`] per record + stream table entries.
+    pub fn memory_bytes(&self) -> usize {
+        let streams = self.streams.lock().len();
+        self.record_count() * std::mem::size_of::<StrideRecord>() + streams * 64
+    }
+
+    /// Finish compression and derive the inter-thread RAW communication
+    /// matrix with the GCD overlap test: for every (writer run, reader run)
+    /// pair of *different* threads, the overlapping elements communicate.
+    ///
+    /// Note the loss relative to the signature profiler: compressing away
+    /// the temporal order means write-before-read cannot be verified, so
+    /// any overlap counts — SD3 targets *sequential* loop dependence
+    /// profiling, which is exactly why the paper builds something else for
+    /// inter-thread analysis.
+    pub fn analyze(&self) -> DenseMatrix {
+        let streams = std::mem::take(&mut *self.streams.lock());
+        let mut writes: Vec<(u32, StrideRecord)> = Vec::new();
+        let mut reads: Vec<(u32, StrideRecord)> = Vec::new();
+        for ((tid, _site, kind), stream) in streams {
+            for r in stream.finish() {
+                match kind {
+                    AccessKind::Write => writes.push((tid, r)),
+                    AccessKind::Read => reads.push((tid, r)),
+                }
+            }
+        }
+        let mut m = DenseMatrix::zero(self.threads);
+        for (wt, w) in &writes {
+            for (rt, r) in &reads {
+                if wt == rt {
+                    continue;
+                }
+                let elems = w.overlap_elems(r);
+                if elems > 0 {
+                    m.bump(*wt as usize, *rt as usize, elems * r.size as u64);
+                }
+            }
+        }
+        m
+    }
+}
+
+impl AccessSink for Sd3Profiler {
+    fn on_access(&self, ev: &AccessEvent) {
+        let mut streams = self.streams.lock();
+        streams
+            .entry((ev.tid, ev.site, ev.kind))
+            .or_default()
+            .observe(ev.addr, ev.size);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_trace::{FuncId, LoopId};
+
+    fn ev(tid: u32, addr: u64, kind: AccessKind, site: u32) -> AccessEvent {
+        AccessEvent {
+            tid,
+            addr,
+            size: 8,
+            kind,
+            loop_id: LoopId::NONE,
+            parent_loop: LoopId::NONE,
+            func: FuncId::NONE,
+            site: site as u64,
+        }
+    }
+
+    #[test]
+    fn strided_run_compresses_to_one_record() {
+        let p = Sd3Profiler::new(2);
+        for i in 0..1000u64 {
+            p.on_access(&ev(0, 0x1000 + i * 8, AccessKind::Write, 1));
+        }
+        assert_eq!(p.record_count(), 1);
+        assert!(p.memory_bytes() < 1000); // vs 16 KB for a raw log
+    }
+
+    #[test]
+    fn stride_break_starts_new_record() {
+        let p = Sd3Profiler::new(2);
+        for i in 0..10u64 {
+            p.on_access(&ev(0, 0x1000 + i * 8, AccessKind::Write, 1));
+        }
+        p.on_access(&ev(0, 0x9000, AccessKind::Write, 1));
+        p.on_access(&ev(0, 0x9008, AccessKind::Write, 1));
+        assert_eq!(p.record_count(), 2);
+    }
+
+    #[test]
+    fn overlap_test_same_stride() {
+        let a = StrideRecord {
+            base: 0,
+            stride: 8,
+            count: 100,
+            size: 8,
+        };
+        let b = StrideRecord {
+            base: 400,
+            stride: 8,
+            count: 100,
+            size: 8,
+        };
+        // Overlap [400, 792]: 50 elements.
+        assert_eq!(a.overlap_elems(&b), 50);
+        assert_eq!(b.overlap_elems(&a), 50);
+    }
+
+    #[test]
+    fn overlap_test_disjoint_progressions() {
+        let a = StrideRecord {
+            base: 0,
+            stride: 16,
+            count: 100,
+            size: 8,
+        };
+        let b = StrideRecord {
+            base: 8,
+            stride: 16,
+            count: 100,
+            size: 8,
+        };
+        // Same range, interleaved lanes: never meet.
+        assert_eq!(a.overlap_elems(&b), 0);
+    }
+
+    #[test]
+    fn overlap_test_point_records() {
+        let point = StrideRecord {
+            base: 64,
+            stride: 0,
+            count: 5,
+            size: 8,
+        };
+        let run = StrideRecord {
+            base: 0,
+            stride: 8,
+            count: 100,
+            size: 8,
+        };
+        assert_eq!(point.overlap_elems(&run), 1);
+        assert_eq!(
+            point.overlap_elems(&StrideRecord {
+                base: 64,
+                stride: 0,
+                count: 1,
+                size: 8
+            }),
+            1
+        );
+        assert_eq!(
+            point.overlap_elems(&StrideRecord {
+                base: 65,
+                stride: 0,
+                count: 1,
+                size: 8
+            }),
+            0
+        );
+    }
+
+    #[test]
+    fn cross_thread_overlap_becomes_communication() {
+        let p = Sd3Profiler::new(2);
+        for i in 0..100u64 {
+            p.on_access(&ev(0, 0x1000 + i * 8, AccessKind::Write, 1));
+        }
+        for i in 0..100u64 {
+            p.on_access(&ev(1, 0x1000 + i * 8, AccessKind::Read, 2));
+        }
+        let m = p.analyze();
+        assert_eq!(m.get(0, 1), 100 * 8);
+        assert_eq!(m.get(1, 0), 0);
+    }
+
+    #[test]
+    fn gcd_helper() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+    }
+}

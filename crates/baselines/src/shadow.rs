@@ -1,0 +1,227 @@
+//! Shadow-memory comparator profilers (Memcheck / Helgrind / Helgrind+).
+//!
+//! Figure 5 compares DiscoPoP's fixed signature footprint against tools
+//! that shadow every byte/word the program touches: Memcheck (≈2 shadow
+//! bytes + metadata per application byte), Helgrind (32-bit shadow words)
+//! and Helgrind+ (64-bit shadow words). The defining property is that their
+//! memory **grows with the program's footprint** — "shadow memory approach
+//! consume\[s\] more memory as the program size grows" (§V-A2).
+//!
+//! [`ShadowProfiler`] is an exact inter-thread RAW detector (shadowing is
+//! collision-free) whose `memory_bytes()` reports the footprint the
+//! modelled tool would need: `tracked_words × model cost`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lc_profiler::{CommMatrix, DenseMatrix};
+use lc_trace::{AccessEvent, AccessKind, AccessSink};
+use parking_lot::Mutex;
+
+/// Which real tool's shadow cost is modelled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShadowModel {
+    /// Memcheck: V-bits + A-bits + auxiliary maps ≈ 2.25 bytes per
+    /// application byte → 18 bytes per 8-byte word.
+    Memcheck,
+    /// Helgrind: one 32-bit shadow value per word \[22\].
+    Helgrind32,
+    /// Helgrind+: one 64-bit shadow value per word \[23\].
+    HelgrindPlus64,
+}
+
+impl ShadowModel {
+    /// Modelled shadow bytes per tracked 8-byte application word, including
+    /// the tool's map/bookkeeping overhead.
+    pub fn bytes_per_word(self) -> usize {
+        match self {
+            // 8 bytes × 2.25 shadow ratio
+            ShadowModel::Memcheck => 18,
+            // 4-byte shadow value + ~12 bytes map overhead per entry
+            ShadowModel::Helgrind32 => 16,
+            // 8-byte shadow value + ~12 bytes map overhead per entry
+            ShadowModel::HelgrindPlus64 => 20,
+        }
+    }
+
+    /// Display name matching the paper's Figure 5 legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShadowModel::Memcheck => "Memcheck",
+            ShadowModel::Helgrind32 => "Helgrind",
+            ShadowModel::HelgrindPlus64 => "Helgrind+",
+        }
+    }
+}
+
+const SHARDS: usize = 64;
+
+#[derive(Clone, Copy, Default)]
+struct ShadowWord {
+    /// Last writer + 1; 0 = never written.
+    writer: u32,
+    /// Bitmask of threads that read since the last write.
+    readers: u128,
+}
+
+/// Exact shadow-memory RAW profiler with modelled footprint accounting.
+pub struct ShadowProfiler {
+    model: ShadowModel,
+    shards: Box<[Mutex<HashMap<u64, ShadowWord>>]>,
+    matrix: CommMatrix,
+    deps: AtomicU64,
+    accesses: AtomicU64,
+}
+
+impl ShadowProfiler {
+    /// New profiler for `threads` threads under `model`'s cost model.
+    pub fn new(threads: usize, model: ShadowModel) -> Self {
+        let shards = (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
+        Self {
+            model,
+            shards,
+            matrix: CommMatrix::new(threads),
+            deps: AtomicU64::new(0),
+            accesses: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard(addr: u64) -> usize {
+        (lc_sigmem_shard(addr)) & (SHARDS - 1)
+    }
+
+    /// Distinct words ever touched (shadow memory never shrinks).
+    pub fn tracked_words(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Modelled tool footprint: tracked words × per-word shadow cost.
+    pub fn memory_bytes(&self) -> usize {
+        self.tracked_words() * self.model.bytes_per_word()
+    }
+
+    /// The cost model in use.
+    pub fn model(&self) -> ShadowModel {
+        self.model
+    }
+
+    /// Dependencies recorded.
+    pub fn dependencies(&self) -> u64 {
+        self.deps.load(Ordering::Relaxed)
+    }
+
+    /// Accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the communication matrix (shadowing is exact, so this is
+    /// the ground-truth matrix).
+    pub fn matrix(&self) -> DenseMatrix {
+        self.matrix.snapshot()
+    }
+}
+
+// Small local hash to pick shards (decouples from lc-sigmem's internals).
+#[inline]
+fn lc_sigmem_shard(addr: u64) -> usize {
+    let mut k = addr;
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    (k >> 32) as usize
+}
+
+impl AccessSink for ShadowProfiler {
+    fn on_access(&self, ev: &AccessEvent) {
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+        debug_assert!(ev.tid < 128, "shadow reader mask supports 128 threads");
+        let mut shard = self.shards[Self::shard(ev.addr)].lock();
+        let w = shard.entry(ev.addr).or_default();
+        match ev.kind {
+            AccessKind::Read => {
+                let bit = 1u128 << ev.tid;
+                if w.writer != 0 {
+                    let writer = w.writer - 1;
+                    if writer != ev.tid && w.readers & bit == 0 {
+                        self.matrix.add(writer, ev.tid, ev.size as u64);
+                        self.deps.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                w.readers |= bit;
+            }
+            AccessKind::Write => {
+                w.writer = ev.tid + 1;
+                w.readers = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_trace::{FuncId, LoopId};
+
+    fn ev(tid: u32, addr: u64, kind: AccessKind) -> AccessEvent {
+        AccessEvent {
+            tid,
+            addr,
+            size: 8,
+            kind,
+            loop_id: LoopId::NONE,
+            parent_loop: LoopId::NONE,
+            func: FuncId::NONE,
+                site: 0,
+        }
+    }
+
+    #[test]
+    fn detects_raw_exactly() {
+        let p = ShadowProfiler::new(4, ShadowModel::Helgrind32);
+        p.on_access(&ev(0, 0x10, AccessKind::Write));
+        p.on_access(&ev(1, 0x10, AccessKind::Read));
+        p.on_access(&ev(1, 0x10, AccessKind::Read)); // first-read-only
+        p.on_access(&ev(0, 0x10, AccessKind::Read)); // self: no edge
+        assert_eq!(p.dependencies(), 1);
+        assert_eq!(p.matrix().get(0, 1), 8);
+        assert_eq!(p.accesses(), 4);
+    }
+
+    #[test]
+    fn write_resets_reader_history() {
+        let p = ShadowProfiler::new(4, ShadowModel::Memcheck);
+        p.on_access(&ev(0, 0x10, AccessKind::Write));
+        p.on_access(&ev(1, 0x10, AccessKind::Read));
+        p.on_access(&ev(2, 0x10, AccessKind::Write));
+        p.on_access(&ev(1, 0x10, AccessKind::Read));
+        assert_eq!(p.matrix().get(0, 1), 8);
+        assert_eq!(p.matrix().get(2, 1), 8);
+    }
+
+    #[test]
+    fn memory_grows_with_footprint() {
+        let p = ShadowProfiler::new(4, ShadowModel::HelgrindPlus64);
+        let m0 = p.memory_bytes();
+        for a in 0..1000u64 {
+            p.on_access(&ev(0, a * 8, AccessKind::Write));
+        }
+        assert_eq!(p.tracked_words(), 1000);
+        assert_eq!(p.memory_bytes(), m0 + 1000 * 20);
+        // Re-touching the same words grows nothing.
+        for a in 0..1000u64 {
+            p.on_access(&ev(1, a * 8, AccessKind::Read));
+        }
+        assert_eq!(p.memory_bytes(), m0 + 1000 * 20);
+    }
+
+    #[test]
+    fn model_costs_are_ordered() {
+        assert!(ShadowModel::Helgrind32.bytes_per_word() < ShadowModel::Memcheck.bytes_per_word());
+        assert!(
+            ShadowModel::Helgrind32.bytes_per_word()
+                < ShadowModel::HelgrindPlus64.bytes_per_word()
+        );
+        assert_eq!(ShadowModel::Memcheck.name(), "Memcheck");
+    }
+}

@@ -1,0 +1,123 @@
+//! Per-access and end-to-end profiler overhead (the microscopic view of
+//! Figure 4's slowdown).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use lc_baselines::{ShadowModel, ShadowProfiler};
+use lc_profiler::{AsymmetricDetector, AsymmetricProfiler, PerfectProfiler, ProfilerConfig};
+use lc_sigmem::SignatureConfig;
+use lc_trace::{AccessEvent, AccessKind, AccessSink, FuncId, LoopId, NoopSink, TraceCtx};
+use lc_workloads::{by_name, InputSize, RunConfig};
+
+fn ev(tid: u32, addr: u64, kind: AccessKind) -> AccessEvent {
+    AccessEvent {
+        tid,
+        addr,
+        size: 8,
+        kind,
+        loop_id: LoopId(1),
+        parent_loop: LoopId::NONE,
+        func: FuncId::NONE,
+        site: 1,
+    }
+}
+
+fn flat(threads: usize) -> ProfilerConfig {
+    ProfilerConfig {
+        threads,
+        track_nested: false,
+        phase_window: None,
+    }
+}
+
+fn bench_detector_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("detector_per_access");
+    let det = AsymmetricDetector::asymmetric(SignatureConfig::paper_default(1 << 16, 8));
+    det.on_access(0, 0x1000, 8, AccessKind::Write);
+    det.on_access(1, 0x1000, 8, AccessKind::Read);
+
+    g.bench_function("read_hit_dedup", |b| {
+        // Hot case: repeated read of a written address by the same thread.
+        b.iter(|| det.on_access(1, black_box(0x1000), 8, AccessKind::Read))
+    });
+    let mut a = 0u64;
+    g.bench_function("read_cold_miss", |b| {
+        b.iter(|| {
+            a = a.wrapping_add(8);
+            det.on_access(1, black_box(0x10_0000 + a % 65_536), 8, AccessKind::Read)
+        })
+    });
+    g.bench_function("write", |b| {
+        b.iter(|| det.on_access(0, black_box(0x1000), 8, AccessKind::Write))
+    });
+    g.finish();
+}
+
+fn bench_sink_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sink_on_access");
+    let e_read = ev(1, 0x2000, AccessKind::Read);
+    let e_write = ev(0, 0x2000, AccessKind::Write);
+
+    let asym = AsymmetricProfiler::asymmetric(
+        SignatureConfig::paper_default(1 << 16, 8),
+        ProfilerConfig::nested(8),
+    );
+    asym.on_access(&e_write);
+    g.bench_function("asymmetric_nested", |b| b.iter(|| asym.on_access(black_box(&e_read))));
+
+    let perfect = PerfectProfiler::perfect(flat(8));
+    perfect.on_access(&e_write);
+    g.bench_function("perfect_flat", |b| b.iter(|| perfect.on_access(black_box(&e_read))));
+
+    let shadow = ShadowProfiler::new(8, ShadowModel::Helgrind32);
+    shadow.on_access(&e_write);
+    g.bench_function("shadow", |b| b.iter(|| shadow.on_access(black_box(&e_read))));
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end_radix_simdev");
+    g.sample_size(10);
+    let w = by_name("radix").unwrap();
+    // Event count for throughput scaling.
+    let counter = Arc::new(lc_trace::CountingSink::new());
+    let ctx = TraceCtx::new(counter.clone(), 4);
+    w.run(&ctx, &RunConfig::new(4, InputSize::SimDev, 1));
+    g.throughput(Throughput::Elements(counter.total()));
+
+    g.bench_function("noop_sink", |b| {
+        b.iter(|| {
+            let ctx = TraceCtx::new(Arc::new(NoopSink), 4);
+            w.run(&ctx, &RunConfig::new(4, InputSize::SimDev, 1))
+        })
+    });
+    g.bench_function("asymmetric_profiler", |b| {
+        b.iter(|| {
+            let sink: Arc<dyn AccessSink> = Arc::new(AsymmetricProfiler::asymmetric(
+                SignatureConfig::paper_default(1 << 18, 4),
+                ProfilerConfig::nested(4),
+            ));
+            let ctx = TraceCtx::new(sink, 4);
+            w.run(&ctx, &RunConfig::new(4, InputSize::SimDev, 1))
+        })
+    });
+    g.bench_function("perfect_profiler", |b| {
+        b.iter(|| {
+            let sink: Arc<dyn AccessSink> = Arc::new(PerfectProfiler::perfect(flat(4)));
+            let ctx = TraceCtx::new(sink, 4);
+            w.run(&ctx, &RunConfig::new(4, InputSize::SimDev, 1))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_detector_paths,
+    bench_sink_dispatch,
+    bench_end_to_end
+);
+criterion_main!(benches);

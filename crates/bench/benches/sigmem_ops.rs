@@ -1,0 +1,101 @@
+//! Microbenchmarks of the signature-memory substrate: the per-access data
+//! structures on Algorithm 1's hot path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use lc_sigmem::bloom::BloomFilter;
+use lc_sigmem::murmur::{fmix64, hash_addr, murmur3_x64_128, murmur3_x86_32};
+use lc_sigmem::{
+    BloomGeometry, ConcurrentBloom, PerfectReaderSet, PerfectWriterMap, ReadSignature, ReaderSet,
+    WriteSignature, WriterMap,
+};
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("murmur");
+    g.bench_function("fmix64", |b| {
+        let mut x = 0x1234_5678u64;
+        b.iter(|| {
+            x = fmix64(black_box(x));
+            x
+        })
+    });
+    g.bench_function("hash_addr_seeded", |b| {
+        b.iter(|| hash_addr(black_box(0xdead_beef_0000), black_box(7)))
+    });
+    let buf = vec![0xa5u8; 64];
+    g.bench_function("x86_32_64B", |b| b.iter(|| murmur3_x86_32(black_box(&buf), 0)));
+    g.bench_function("x64_128_64B", |b| b.iter(|| murmur3_x64_128(black_box(&buf), 0)));
+    g.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom");
+    g.bench_function("seq_insert_32", |b| {
+        b.iter_batched(
+            || BloomFilter::with_rate(32, 0.001),
+            |mut f| {
+                for t in 0..32u64 {
+                    f.insert(black_box(t));
+                }
+                f
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut filter = BloomFilter::with_rate(32, 0.001);
+    for t in 0..16u64 {
+        filter.insert(t);
+    }
+    g.bench_function("seq_contains", |b| b.iter(|| filter.contains(black_box(7))));
+
+    let cb = ConcurrentBloom::new(BloomGeometry::for_threads(32, 0.001));
+    g.bench_function("concurrent_insert", |b| b.iter(|| cb.insert(black_box(9))));
+    g.bench_function("concurrent_contains", |b| b.iter(|| cb.contains(black_box(9))));
+    g.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("signature");
+    let rs = ReadSignature::new(1 << 16, 32, 0.001);
+    let ws = WriteSignature::new(1 << 16);
+    // Pre-touch a working set.
+    for a in 0..1024u64 {
+        rs.insert(a * 8, (a % 32) as u32);
+        ws.record(a * 8, (a % 32) as u32);
+    }
+    let mut i = 0u64;
+    g.bench_function("read_sig_insert", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(8);
+            rs.insert(black_box(i % 8192), 3)
+        })
+    });
+    g.bench_function("read_sig_contains", |b| b.iter(|| rs.contains(black_box(512), 3)));
+    g.bench_function("read_sig_clear_addr", |b| b.iter(|| rs.clear_addr(black_box(512))));
+    g.bench_function("write_sig_record", |b| b.iter(|| ws.record(black_box(512), 5)));
+    g.bench_function("write_sig_last_writer", |b| {
+        b.iter(|| ws.last_writer(black_box(512)))
+    });
+
+    // The exact baseline, for the accuracy/speed/memory trade-off headline.
+    let prs = PerfectReaderSet::new();
+    let pws = PerfectWriterMap::new();
+    for a in 0..1024u64 {
+        prs.insert(a * 8, (a % 32) as u32);
+        pws.record(a * 8, (a % 32) as u32);
+    }
+    g.bench_function("perfect_reader_insert", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(8);
+            prs.insert(black_box(i % 8192), 3)
+        })
+    });
+    g.bench_function("perfect_writer_lookup", |b| {
+        b.iter(|| pws.last_writer(black_box(512)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hashes, bench_bloom, bench_signatures);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Event-generation throughput of every SPLASH-style kernel — the
+//! denominator of Figure 4's slowdown and the sanity floor for the
+//! experiment harness's run times.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use lc_trace::{CountingSink, NoopSink, TraceCtx};
+use lc_workloads::{all_workloads, InputSize, RunConfig};
+
+fn bench_workloads(c: &mut Criterion) {
+    let threads = 4;
+    let mut g = c.benchmark_group("workload_events_per_sec");
+    g.sample_size(10);
+    for w in all_workloads() {
+        // Event count for throughput normalization.
+        let counter = Arc::new(CountingSink::new());
+        let ctx = TraceCtx::new(counter.clone(), threads);
+        w.run(&ctx, &RunConfig::new(threads, InputSize::SimDev, 1));
+        g.throughput(Throughput::Elements(counter.total()));
+
+        g.bench_function(w.name(), |b| {
+            b.iter(|| {
+                let ctx = TraceCtx::new(Arc::new(NoopSink), threads);
+                w.run(&ctx, &RunConfig::new(threads, InputSize::SimDev, 1))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 6 — nested communication patterns of SPLASH `lu_ncb`.
+//!
+//! The paper's figure shows the loop tree (daxpy, bmod, TouchA, barrier,
+//! lu) with one communication matrix per node and the whole-program matrix
+//! equal to the sum of its children. This binary regenerates that view as
+//! heat maps and verifies the Σ-children invariant.
+
+use std::sync::Arc;
+
+use lc_bench::{env_size, env_threads, run_with_sink, save_csv};
+use lc_profiler::{verify_sum_invariant, AsymmetricProfiler, NestedReport, ProfilerConfig};
+use lc_sigmem::SignatureConfig;
+use lc_workloads::by_name;
+
+fn main() {
+    let threads = env_threads();
+    let size = env_size();
+    let w = by_name("lu_ncb").unwrap();
+
+    let profiler = Arc::new(AsymmetricProfiler::asymmetric(
+        SignatureConfig::paper_default(1 << 20, threads),
+        ProfilerConfig::nested(threads),
+    ));
+    let (_, ctx) = run_with_sink(&*w, profiler.clone(), threads, size, 42);
+    let report = profiler.report();
+    let nested = NestedReport::build(ctx.loops(), &report.per_loop, threads);
+
+    println!(
+        "Figure 6: nested communication patterns of lu_ncb ({} threads, {})\n",
+        threads,
+        size.name()
+    );
+    println!("{}", nested.render(6));
+
+    let bad = verify_sum_invariant(&nested);
+    assert!(bad.is_empty(), "Σ-children invariant violated: {bad:?}");
+    println!("parent = Σ children holds at every node (paper §V-A4).");
+    println!("\nglobal matrix (= sum of all roots):\n{}", report.global.heatmap());
+
+    let rows: Vec<Vec<String>> = nested
+        .all_nodes()
+        .into_iter()
+        .map(|n| {
+            vec![
+                n.name.clone(),
+                n.func.clone(),
+                n.own.total().to_string(),
+                n.aggregate.total().to_string(),
+            ]
+        })
+        .collect();
+    save_csv(
+        "fig6_lu_nested.csv",
+        &["loop", "func", "own_bytes", "aggregate_bytes"],
+        &rows,
+    );
+}

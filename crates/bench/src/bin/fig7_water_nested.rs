@@ -1,0 +1,69 @@
+//! Figure 7 — nested communication patterns of SPLASH `water_nsquared`.
+//!
+//! The paper's figure shows `MDMAIN` containing two `INTERF` force loops
+//! and a `POTENG` reduction, each with its own matrix, summing to the
+//! program matrix. Regenerated here as heat maps with the invariant check.
+
+use std::sync::Arc;
+
+use lc_bench::{env_size, env_threads, run_with_sink, save_csv};
+use lc_profiler::{verify_sum_invariant, AsymmetricProfiler, NestedReport, ProfilerConfig};
+use lc_sigmem::SignatureConfig;
+use lc_workloads::by_name;
+
+fn main() {
+    let threads = env_threads();
+    let size = env_size();
+    let w = by_name("water_nsq").unwrap();
+
+    let profiler = Arc::new(AsymmetricProfiler::asymmetric(
+        SignatureConfig::paper_default(1 << 20, threads),
+        ProfilerConfig::nested(threads),
+    ));
+    let (_, ctx) = run_with_sink(&*w, profiler.clone(), threads, size, 42);
+    let report = profiler.report();
+    let nested = NestedReport::build(ctx.loops(), &report.per_loop, threads);
+
+    println!(
+        "Figure 7: nested communication patterns of water_nsquared ({} threads, {})\n",
+        threads,
+        size.name()
+    );
+    println!("{}", nested.render(5));
+
+    let bad = verify_sum_invariant(&nested);
+    assert!(bad.is_empty(), "Σ-children invariant violated: {bad:?}");
+    println!("parent = Σ children holds at every node (paper §V-A4).");
+
+    // The figure's named regions must exist and carry communication.
+    let names: Vec<String> = nested
+        .all_nodes()
+        .into_iter()
+        .filter(|n| n.aggregate.total() > 0)
+        .map(|n| n.name.clone())
+        .collect();
+    for expect in ["MDMAIN", "INTERF", "POTENG"] {
+        assert!(
+            names.iter().any(|n| n == expect),
+            "figure region {expect} missing from {names:?}"
+        );
+    }
+    println!("regions MDMAIN / INTERF (x2) / POTENG all present with traffic.");
+
+    let rows: Vec<Vec<String>> = nested
+        .all_nodes()
+        .into_iter()
+        .map(|n| {
+            vec![
+                n.name.clone(),
+                n.own.total().to_string(),
+                n.aggregate.total().to_string(),
+            ]
+        })
+        .collect();
+    save_csv(
+        "fig7_water_nested.csv",
+        &["loop", "own_bytes", "aggregate_bytes"],
+        &rows,
+    );
+}

@@ -1,0 +1,70 @@
+//! Figure 8 — workload distribution among threads of three hotspots, in
+//! `radix` (a), `raytrace` (b) and `radiosity` (c).
+//!
+//! The paper's observation: radix's hotspot loads a subset of threads
+//! unevenly, radiosity's "uses all threads available to do its job", with
+//! raytrace in between. This binary extracts each app's hottest loop,
+//! applies Eq. 1 and prints the per-thread bars plus imbalance statistics.
+
+use std::sync::Arc;
+
+use lc_bench::{env_size, env_threads, run_with_sink, save_csv};
+use lc_profiler::{AsymmetricProfiler, NestedReport, ProfilerConfig, ThreadLoad};
+use lc_sigmem::SignatureConfig;
+use lc_workloads::by_name;
+
+fn main() {
+    let threads = env_threads();
+    let size = env_size();
+
+    let mut rows = Vec::new();
+    for (panel, name) in [("a", "radix"), ("b", "raytrace"), ("c", "radiosity")] {
+        let w = by_name(name).unwrap();
+        let profiler = Arc::new(AsymmetricProfiler::asymmetric(
+            SignatureConfig::paper_default(1 << 20, threads),
+            ProfilerConfig::nested(threads),
+        ));
+        let (_, ctx) = run_with_sink(&*w, profiler.clone(), threads, size, 99);
+        let report = profiler.report();
+        let nested = NestedReport::build(ctx.loops(), &report.per_loop, threads);
+
+        // Two hottest loops with direct traffic: skip pure aggregates.
+        let hotspots = nested.hotspots();
+        for (rank, (node, total)) in hotspots
+            .iter()
+            .filter(|(n, _)| n.own.total() > 0)
+            .take(2)
+            .enumerate()
+        {
+            let load = ThreadLoad::from_matrix(&node.aggregate);
+            println!(
+                "Figure 8{panel}: {name} — hotspot #{} `{}` ({} B)",
+                rank + 1,
+                node.name,
+                total
+            );
+            println!("{}", load.render());
+            println!(
+                "imbalance (max/mean): {:.2}   cv: {:.2}   active threads: {}/{}\n",
+                load.imbalance(),
+                load.cv(),
+                load.active_threads(0.05),
+                threads
+            );
+            for (i, l) in load.loads.iter().enumerate() {
+                rows.push(vec![
+                    name.to_string(),
+                    node.name.clone(),
+                    i.to_string(),
+                    format!("{l:.2}"),
+                ]);
+            }
+        }
+    }
+
+    save_csv(
+        "fig8_thread_load.csv",
+        &["app", "hotspot", "thread", "load_bytes"],
+        &rows,
+    );
+}

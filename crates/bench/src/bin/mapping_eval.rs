@@ -1,0 +1,87 @@
+//! §III/§VI application closed loop — does communication-aware mapping
+//! actually reduce cache misses and remote transfers?
+//!
+//! For each workload: record a trace, derive the greedy mapping from the
+//! *profiled communication matrix*, then replay the same trace through the
+//! MESI coherence simulator under identity / scrambled / greedy placements
+//! on the dual-socket machine model. The paper's claim to reproduce:
+//! greedy placement cuts remote (cross-socket) transfers and the weighted
+//! transfer cost versus a poor placement.
+
+use std::sync::Arc;
+
+use lc_bench::{ascii_table, save_csv};
+use lc_cachesim::{simulate, CacheConfig};
+use lc_profiler::{greedy_mapping, MachineTopology, PerfectProfiler, ProfilerConfig, ThreadMapping};
+use lc_trace::{RecordingSink, TraceCtx};
+use lc_workloads::{all_workloads, InputSize, RunConfig};
+
+fn main() {
+    let topo = MachineTopology::dual_socket_xeon();
+    let threads = 16;
+    let cfg = CacheConfig::small_l1();
+
+    let mut rows = Vec::new();
+    for w in all_workloads() {
+        // Record + profile in one run (fork the event stream).
+        let rec = Arc::new(RecordingSink::new());
+        let prof = Arc::new(PerfectProfiler::perfect(ProfilerConfig {
+            threads,
+            track_nested: false,
+            phase_window: None,
+        }));
+        let fork = Arc::new(lc_trace::ForkSink::new(vec![
+            rec.clone() as Arc<dyn lc_trace::AccessSink>,
+            prof.clone(),
+        ]));
+        let ctx = TraceCtx::new(fork, threads);
+        w.run(&ctx, &RunConfig::new(threads, InputSize::SimDev, 31));
+        let trace = rec.finish();
+        let matrix = prof.global_matrix();
+
+        let identity = ThreadMapping::identity(threads);
+        let scrambled = ThreadMapping::scrambled(threads, 4242);
+        let greedy = greedy_mapping(&matrix, &topo);
+
+        let s_id = simulate(&trace, &identity, &topo, cfg).stats;
+        let s_sc = simulate(&trace, &scrambled, &topo, cfg).stats;
+        let s_gr = simulate(&trace, &greedy, &topo, cfg).stats;
+
+        rows.push(vec![
+            w.name().to_string(),
+            format!("{:.1}%", s_id.miss_ratio() * 100.0),
+            format!("{} / {} / {}", s_id.remote_transfers, s_sc.remote_transfers, s_gr.remote_transfers),
+            format!("{} / {} / {}", s_id.transfer_cost, s_sc.transfer_cost, s_gr.transfer_cost),
+            format!(
+                "{:+.1}%",
+                100.0 * (s_gr.transfer_cost as f64 - s_sc.transfer_cost as f64)
+                    / s_sc.transfer_cost.max(1) as f64
+            ),
+        ]);
+        eprintln!("  simulated {}", w.name());
+    }
+
+    println!(
+        "\n§III/§VI closed loop: MESI simulation under thread mappings\n\
+         ({} threads on 2x8 cores, {} KiB private caches; transfers shown\n\
+         as identity / scrambled / greedy)\n",
+        threads,
+        cfg.capacity() / 1024
+    );
+    println!(
+        "{}",
+        ascii_table(
+            &["app", "miss ratio", "remote transfers", "transfer cost", "greedy vs scrambled"],
+            &rows
+        )
+    );
+    println!(
+        "expected shape: greedy ≤ scrambled on remote transfers/cost for\n\
+         structured apps (the all-to-all apps have nothing to localize)."
+    );
+    save_csv(
+        "mapping_eval.csv",
+        &["app", "miss_ratio", "remote_id_sc_gr", "cost_id_sc_gr", "greedy_vs_scrambled"],
+        &rows,
+    );
+}

@@ -1,0 +1,114 @@
+//! # lc-bench — experiment harness
+//!
+//! Shared plumbing for the binaries that regenerate every table and figure
+//! of the paper (see DESIGN.md §4 for the experiment index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1_properties` | Table I (six-property profiler comparison) |
+//! | `fig4_slowdown` | Figure 4 (per-app instrumentation slowdown) |
+//! | `fig5_memory` | Figures 5a/5b (profiler memory vs input size) |
+//! | `fig6_lu_nested` | Figure 6 (nested matrices of `lu_ncb`) |
+//! | `fig7_water_nested` | Figure 7 (nested matrices of `water_nsq`) |
+//! | `fig8_thread_load` | Figure 8 (per-thread load of hotspot loops) |
+//! | `fpr_sweep` | §V-A3 (false positives vs signature size) |
+//! | `eq2_memmodel` | Eq. 2 (memory model vs live allocation) |
+//! | `classify_eval` | §VI (pattern classification accuracy) |
+//!
+//! Every binary prints its table to stdout and writes a CSV under
+//! `results/` (override with `LC_RESULTS_DIR`). Environment knobs:
+//! `LC_THREADS` (default 8), `LC_SIZE` (`simdev`/`simsmall`/`simlarge`).
+
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lc_trace::{AccessSink, TraceCtx};
+use lc_workloads::{InputSize, RunConfig, Workload};
+
+pub use lc_profiler::report::{ascii_table, fmt_bytes, fmt_slowdown, write_csv};
+
+/// Thread count for the experiments (`LC_THREADS`, default 8).
+pub fn env_threads() -> usize {
+    std::env::var("LC_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+}
+
+/// Input size for the experiments (`LC_SIZE`, default simdev).
+pub fn env_size() -> InputSize {
+    match std::env::var("LC_SIZE").as_deref() {
+        Ok("simsmall") => InputSize::SimSmall,
+        Ok("simlarge") => InputSize::SimLarge,
+        _ => InputSize::SimDev,
+    }
+}
+
+/// Directory for CSV outputs (`LC_RESULTS_DIR`, default `results/`).
+pub fn results_dir() -> PathBuf {
+    std::env::var("LC_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Run `workload` once with `sink` attached; returns wall time and the ctx.
+pub fn run_with_sink(
+    workload: &dyn Workload,
+    sink: Arc<dyn AccessSink>,
+    threads: usize,
+    size: InputSize,
+    seed: u64,
+) -> (Duration, Arc<TraceCtx>) {
+    let ctx = TraceCtx::new(sink, threads);
+    let start = Instant::now();
+    workload.run(&ctx, &RunConfig::new(threads, size, seed));
+    (start.elapsed(), ctx)
+}
+
+/// Best-of-`reps` wall time for `workload` with `make_sink()` attached.
+pub fn time_workload(
+    workload: &dyn Workload,
+    mut make_sink: impl FnMut() -> Arc<dyn AccessSink>,
+    threads: usize,
+    size: InputSize,
+    reps: usize,
+) -> Duration {
+    let mut best = Duration::MAX;
+    for rep in 0..reps.max(1) {
+        let (d, _) = run_with_sink(workload, make_sink(), threads, size, rep as u64 + 1);
+        best = best.min(d);
+    }
+    best
+}
+
+/// Write a CSV into the results dir and echo its path.
+pub fn save_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let path = results_dir().join(name);
+    match write_csv(&path, headers, rows) {
+        Ok(()) => println!("\n[csv] {}", path.display()),
+        Err(e) => eprintln!("[csv] failed to write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_trace::NoopSink;
+
+    #[test]
+    fn env_defaults() {
+        assert!(env_threads() >= 1);
+        let _ = env_size();
+    }
+
+    #[test]
+    fn run_with_sink_times_a_workload() {
+        let w = lc_workloads::by_name("radix").unwrap();
+        let (d, ctx) = run_with_sink(&*w, Arc::new(NoopSink), 2, InputSize::SimDev, 1);
+        assert!(d > Duration::ZERO);
+        assert!(!ctx.loops().is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Set-associative LRU cache model.
+
+/// Geometry of one private cache.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+}
+
+impl CacheConfig {
+    /// A small private L1-ish cache: 64 sets × 4 ways × 64 B = 16 KiB.
+    pub fn small_l1() -> Self {
+        Self {
+            sets: 64,
+            ways: 4,
+            line_bytes: 64,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        (self.sets * self.ways) as u64 * self.line_bytes
+    }
+
+    /// The line (block) number of an address.
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr / self.line_bytes
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line as usize) & (self.sets - 1)
+    }
+}
+
+/// MESI state of a cached line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mesi {
+    /// Exclusive, dirty.
+    Modified,
+    /// Exclusive, clean.
+    Exclusive,
+    /// Possibly replicated, clean.
+    Shared,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    line: u64,
+    state: Mesi,
+    /// Higher = more recently used.
+    lru: u64,
+}
+
+/// One core's private cache.
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    clock: u64,
+}
+
+impl Cache {
+    /// New empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.sets.is_power_of_two() && cfg.line_bytes.is_power_of_two());
+        assert!(cfg.ways >= 1);
+        Self {
+            cfg,
+            sets: vec![Vec::new(); cfg.sets],
+            clock: 0,
+        }
+    }
+
+    /// Is `line` present? (Does not touch LRU.)
+    pub fn contains(&self, line: u64) -> bool {
+        self.sets[self.cfg.set_of(line)]
+            .iter()
+            .any(|w| w.line == line)
+    }
+
+    /// Current MESI state of `line`, if present.
+    pub fn state(&self, line: u64) -> Option<Mesi> {
+        self.sets[self.cfg.set_of(line)]
+            .iter()
+            .find(|w| w.line == line)
+            .map(|w| w.state)
+    }
+
+    /// Touch `line` (LRU bump) and set its state. Returns the evicted line
+    /// (with its state) if an insertion displaced one.
+    pub fn insert(&mut self, line: u64, state: Mesi) -> Option<(u64, Mesi)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let cfg = self.cfg;
+        let set = &mut self.sets[cfg.set_of(line)];
+        if let Some(w) = set.iter_mut().find(|w| w.line == line) {
+            w.state = state;
+            w.lru = clock;
+            return None;
+        }
+        let mut evicted = None;
+        if set.len() >= cfg.ways {
+            let (idx, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.lru)
+                .expect("non-empty set");
+            let victim = set.swap_remove(idx);
+            evicted = Some((victim.line, victim.state));
+        }
+        set.push(Way {
+            line,
+            state,
+            lru: clock,
+        });
+        evicted
+    }
+
+    /// Downgrade or remove a line (coherence action). Returns the previous
+    /// state if it was present.
+    pub fn set_state(&mut self, line: u64, state: Option<Mesi>) -> Option<Mesi> {
+        let set_idx = self.cfg.set_of(line);
+        let set = &mut self.sets[set_idx];
+        let pos = set.iter().position(|w| w.line == line)?;
+        let prev = set[pos].state;
+        match state {
+            Some(st) => set[pos].state = st,
+            None => {
+                set.swap_remove(pos);
+            }
+        }
+        Some(prev)
+    }
+
+    /// Lines currently resident.
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> Cache {
+        Cache::new(CacheConfig {
+            sets: 4,
+            ways: 2,
+            line_bytes: 64,
+        })
+    }
+
+    #[test]
+    fn config_geometry() {
+        let c = CacheConfig::small_l1();
+        assert_eq!(c.capacity(), 16 * 1024);
+        assert_eq!(c.line_of(0), 0);
+        assert_eq!(c.line_of(63), 0);
+        assert_eq!(c.line_of(64), 1);
+    }
+
+    #[test]
+    fn insert_hit_and_state() {
+        let mut c = cache();
+        assert!(c.insert(10, Mesi::Exclusive).is_none());
+        assert!(c.contains(10));
+        assert_eq!(c.state(10), Some(Mesi::Exclusive));
+        // Re-insert updates state without eviction.
+        assert!(c.insert(10, Mesi::Modified).is_none());
+        assert_eq!(c.state(10), Some(Mesi::Modified));
+        assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_oldest_way() {
+        let mut c = cache();
+        // Lines 0, 4, 8 map to set 0 (4 sets).
+        c.insert(0, Mesi::Shared);
+        c.insert(4, Mesi::Shared);
+        c.insert(0, Mesi::Shared); // refresh 0; 4 is now LRU
+        let evicted = c.insert(8, Mesi::Shared);
+        assert_eq!(evicted, Some((4, Mesi::Shared)));
+        assert!(c.contains(0) && c.contains(8) && !c.contains(4));
+    }
+
+    #[test]
+    fn set_state_downgrades_and_invalidates() {
+        let mut c = cache();
+        c.insert(3, Mesi::Modified);
+        assert_eq!(c.set_state(3, Some(Mesi::Shared)), Some(Mesi::Modified));
+        assert_eq!(c.state(3), Some(Mesi::Shared));
+        assert_eq!(c.set_state(3, None), Some(Mesi::Shared));
+        assert!(!c.contains(3));
+        assert_eq!(c.set_state(3, None), None);
+    }
+}

@@ -1,0 +1,187 @@
+//! Topology features extracted from communication matrices.
+//!
+//! The classifier does not look at raw cells (matrices of different thread
+//! counts and volumes must be comparable); it looks at a fixed-length
+//! vector of scale-free structural features. Each feature is the fraction
+//! of total communication volume carried by cells with a given structural
+//! role, plus two shape statistics.
+
+use crate::matrix::DenseMatrix;
+
+/// Number of features extracted per matrix.
+pub const N_FEATURES: usize = 10;
+
+/// Human-readable feature names, aligned with [`extract`]'s output order.
+pub const FEATURE_NAMES: [&str; N_FEATURES] = [
+    "neighbor_frac",    // |i-j| == 1 (non-wrap)
+    "wrap_frac",        // ring wraparound cells (0,t-1)/(t-1,0)
+    "directionality",   // upper vs lower traffic skew [0,1]
+    "master_frac",      // row 0 + column 0
+    "pow2_frac",        // |i-j| == 2^k, k >= 1
+    "grid_frac",        // |i-j| == row width of a square grid
+    "tree_frac",        // j == i/2 (binary-tree parent)
+    "symmetry",         // 1 - |M - Mᵀ| / 2·total
+    "density",          // fraction of non-zero off-diagonal cells
+    "row_cv",           // coefficient of variation of row sums (capped /3)
+];
+
+/// Extract the feature vector of a matrix. All features lie in [0, 1];
+/// an all-zero matrix maps to the zero vector.
+pub fn extract(m: &DenseMatrix) -> [f64; N_FEATURES] {
+    let t = m.threads();
+    let total = m.total();
+    if total == 0 {
+        return [0.0; N_FEATURES];
+    }
+    let totf = total as f64;
+    let grid_w = (t as f64).sqrt().round().max(2.0) as usize;
+
+    let mut neighbor = 0u64;
+    let mut wrap = 0u64;
+    let mut upper = 0u64;
+    let mut lower = 0u64;
+    let mut master = 0u64;
+    let mut pow2 = 0u64;
+    let mut grid = 0u64;
+    let mut tree = 0u64;
+    let mut nonzero = 0usize;
+
+    for i in 0..t {
+        for j in 0..t {
+            let v = m.get(i, j);
+            if i == j || v == 0 {
+                continue;
+            }
+            nonzero += 1;
+            let d = i.abs_diff(j);
+            if d == 1 {
+                neighbor += v;
+            }
+            if (i == 0 && j == t - 1) || (i == t - 1 && j == 0) {
+                wrap += v;
+            }
+            if j > i {
+                upper += v;
+            } else {
+                lower += v;
+            }
+            if i == 0 || j == 0 {
+                master += v;
+            }
+            if d >= 2 && d.is_power_of_two() {
+                pow2 += v;
+            }
+            if d == grid_w {
+                grid += v;
+            }
+            if j == i / 2 && i >= 1 {
+                tree += v;
+            }
+        }
+    }
+
+    let row_sums = m.row_sums();
+    let mean_row = totf / t as f64;
+    let row_var = row_sums
+        .iter()
+        .map(|&s| {
+            let d = s as f64 - mean_row;
+            d * d
+        })
+        .sum::<f64>()
+        / t as f64;
+    let row_cv = if mean_row > 0.0 {
+        (row_var.sqrt() / mean_row / 3.0).min(1.0)
+    } else {
+        0.0
+    };
+
+    let directionality = if upper + lower > 0 {
+        (upper as f64 - lower as f64).abs() / (upper + lower) as f64
+    } else {
+        0.0
+    };
+
+    [
+        neighbor as f64 / totf,
+        wrap as f64 / totf,
+        directionality,
+        master as f64 / totf,
+        pow2 as f64 / totf,
+        grid as f64 / totf,
+        tree as f64 / totf,
+        m.symmetry(),
+        nonzero as f64 / (t * (t - 1)) as f64,
+        row_cv,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::patterns::{generate, PatternClass};
+
+    #[test]
+    fn features_are_bounded() {
+        for class in PatternClass::ALL {
+            for seed in 0..5 {
+                let f = extract(&generate(class, 16, seed, 0.2));
+                for (i, &v) in f.iter().enumerate() {
+                    assert!(
+                        (0.0..=1.0).contains(&v),
+                        "{class}: feature {} = {v}",
+                        FEATURE_NAMES[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_matrix_maps_to_zero_vector() {
+        assert_eq!(extract(&DenseMatrix::zero(8)), [0.0; N_FEATURES]);
+    }
+
+    #[test]
+    fn pipeline_is_directional_and_neighbor_heavy() {
+        let f = extract(&generate(PatternClass::Pipeline, 16, 3, 0.0));
+        assert!(f[0] > 0.9, "neighbor_frac = {}", f[0]);
+        assert!(f[2] > 0.9, "directionality = {}", f[2]);
+    }
+
+    #[test]
+    fn ring_is_symmetric_neighbor_with_wrap() {
+        let f = extract(&generate(PatternClass::Ring1D, 16, 3, 0.0));
+        assert!(f[0] > 0.7);
+        assert!(f[1] > 0.05); // wraparound present
+        assert!(f[7] > 0.95); // symmetric
+        assert!(f[2] < 0.1); // no direction skew
+    }
+
+    #[test]
+    fn butterfly_has_pow2_mass() {
+        let f = extract(&generate(PatternClass::Butterfly, 16, 3, 0.0));
+        assert!(f[4] > 0.5, "pow2_frac = {}", f[4]);
+    }
+
+    #[test]
+    fn master_worker_concentrates_on_row_col_zero() {
+        let f = extract(&generate(PatternClass::MasterWorker, 16, 3, 0.0));
+        assert!(f[3] > 0.95);
+        assert!(f[9] > 0.3); // thread 0's row dwarfs the rest
+    }
+
+    #[test]
+    fn all_to_all_is_dense_and_even() {
+        let f = extract(&generate(PatternClass::AllToAll, 16, 3, 0.0));
+        assert!(f[8] > 0.95); // density
+        assert!(f[9] < 0.2); // even rows
+        assert!(f[7] > 0.8); // near-symmetric
+    }
+
+    #[test]
+    fn tree_feature_fires_for_reduction() {
+        let f = extract(&generate(PatternClass::ReductionTree, 16, 3, 0.0));
+        assert!(f[6] > 0.9, "tree_frac = {}", f[6]);
+    }
+}

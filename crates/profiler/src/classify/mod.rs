@@ -1,0 +1,19 @@
+//! Parallel-pattern classification from communication matrices (§VI).
+//!
+//! * [`patterns`] — the canonical topology classes and labelled synthetic
+//!   generators.
+//! * [`features`] — scale-free structural features of a matrix.
+//! * [`classifier`] — nearest-centroid supervised model reproducing the
+//!   paper's ">97% accuracy" claim.
+//! * [`rules`] — the "algorithmic methods" half: explicit, auditable
+//!   decision rules that need no training data.
+
+pub mod classifier;
+pub mod features;
+pub mod patterns;
+pub mod rules;
+
+pub use classifier::{synthetic_dataset, Evaluation, NearestCentroid, Sample};
+pub use features::{extract, FEATURE_NAMES, N_FEATURES};
+pub use patterns::{generate, PatternClass};
+pub use rules::{classify_matrix as classify_by_rules, rule_accuracy, RuleVerdict};

@@ -1,0 +1,258 @@
+//! Canonical parallel-pattern classes and synthetic matrix generators.
+//!
+//! §VI: "based on the communication matrices that we can obtain with
+//! DiscoPoP, three classes of parallel patterns could be identified...
+//! Linear algebra, spectral methods, n-body, structured grids,
+//! master/worker, pipeline and synchronization barriers were among the
+//! patterns we could identify."
+//!
+//! Each [`PatternClass`] has a canonical communication topology; the
+//! generators produce labelled matrices (with controllable noise) used to
+//! train and evaluate the classifier, mirroring the paper's supervised
+//! learning setup. Mapping to the paper's names: `ReductionTree` covers the
+//! broadcast/reduce collectives dominating linear-algebra kernels,
+//! `Butterfly` is the spectral-method (FFT) topology, `AllToAll` the n-body
+//! topology, `Ring1D`/`Grid2D` the structured grids.
+
+use crate::matrix::DenseMatrix;
+
+/// Deterministic SplitMix64 — private noise source so the generators are
+/// reproducible without external crates.
+#[derive(Clone, Debug)]
+pub(crate) struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    #[allow(dead_code)] // exercised by tests; kept for generator extensions
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in [0, n).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// The communication-topology classes the classifier distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PatternClass {
+    /// Unidirectional producer→consumer chain (i → i+1).
+    Pipeline,
+    /// Symmetric nearest-neighbour exchange on a 1-D ring (structured grid).
+    Ring1D,
+    /// Symmetric 4-neighbour exchange on a 2-D processor grid.
+    Grid2D,
+    /// Thread 0 farms work to and collects results from all others.
+    MasterWorker,
+    /// Hypercube/butterfly exchange (i ↔ i xor 2^k) — spectral methods.
+    Butterfly,
+    /// Dense symmetric all-to-all — n-body / unstructured interactions.
+    AllToAll,
+    /// Binary-tree convergence (i → i/2) — reductions / linear-algebra
+    /// collectives.
+    ReductionTree,
+}
+
+impl PatternClass {
+    /// Every class, in a fixed order.
+    pub const ALL: [PatternClass; 7] = [
+        PatternClass::Pipeline,
+        PatternClass::Ring1D,
+        PatternClass::Grid2D,
+        PatternClass::MasterWorker,
+        PatternClass::Butterfly,
+        PatternClass::AllToAll,
+        PatternClass::ReductionTree,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PatternClass::Pipeline => "pipeline",
+            PatternClass::Ring1D => "ring-1d",
+            PatternClass::Grid2D => "grid-2d",
+            PatternClass::MasterWorker => "master-worker",
+            PatternClass::Butterfly => "butterfly",
+            PatternClass::AllToAll => "all-to-all",
+            PatternClass::ReductionTree => "reduction-tree",
+        }
+    }
+}
+
+impl std::fmt::Display for PatternClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generate a labelled synthetic communication matrix.
+///
+/// `noise` ∈ [0, 1): fraction of the pattern's volume scattered uniformly
+/// over random off-pattern cells (models false positives and incidental
+/// sharing — §VI notes classification must tolerate FP noise).
+pub fn generate(class: PatternClass, t: usize, seed: u64, noise: f64) -> DenseMatrix {
+    assert!(t >= 4, "patterns need at least 4 threads (paper: ≥8 advisable)");
+    assert!((0.0..1.0).contains(&noise));
+    let mut rng = SplitMix64(seed ^ (class as u64).wrapping_mul(0x51ed_2701));
+    let mut m = DenseMatrix::zero(t);
+    let unit = 1000u64;
+    let jitter = |rng: &mut SplitMix64| unit / 2 + rng.below(unit);
+
+    match class {
+        PatternClass::Pipeline => {
+            for i in 0..t - 1 {
+                m.bump(i, i + 1, 4 * jitter(&mut rng));
+            }
+        }
+        PatternClass::Ring1D => {
+            for i in 0..t {
+                let v = 2 * jitter(&mut rng);
+                m.bump(i, (i + 1) % t, v);
+                m.bump((i + 1) % t, i, v);
+            }
+        }
+        PatternClass::Grid2D => {
+            // Arrange threads on an approximately square grid.
+            let w = (t as f64).sqrt().round().max(2.0) as usize;
+            for i in 0..t {
+                let x = i % w;
+                let mut link = |j: usize, rng: &mut SplitMix64| {
+                    if j < t && j != i {
+                        let v = 2 * jitter(rng);
+                        m.bump(i, j, v);
+                        m.bump(j, i, v);
+                    }
+                };
+                if x + 1 < w {
+                    link(i + 1, &mut rng);
+                }
+                link(i + w, &mut rng);
+            }
+        }
+        PatternClass::MasterWorker => {
+            for i in 1..t {
+                m.bump(0, i, 3 * jitter(&mut rng)); // task distribution
+                m.bump(i, 0, jitter(&mut rng)); // result collection
+            }
+        }
+        PatternClass::Butterfly => {
+            let mut k = 1;
+            while k < t {
+                for i in 0..t {
+                    let j = i ^ k;
+                    if j < t && j > i {
+                        let v = jitter(&mut rng);
+                        m.bump(i, j, v);
+                        m.bump(j, i, v);
+                    }
+                }
+                k <<= 1;
+            }
+        }
+        PatternClass::AllToAll => {
+            for i in 0..t {
+                for j in 0..t {
+                    if i != j {
+                        m.bump(i, j, jitter(&mut rng) / 4 + unit / 4);
+                    }
+                }
+            }
+        }
+        PatternClass::ReductionTree => {
+            for i in 1..t {
+                m.bump(i, i / 2, 3 * jitter(&mut rng));
+            }
+        }
+    }
+
+    if noise > 0.0 {
+        let total = m.total();
+        let noise_budget = (total as f64 * noise / (1.0 - noise)) as u64;
+        let grains = (t * t / 2).max(1) as u64;
+        for _ in 0..grains {
+            let i = rng.below(t as u64) as usize;
+            let j = rng.below(t as u64) as usize;
+            if i != j {
+                m.bump(i, j, noise_budget / grains);
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_produce_expected_topology() {
+        let t = 16;
+        let pipe = generate(PatternClass::Pipeline, t, 1, 0.0);
+        assert!(pipe.get(0, 1) > 0);
+        assert_eq!(pipe.get(1, 0), 0); // unidirectional
+        assert!(pipe.symmetry() < 0.2);
+
+        let ring = generate(PatternClass::Ring1D, t, 1, 0.0);
+        assert!(ring.get(0, 1) > 0 && ring.get(1, 0) > 0);
+        assert!(ring.symmetry() > 0.99);
+        assert!(ring.get(0, t - 1) > 0); // wraparound
+
+        let mw = generate(PatternClass::MasterWorker, t, 1, 0.0);
+        assert!(mw.get(0, 5) > 0 && mw.get(5, 0) > 0);
+        assert_eq!(mw.get(3, 5), 0);
+
+        let bf = generate(PatternClass::Butterfly, t, 1, 0.0);
+        assert!(bf.get(0, 1) > 0 && bf.get(0, 2) > 0 && bf.get(0, 4) > 0 && bf.get(0, 8) > 0);
+        assert_eq!(bf.get(0, 3), 0); // 3 is not a power-of-two distance
+
+        let a2a = generate(PatternClass::AllToAll, t, 1, 0.0);
+        assert!((0..t).all(|i| (0..t).all(|j| i == j || a2a.get(i, j) > 0)));
+
+        let tree = generate(PatternClass::ReductionTree, t, 1, 0.0);
+        assert!(tree.get(5, 2) > 0 && tree.get(4, 2) > 0);
+        assert_eq!(tree.get(2, 5), 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate(PatternClass::Grid2D, 16, 42, 0.1);
+        let b = generate(PatternClass::Grid2D, 16, 42, 0.1);
+        let c = generate(PatternClass::Grid2D, 16, 43, 0.1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn noise_adds_off_pattern_volume() {
+        let clean = generate(PatternClass::Pipeline, 16, 7, 0.0);
+        let noisy = generate(PatternClass::Pipeline, 16, 7, 0.3);
+        // Pipeline has zero sub-diagonal traffic; noise must add some.
+        let sub_clean: u64 = (1..16).map(|i| clean.get(i, i - 1)).sum();
+        let sub_noisy: u64 = (1..16).map(|i| noisy.get(i, i - 1)).sum();
+        assert_eq!(sub_clean, 0);
+        assert!(sub_noisy > 0);
+    }
+
+    #[test]
+    fn splitmix_is_uniformish() {
+        let mut r = SplitMix64(1);
+        let mean: f64 = (0..10_000).map(|_| r.next_f64()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn all_classes_listed_once() {
+        let mut names: Vec<&str> = PatternClass::ALL.iter().map(|c| c.name()).collect();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+}

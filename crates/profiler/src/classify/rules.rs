@@ -1,0 +1,183 @@
+//! Rule-based pattern classification — the "algorithmic methods" half of
+//! §VI ("with the aid of algorithmic methods and supervised learning").
+//!
+//! Unlike the nearest-centroid model, the rule classifier needs no
+//! training data: it applies explicit, human-auditable decision rules to
+//! the scale-free features. Rules double as documentation of *why* a
+//! matrix belongs to a class, and the two classifiers cross-check each
+//! other ([`agreement`] measures how often they concur).
+
+use crate::classify::features::{extract, N_FEATURES};
+use crate::classify::patterns::PatternClass;
+use crate::matrix::DenseMatrix;
+
+/// Feature indices, named (kept in sync with `features::FEATURE_NAMES`).
+mod f {
+    pub const NEIGHBOR: usize = 0;
+    pub const WRAP: usize = 1;
+    pub const DIRECTION: usize = 2;
+    pub const MASTER: usize = 3;
+    pub const POW2: usize = 4;
+    pub const GRID: usize = 5;
+    pub const TREE: usize = 6;
+    pub const SYMMETRY: usize = 7;
+    pub const DENSITY: usize = 8;
+}
+
+/// Why the rule classifier chose a class.
+#[derive(Clone, Debug)]
+pub struct RuleVerdict {
+    /// The chosen class.
+    pub class: PatternClass,
+    /// The fired rule, in words.
+    pub reason: &'static str,
+}
+
+/// Classify a feature vector with explicit decision rules, most specific
+/// first. Always returns a verdict (the final rule is a catch-all).
+pub fn classify_features(feat: &[f64; N_FEATURES]) -> RuleVerdict {
+    // 1. Master/worker: row/column 0 carries almost everything.
+    if feat[f::MASTER] > 0.8 {
+        return RuleVerdict {
+            class: PatternClass::MasterWorker,
+            reason: "row 0 + column 0 carry > 80% of the volume",
+        };
+    }
+    // 2. Reduction tree: parent edges dominate and flow converges.
+    if feat[f::TREE] > 0.5 && feat[f::DIRECTION] > 0.5 {
+        return RuleVerdict {
+            class: PatternClass::ReductionTree,
+            reason: "i -> i/2 edges dominate with strong directionality",
+        };
+    }
+    // 3. Pipeline: nearest-neighbour but one-directional.
+    if feat[f::NEIGHBOR] > 0.6 && feat[f::DIRECTION] > 0.6 {
+        return RuleVerdict {
+            class: PatternClass::Pipeline,
+            reason: "adjacent-rank traffic with > 60% direction skew",
+        };
+    }
+    // 4. Ring: symmetric nearest-neighbour with wraparound.
+    if feat[f::NEIGHBOR] > 0.55 && feat[f::SYMMETRY] > 0.8 && feat[f::WRAP] > 0.02 {
+        return RuleVerdict {
+            class: PatternClass::Ring1D,
+            reason: "symmetric adjacent-rank traffic with wraparound corner",
+        };
+    }
+    // 5. Butterfly: multiple power-of-two distance bands carry the mass.
+    //    Checked before the grid rule because a power-of-two grid width
+    //    (t = 16 ⇒ width 4) makes grid matrices score on pow2 too; the
+    //    butterfly's log₂(t) bands push its pow2 share well past a grid's
+    //    single far band (~0.5).
+    if feat[f::POW2] > 0.55 && feat[f::DENSITY] < 0.9 {
+        return RuleVerdict {
+            class: PatternClass::Butterfly,
+            reason: "power-of-two distance bands dominate a sparse matrix",
+        };
+    }
+    // 6. Grid: symmetric short-range with a second band at the grid width.
+    if feat[f::GRID] > 0.2 && feat[f::SYMMETRY] > 0.8 && feat[f::NEIGHBOR] > 0.2 {
+        return RuleVerdict {
+            class: PatternClass::Grid2D,
+            reason: "symmetric bands at distance 1 and the grid width",
+        };
+    }
+    // 7. Default dense case: all-to-all.
+    if feat[f::DENSITY] > 0.7 {
+        return RuleVerdict {
+            class: PatternClass::AllToAll,
+            reason: "dense matrix without a dominating structural band",
+        };
+    }
+    // 8. Fallback: symmetric sparse leftovers look most like a grid;
+    //    asymmetric ones like a pipeline fragment.
+    if feat[f::SYMMETRY] > 0.8 {
+        RuleVerdict {
+            class: PatternClass::Grid2D,
+            reason: "fallback: sparse symmetric short-range traffic",
+        }
+    } else {
+        RuleVerdict {
+            class: PatternClass::Pipeline,
+            reason: "fallback: sparse directional traffic",
+        }
+    }
+}
+
+/// Classify a matrix.
+pub fn classify_matrix(m: &DenseMatrix) -> RuleVerdict {
+    classify_features(&extract(m))
+}
+
+/// Fraction of labelled samples the rules classify correctly.
+pub fn rule_accuracy(samples: &[crate::classify::classifier::Sample]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let correct = samples
+        .iter()
+        .filter(|s| classify_features(&s.features).class == s.label)
+        .count();
+    correct as f64 / samples.len() as f64
+}
+
+/// Fraction of samples on which the rules and a trained model agree.
+pub fn agreement(
+    model: &crate::classify::classifier::NearestCentroid,
+    samples: &[crate::classify::classifier::Sample],
+) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let agree = samples
+        .iter()
+        .filter(|s| classify_features(&s.features).class == model.predict_features(&s.features))
+        .count();
+    agree as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classifier::{synthetic_dataset, NearestCentroid};
+    use crate::classify::patterns::generate;
+
+    #[test]
+    fn rules_identify_clean_patterns() {
+        for class in PatternClass::ALL {
+            let m = generate(class, 16, 7, 0.0);
+            let v = classify_matrix(&m);
+            assert_eq!(v.class, class, "rule miss on clean {class}: {}", v.reason);
+        }
+    }
+
+    #[test]
+    fn rules_tolerate_mild_noise() {
+        let samples = synthetic_dataset(16, 20, &[0.05, 0.1], 3);
+        let acc = rule_accuracy(&samples);
+        assert!(acc >= 0.9, "rule accuracy {acc} under mild noise");
+    }
+
+    #[test]
+    fn rules_and_model_mostly_agree() {
+        let train = synthetic_dataset(16, 30, &[0.0, 0.05, 0.1], 1);
+        let model = NearestCentroid::train(&train);
+        let test = synthetic_dataset(16, 15, &[0.05], 99);
+        let a = agreement(&model, &test);
+        assert!(a >= 0.9, "agreement {a} too low");
+    }
+
+    #[test]
+    fn verdicts_carry_reasons() {
+        let m = generate(PatternClass::MasterWorker, 16, 1, 0.0);
+        let v = classify_matrix(&m);
+        assert!(v.reason.contains("row 0"));
+    }
+
+    #[test]
+    fn zero_matrix_falls_through_gracefully() {
+        let v = classify_matrix(&DenseMatrix::zero(8));
+        // Zero features: symmetric fallback path.
+        assert_eq!(v.class, PatternClass::Pipeline);
+    }
+}

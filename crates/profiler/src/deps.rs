@@ -1,0 +1,302 @@
+//! Full dependence taxonomy — the DiscoPoP substrate's view.
+//!
+//! §III-B: "DiscoPoP is a dependency profiler... It detects
+//! write-after-read (WAR), read-after-write (RAW) and read-after-read
+//! (RAR) dependencies among program's instructions." The communication
+//! paper needs only RAW ("we only need RAW dependency for extracting
+//! communication pattern", §IV-D3), but the substrate it extends sees all
+//! kinds. [`FullDetector`] provides that complete view with one
+//! communication matrix per dependence kind.
+//!
+//! WAR/RAR detection must *enumerate* the reader set of an address, which
+//! a Bloom filter cannot do — one reason the paper's communication-only
+//! extension can use approximate signatures while the full profiler
+//! cannot. The detector therefore uses exact sharded maps (reader sets as
+//! 128-bit masks), trading the bounded footprint for completeness.
+
+use std::collections::HashMap;
+
+use lc_trace::{AccessEvent, AccessKind, AccessSink};
+use parking_lot::Mutex;
+
+use crate::matrix::{CommMatrix, DenseMatrix};
+
+/// The four data-dependence kinds over a shared location.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Read-after-write: true communication (the paper's subject).
+    Raw,
+    /// Write-after-read: anti-dependence (the writer must wait for
+    /// readers; relevant to parallelization legality).
+    War,
+    /// Write-after-write: output dependence.
+    Waw,
+    /// Read-after-read: input "dependence" — no ordering constraint, but a
+    /// locality signal DiscoPoP records.
+    Rar,
+}
+
+impl DepKind {
+    /// All kinds, fixed order.
+    pub const ALL: [DepKind; 4] = [DepKind::Raw, DepKind::War, DepKind::Waw, DepKind::Rar];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DepKind::Raw => "RAW",
+            DepKind::War => "WAR",
+            DepKind::Waw => "WAW",
+            DepKind::Rar => "RAR",
+        }
+    }
+}
+
+/// Which kinds to track (RAR in particular is voluminous).
+#[derive(Clone, Copy, Debug)]
+pub struct DepConfig {
+    /// Track read-after-write.
+    pub raw: bool,
+    /// Track write-after-read.
+    pub war: bool,
+    /// Track write-after-write.
+    pub waw: bool,
+    /// Track read-after-read.
+    pub rar: bool,
+}
+
+impl DepConfig {
+    /// Everything on.
+    pub fn all() -> Self {
+        Self {
+            raw: true,
+            war: true,
+            waw: true,
+            rar: true,
+        }
+    }
+
+    /// The ordering-relevant kinds (RAW + WAR + WAW).
+    pub fn ordering_only() -> Self {
+        Self {
+            raw: true,
+            war: true,
+            waw: true,
+            rar: false,
+        }
+    }
+
+    fn enabled(&self, k: DepKind) -> bool {
+        match k {
+            DepKind::Raw => self.raw,
+            DepKind::War => self.war,
+            DepKind::Waw => self.waw,
+            DepKind::Rar => self.rar,
+        }
+    }
+}
+
+const SHARDS: usize = 64;
+
+#[derive(Clone, Copy, Default)]
+struct AddrState {
+    /// Last writer + 1 (0 = none).
+    writer: u32,
+    /// Readers since the last write (bitmask, tids < 128).
+    readers: u128,
+}
+
+/// Exact inter-thread dependence detector over all four kinds.
+pub struct FullDetector {
+    threads: usize,
+    config: DepConfig,
+    shards: Box<[Mutex<HashMap<u64, AddrState>>]>,
+    matrices: [CommMatrix; 4],
+}
+
+impl FullDetector {
+    /// New detector for `threads` threads tracking `config`'s kinds.
+    pub fn new(threads: usize, config: DepConfig) -> Self {
+        assert!(threads >= 1);
+        let shards = (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
+        Self {
+            threads,
+            config,
+            shards,
+            matrices: [
+                CommMatrix::new(threads),
+                CommMatrix::new(threads),
+                CommMatrix::new(threads),
+                CommMatrix::new(threads),
+            ],
+        }
+    }
+
+    #[inline]
+    fn shard(addr: u64) -> usize {
+        (addr.wrapping_mul(0xff51_afd7_ed55_8ccd) >> 56) as usize & (SHARDS - 1)
+    }
+
+    fn matrix_of(&self, k: DepKind) -> &CommMatrix {
+        match k {
+            DepKind::Raw => &self.matrices[0],
+            DepKind::War => &self.matrices[1],
+            DepKind::Waw => &self.matrices[2],
+            DepKind::Rar => &self.matrices[3],
+        }
+    }
+
+    #[inline]
+    fn record(&self, k: DepKind, src: u32, dst: u32, bytes: u64) {
+        if self.config.enabled(k) && src != dst {
+            self.matrix_of(k).add(src, dst, bytes);
+        }
+    }
+
+    /// Snapshot of one kind's matrix.
+    pub fn matrix(&self, k: DepKind) -> DenseMatrix {
+        self.matrix_of(k).snapshot()
+    }
+
+    /// Total dependence volume of one kind.
+    pub fn total(&self, k: DepKind) -> u64 {
+        self.matrix(k).total()
+    }
+
+    /// Thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl AccessSink for FullDetector {
+    fn on_access(&self, ev: &AccessEvent) {
+        debug_assert!(ev.tid < 128);
+        let mut shard = self.shards[Self::shard(ev.addr)].lock();
+        let st = shard.entry(ev.addr).or_default();
+        let bytes = ev.size as u64;
+        match ev.kind {
+            AccessKind::Read => {
+                let bit = 1u128 << ev.tid;
+                if st.readers & bit == 0 {
+                    // RAW from the last writer (first read per thread).
+                    if st.writer != 0 {
+                        self.record(DepKind::Raw, st.writer - 1, ev.tid, bytes);
+                    }
+                    // RAR from every earlier reader of this value.
+                    let mut rs = st.readers;
+                    while rs != 0 {
+                        let r = rs.trailing_zeros();
+                        self.record(DepKind::Rar, r, ev.tid, bytes);
+                        rs &= rs - 1;
+                    }
+                    st.readers |= bit;
+                }
+            }
+            AccessKind::Write => {
+                // WAW from the previous writer.
+                if st.writer != 0 {
+                    self.record(DepKind::Waw, st.writer - 1, ev.tid, bytes);
+                }
+                // WAR from every reader of the previous value.
+                let mut rs = st.readers;
+                while rs != 0 {
+                    let r = rs.trailing_zeros();
+                    self.record(DepKind::War, r, ev.tid, bytes);
+                    rs &= rs - 1;
+                }
+                st.writer = ev.tid + 1;
+                st.readers = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_trace::{FuncId, LoopId};
+
+    fn ev(tid: u32, addr: u64, kind: AccessKind) -> AccessEvent {
+        AccessEvent {
+            tid,
+            addr,
+            size: 8,
+            kind,
+            loop_id: LoopId::NONE,
+            parent_loop: LoopId::NONE,
+            func: FuncId::NONE,
+            site: 0,
+        }
+    }
+
+    use AccessKind::{Read, Write};
+
+    #[test]
+    fn detects_all_four_kinds() {
+        let d = FullDetector::new(4, DepConfig::all());
+        d.on_access(&ev(0, 0x10, Write)); // -
+        d.on_access(&ev(1, 0x10, Read)); // RAW 0->1
+        d.on_access(&ev(2, 0x10, Read)); // RAW 0->2, RAR 1->2
+        d.on_access(&ev(3, 0x10, Write)); // WAW 0->3, WAR 1->3, WAR 2->3
+        assert_eq!(d.total(DepKind::Raw), 16);
+        assert_eq!(d.matrix(DepKind::Raw).get(0, 1), 8);
+        assert_eq!(d.matrix(DepKind::Rar).get(1, 2), 8);
+        assert_eq!(d.matrix(DepKind::Waw).get(0, 3), 8);
+        assert_eq!(d.matrix(DepKind::War).get(1, 3), 8);
+        assert_eq!(d.matrix(DepKind::War).get(2, 3), 8);
+    }
+
+    #[test]
+    fn self_dependences_are_not_recorded() {
+        let d = FullDetector::new(2, DepConfig::all());
+        d.on_access(&ev(0, 0x10, Write));
+        d.on_access(&ev(0, 0x10, Read));
+        d.on_access(&ev(0, 0x10, Write));
+        assert_eq!(d.total(DepKind::Raw), 0);
+        assert_eq!(d.total(DepKind::War), 0);
+        assert_eq!(d.total(DepKind::Waw), 0);
+    }
+
+    #[test]
+    fn raw_matches_the_communication_detector() {
+        // The RAW plane of FullDetector must agree with the paper's
+        // RAW-only semantics.
+        let full = FullDetector::new(4, DepConfig::all());
+        let comm = crate::profiler::PerfectProfiler::perfect(crate::profiler::ProfilerConfig {
+            threads: 4,
+            track_nested: false,
+            phase_window: None,
+        });
+        let script = [
+            (0u32, 0x10u64, Write),
+            (1, 0x10, Read),
+            (1, 0x10, Read),
+            (2, 0x10, Write),
+            (1, 0x10, Read),
+            (3, 0x18, Read),
+            (0, 0x18, Write),
+            (3, 0x18, Read),
+        ];
+        for (tid, addr, kind) in script {
+            full.on_access(&ev(tid, addr, kind));
+            comm.on_access(&ev(tid, addr, kind));
+        }
+        assert_eq!(full.matrix(DepKind::Raw), comm.global_matrix());
+    }
+
+    #[test]
+    fn config_masks_kinds() {
+        let d = FullDetector::new(4, DepConfig::ordering_only());
+        d.on_access(&ev(0, 0x10, Read));
+        d.on_access(&ev(1, 0x10, Read)); // would be RAR
+        assert_eq!(d.total(DepKind::Rar), 0);
+        d.on_access(&ev(2, 0x10, Write)); // WAR 0->2, 1->2
+        assert_eq!(d.total(DepKind::War), 16);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        let names: Vec<&str> = DepKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["RAW", "WAR", "WAW", "RAR"]);
+    }
+}

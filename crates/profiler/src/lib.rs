@@ -1,0 +1,60 @@
+//! # lc-profiler — loop-level communication pattern profiler
+//!
+//! The paper's primary contribution (Mazaheri et al., ICPP 2015): an
+//! inter-thread RAW dependency profiler for shared-memory programs that
+//! produces a **nested, per-hotspot-loop communication matrix** in bounded
+//! memory.
+//!
+//! * [`raw`] — Algorithm 1 over the asymmetric signature memory.
+//! * [`profiler`] — [`CommProfiler`], the [`lc_trace::AccessSink`] that
+//!   application threads drive inline.
+//! * [`matrix`] — concurrent communication matrices and snapshot math.
+//! * [`nested`] — the loop-tree report of Figures 6–7 with the Σ-children
+//!   invariant.
+//! * [`thread_load`] — the Eq. 1 quantitative metric of Figure 8.
+//! * [`phases`] — dynamic-behaviour (phase) detection (§V-A4).
+//! * [`classify`] — §VI parallel-pattern classification.
+//! * [`mapping`] — §VI's application: communication-aware thread mapping.
+//! * [`deps`] — the full DiscoPoP dependence taxonomy (RAW/WAR/WAW/RAR).
+//! * [`energy`] — the §III DVFS motivation, quantified from phase reports.
+//! * [`viz`] — SVG heat maps / load charts (the figures' graphical form).
+//! * [`sampling`] / [`matrix_sparse`] — the paper's stated future work
+//!   (overhead-reducing access sampling, sparse matrices at high thread
+//!   counts), implemented as extensions.
+//! * [`overhead`] / [`report`] — measurement and rendering support for the
+//!   experiment harness.
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod deps;
+pub mod energy;
+pub mod mapping;
+pub mod matrix;
+pub mod matrix_sparse;
+pub mod nested;
+pub mod overhead;
+pub mod phases;
+pub mod profiler;
+pub mod raw;
+pub mod report;
+pub mod report_html;
+pub mod sampling;
+pub mod thread_load;
+pub mod viz;
+
+pub use deps::{DepConfig, DepKind, FullDetector};
+pub use energy::{estimate_dvfs_savings, EnergyEstimate, PowerModel};
+pub use mapping::{greedy_mapping, MachineTopology, ThreadMapping};
+pub use matrix::{CommMatrix, DenseMatrix};
+pub use matrix_sparse::SparseCommMatrix;
+pub use nested::{verify_sum_invariant, NestedNode, NestedReport};
+pub use phases::{detect_phases, Phase, PhaseAccumulator};
+pub use profiler::{
+    AsymmetricProfiler, CommProfiler, PerfectProfiler, ProfileReport, ProfilerConfig,
+};
+pub use raw::{AsymmetricDetector, Dependence, PerfectDetector, RawDetector};
+pub use sampling::{BurstSampler, StrideSampler};
+pub use thread_load::ThreadLoad;
+pub use report_html::html_report;
+pub use viz::{svg_heatmap, svg_thread_load};

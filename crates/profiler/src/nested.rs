@@ -1,0 +1,285 @@
+//! Nested communication patterns (Figures 6 and 7).
+//!
+//! The profiler attributes every dependence to its innermost loop. This
+//! module lifts those flat per-loop matrices into the loop *tree* recorded
+//! by the static analysis, computing for every node its **own** matrix and
+//! its **aggregate** (own + all descendants). §V-A4: "the final
+//! communication matrix can be obtained by summing all its child matrices
+//! together" — [`verify_sum_invariant`] checks exactly that, and
+//! [`NestedReport::hotspots`] ranks loops by communication volume the way the paper picks
+//! its hotspot loops.
+
+use std::collections::HashMap;
+
+use lc_trace::{LoopId, LoopTable};
+
+use crate::matrix::DenseMatrix;
+
+/// One node of the nested-pattern tree.
+#[derive(Clone, Debug)]
+pub struct NestedNode {
+    /// Loop UID ([`LoopId::NONE`] for the synthetic root holding top-level
+    /// accesses).
+    pub id: LoopId,
+    /// Loop label from the static analysis.
+    pub name: String,
+    /// Function the loop belongs to.
+    pub func: String,
+    /// Communication attributed directly to this loop (innermost).
+    pub own: DenseMatrix,
+    /// `own` plus the aggregate of every descendant.
+    pub aggregate: DenseMatrix,
+    /// Child loops.
+    pub children: Vec<NestedNode>,
+}
+
+impl NestedNode {
+    /// Depth-first iterator over the subtree (self first).
+    pub fn walk(&self) -> Vec<&NestedNode> {
+        let mut out = vec![self];
+        for c in &self.children {
+            out.extend(c.walk());
+        }
+        out
+    }
+}
+
+/// The full nested-pattern report of one run.
+#[derive(Clone, Debug)]
+pub struct NestedReport {
+    /// Thread count (matrix dimension).
+    pub threads: usize,
+    /// Root nodes (top-level loops, plus a `<toplevel>` node when accesses
+    /// occurred outside any loop).
+    pub roots: Vec<NestedNode>,
+}
+
+impl NestedReport {
+    /// Build the tree from the profiler's flat per-loop matrices and the
+    /// loop table.
+    pub fn build(
+        table: &LoopTable,
+        per_loop: &HashMap<LoopId, DenseMatrix>,
+        threads: usize,
+    ) -> Self {
+        fn build_node(
+            table: &LoopTable,
+            per_loop: &HashMap<LoopId, DenseMatrix>,
+            threads: usize,
+            id: LoopId,
+        ) -> NestedNode {
+            let own = per_loop
+                .get(&id)
+                .cloned()
+                .unwrap_or_else(|| DenseMatrix::zero(threads));
+            let children: Vec<NestedNode> = table
+                .children(id)
+                .into_iter()
+                .map(|c| build_node(table, per_loop, threads, c))
+                .collect();
+            let mut aggregate = own.clone();
+            for c in &children {
+                aggregate.accumulate(&c.aggregate);
+            }
+            let (name, func) = match table.info(id) {
+                Some(info) => (info.name.clone(), table.func_name(info.func)),
+                None => ("<toplevel>".to_string(), "<toplevel>".to_string()),
+            };
+            NestedNode {
+                id,
+                name,
+                func,
+                own,
+                aggregate,
+                children,
+            }
+        }
+
+        let mut roots: Vec<NestedNode> = table
+            .children(LoopId::NONE)
+            .into_iter()
+            .map(|c| build_node(table, per_loop, threads, c))
+            .collect();
+
+        // Accesses outside any loop land under LoopId::NONE.
+        if let Some(top) = per_loop.get(&LoopId::NONE) {
+            if !top.is_zero() {
+                roots.push(NestedNode {
+                    id: LoopId::NONE,
+                    name: "<toplevel>".to_string(),
+                    func: "<toplevel>".to_string(),
+                    own: top.clone(),
+                    aggregate: top.clone(),
+                    children: Vec::new(),
+                });
+            }
+        }
+
+        Self { threads, roots }
+    }
+
+    /// Sum of the root aggregates — must equal the global matrix.
+    pub fn total(&self) -> DenseMatrix {
+        let mut acc = DenseMatrix::zero(self.threads);
+        for r in &self.roots {
+            acc.accumulate(&r.aggregate);
+        }
+        acc
+    }
+
+    /// Every node, depth first.
+    pub fn all_nodes(&self) -> Vec<&NestedNode> {
+        self.roots.iter().flat_map(|r| r.walk()).collect()
+    }
+
+    /// Loops ranked by aggregate communication volume, descending — the
+    /// "hotspots" of the paper's title.
+    pub fn hotspots(&self) -> Vec<(&NestedNode, u64)> {
+        let mut v: Vec<(&NestedNode, u64)> = self
+            .all_nodes()
+            .into_iter()
+            .map(|n| (n, n.aggregate.total()))
+            .collect();
+        v.sort_by_key(|&(_, total)| std::cmp::Reverse(total));
+        v
+    }
+
+    /// Render the tree with per-node totals and heat maps for the `top_n`
+    /// hottest nodes — the textual analogue of Figures 6/7.
+    pub fn render(&self, top_n: usize) -> String {
+        fn walk(n: &NestedNode, depth: usize, out: &mut String) {
+            out.push_str(&format!(
+                "{:indent$}{} [{}]  own: {} B  aggregate: {} B\n",
+                "",
+                n.name,
+                n.func,
+                n.own.total(),
+                n.aggregate.total(),
+                indent = depth * 2
+            ));
+            for c in &n.children {
+                walk(c, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        for r in &self.roots {
+            walk(r, 0, &mut out);
+        }
+        out.push('\n');
+        for (node, total) in self.hotspots().into_iter().take(top_n) {
+            if total == 0 {
+                break;
+            }
+            out.push_str(&format!(
+                "--- hotspot `{}` ({} B) communication matrix ---\n{}",
+                node.name,
+                total,
+                node.aggregate.heatmap()
+            ));
+        }
+        out
+    }
+}
+
+/// Check the Σ-children invariant for every node: `aggregate == own +
+/// Σ child.aggregate`. Returns the violating loop ids (empty = holds).
+pub fn verify_sum_invariant(report: &NestedReport) -> Vec<LoopId> {
+    let mut bad = Vec::new();
+    for n in report.all_nodes() {
+        let mut expect = n.own.clone();
+        for c in &n.children {
+            expect.accumulate(&c.aggregate);
+        }
+        if expect != n.aggregate {
+            bad.push(n.id);
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with_tree() -> (LoopTable, LoopId, LoopId, LoopId) {
+        let t = LoopTable::new();
+        let f = t.register_func("lu");
+        let outer = t.register_loop("lu", LoopId::NONE, f);
+        let daxpy = t.register_loop("daxpy", outer, f);
+        let bmod = t.register_loop("bmod", outer, f);
+        (t, outer, daxpy, bmod)
+    }
+
+    fn m(t: usize, cells: &[(usize, usize, u64)]) -> DenseMatrix {
+        let mut m = DenseMatrix::zero(t);
+        for &(i, j, v) in cells {
+            m.set(i, j, v);
+        }
+        m
+    }
+
+    #[test]
+    fn aggregate_sums_children() {
+        let (table, outer, daxpy, bmod) = table_with_tree();
+        let mut per_loop = HashMap::new();
+        per_loop.insert(outer, m(4, &[(0, 1, 10)]));
+        per_loop.insert(daxpy, m(4, &[(1, 2, 20)]));
+        per_loop.insert(bmod, m(4, &[(2, 3, 30)]));
+        let rep = NestedReport::build(&table, &per_loop, 4);
+        assert_eq!(rep.roots.len(), 1);
+        let root = &rep.roots[0];
+        assert_eq!(root.own.total(), 10);
+        assert_eq!(root.aggregate.total(), 60);
+        assert_eq!(root.children.len(), 2);
+        assert!(verify_sum_invariant(&rep).is_empty());
+        assert_eq!(rep.total().total(), 60);
+    }
+
+    #[test]
+    fn toplevel_accesses_get_their_own_root() {
+        let (table, _, _, _) = table_with_tree();
+        let mut per_loop = HashMap::new();
+        per_loop.insert(LoopId::NONE, m(4, &[(0, 1, 5)]));
+        let rep = NestedReport::build(&table, &per_loop, 4);
+        // One real root (zero) + one synthetic toplevel root.
+        assert_eq!(rep.roots.len(), 2);
+        assert_eq!(rep.total().total(), 5);
+    }
+
+    #[test]
+    fn hotspots_are_ranked_descending() {
+        let (table, outer, daxpy, bmod) = table_with_tree();
+        let mut per_loop = HashMap::new();
+        per_loop.insert(daxpy, m(4, &[(1, 2, 100)]));
+        per_loop.insert(bmod, m(4, &[(2, 3, 7)]));
+        per_loop.insert(outer, m(4, &[(0, 1, 1)]));
+        let rep = NestedReport::build(&table, &per_loop, 4);
+        let hs = rep.hotspots();
+        // Root aggregate (108) beats daxpy (100) beats bmod (7).
+        assert_eq!(hs[0].0.name, "lu");
+        assert_eq!(hs[0].1, 108);
+        assert_eq!(hs[1].0.name, "daxpy");
+        assert_eq!(hs[2].0.name, "bmod");
+    }
+
+    #[test]
+    fn render_mentions_names_and_heatmaps() {
+        let (table, _, daxpy, _) = table_with_tree();
+        let mut per_loop = HashMap::new();
+        per_loop.insert(daxpy, m(4, &[(1, 2, 100)]));
+        let rep = NestedReport::build(&table, &per_loop, 4);
+        let s = rep.render(2);
+        assert!(s.contains("daxpy"));
+        assert!(s.contains("hotspot"));
+        assert!(s.contains("consumers"));
+    }
+
+    #[test]
+    fn empty_profile_builds_empty_tree() {
+        let table = LoopTable::new();
+        let rep = NestedReport::build(&table, &HashMap::new(), 4);
+        assert!(rep.roots.is_empty());
+        assert!(rep.total().is_zero());
+        assert!(verify_sum_invariant(&rep).is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Runtime-overhead measurement (Figure 4 support).
+//!
+//! The paper measures per-application slowdown as instrumented time over
+//! native time. Here "native" is the workload running with event delivery
+//! to a [`lc_trace::NoopSink`] (the honest baseline: event *generation*
+//! stays, analysis cost is what's measured) and "instrumented" is the same
+//! workload with the full profiler attached.
+
+use std::time::{Duration, Instant};
+
+/// Time a closure once.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Best-of-`reps` timing (minimum is the standard noise-robust estimator
+/// for short deterministic regions).
+pub fn time_best_of(reps: usize, mut f: impl FnMut()) -> Duration {
+    assert!(reps >= 1);
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let (_, d) = time_once(&mut f);
+        best = best.min(d);
+    }
+    best
+}
+
+/// A native-vs-instrumented measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct Slowdown {
+    /// Baseline duration.
+    pub native: Duration,
+    /// Instrumented duration.
+    pub instrumented: Duration,
+}
+
+impl Slowdown {
+    /// Measure both sides with `reps` repetitions each.
+    pub fn measure(reps: usize, mut native: impl FnMut(), mut instrumented: impl FnMut()) -> Self {
+        // Interleave one warm-up of each to equalize cache state.
+        native();
+        instrumented();
+        Self {
+            native: time_best_of(reps, &mut native),
+            instrumented: time_best_of(reps, &mut instrumented),
+        }
+    }
+
+    /// Slowdown factor (≥ 0; 1.0 = no overhead).
+    pub fn factor(&self) -> f64 {
+        let n = self.native.as_secs_f64();
+        if n == 0.0 {
+            return f64::INFINITY;
+        }
+        self.instrumented.as_secs_f64() / n
+    }
+}
+
+/// Geometric-mean-free average of slowdown factors, as the paper computes
+/// it: "225× runtime slowdown which has been computed by computing the
+/// average of the slowdown factors" (arithmetic mean).
+pub fn average_slowdown(factors: &[f64]) -> f64 {
+    if factors.is_empty() {
+        return 0.0;
+    }
+    factors.iter().sum::<f64>() / factors.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_once_returns_value_and_duration() {
+        let (v, d) = time_once(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn slowdown_factor_reflects_work_ratio() {
+        let s = Slowdown {
+            native: Duration::from_millis(10),
+            instrumented: Duration::from_millis(250),
+        };
+        assert!((s.factor() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measure_detects_heavier_side() {
+        let work = |n: u64| {
+            // black_box each step so the optimizer cannot close-form the loop.
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc = std::hint::black_box(acc.wrapping_mul(6364136223846793005).wrapping_add(i));
+            }
+            std::hint::black_box(acc);
+        };
+        let s = Slowdown::measure(3, || work(10_000), || work(400_000));
+        assert!(s.factor() > 2.0, "factor = {}", s.factor());
+    }
+
+    #[test]
+    fn average_is_arithmetic_mean() {
+        assert_eq!(average_slowdown(&[10.0, 20.0, 30.0]), 20.0);
+        assert_eq!(average_slowdown(&[]), 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Dynamic-behaviour (phase) detection.
+//!
+//! §V-A4: "applications may transition into different phases of computation
+//! at runtime... A useful mechanism should be able to detect changes
+//! dynamically and thereby notify the optimizer from these changes."
+//!
+//! The profiler optionally accumulates the communication matrix in windows
+//! of `W` dependencies; consecutive windows whose normalized matrices are
+//! close (small L1 distance) merge into one *phase*. The result is the
+//! per-stage pattern report the paper contrasts with whole-execution-only
+//! tools.
+
+use crate::matrix::DenseMatrix;
+
+/// Accumulates dependence windows during profiling.
+#[derive(Debug)]
+pub struct PhaseAccumulator {
+    window_deps: u64,
+    threads: usize,
+    current: DenseMatrix,
+    in_window: u64,
+    windows: Vec<DenseMatrix>,
+}
+
+impl PhaseAccumulator {
+    /// New accumulator snapshotting every `window_deps` dependencies.
+    pub fn new(threads: usize, window_deps: u64) -> Self {
+        assert!(window_deps > 0);
+        Self {
+            window_deps,
+            threads,
+            current: DenseMatrix::zero(threads),
+            in_window: 0,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Record one dependence.
+    pub fn add(&mut self, src: u32, dst: u32, bytes: u64) {
+        self.current.bump(src as usize, dst as usize, bytes);
+        self.in_window += 1;
+        if self.in_window >= self.window_deps {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.in_window > 0 {
+            let full = std::mem::replace(&mut self.current, DenseMatrix::zero(self.threads));
+            self.windows.push(full);
+            self.in_window = 0;
+        }
+    }
+
+    /// Close the open window and return all windows.
+    pub fn finish(mut self) -> Vec<DenseMatrix> {
+        self.flush();
+        self.windows
+    }
+}
+
+/// One detected phase: a run of consecutive windows with a stable pattern.
+#[derive(Clone, Debug)]
+pub struct Phase {
+    /// First window index (inclusive).
+    pub start_window: usize,
+    /// Last window index (inclusive).
+    pub end_window: usize,
+    /// Summed matrix over the phase.
+    pub matrix: DenseMatrix,
+}
+
+impl Phase {
+    /// Number of windows in the phase.
+    pub fn windows(&self) -> usize {
+        self.end_window - self.start_window + 1
+    }
+}
+
+/// Merge consecutive windows into phases: a new phase starts whenever the
+/// normalized L1 distance between a window and the previous window exceeds
+/// `threshold` (∈ (0, 2]; the paper gives no number — 0.5 separates
+/// clearly-different topologies while tolerating volume noise).
+///
+/// ```
+/// use lc_profiler::{detect_phases, DenseMatrix};
+///
+/// let mut pipeline = DenseMatrix::zero(4);
+/// pipeline.set(0, 1, 100);
+/// let mut gather = DenseMatrix::zero(4);
+/// gather.set(1, 0, 50);
+/// gather.set(2, 0, 50);
+/// gather.set(3, 0, 50);
+///
+/// let windows = vec![pipeline.clone(), pipeline, gather.clone(), gather];
+/// let phases = detect_phases(&windows, 0.5);
+/// assert_eq!(phases.len(), 2);      // topology change detected
+/// assert_eq!(phases[0].windows(), 2);
+/// ```
+pub fn detect_phases(windows: &[DenseMatrix], threshold: f64) -> Vec<Phase> {
+    assert!(threshold > 0.0);
+    let mut phases: Vec<Phase> = Vec::new();
+    for (i, w) in windows.iter().enumerate() {
+        match phases.last_mut() {
+            Some(p) if windows[i - 1].l1_distance(w) <= threshold => {
+                p.end_window = i;
+                p.matrix.accumulate(w);
+            }
+            _ => phases.push(Phase {
+                start_window: i,
+                end_window: i,
+                matrix: w.clone(),
+            }),
+        }
+    }
+    phases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline_window(t: usize, scale: u64) -> DenseMatrix {
+        let mut m = DenseMatrix::zero(t);
+        for i in 0..t - 1 {
+            m.set(i, i + 1, scale);
+        }
+        m
+    }
+
+    fn alltoall_window(t: usize, scale: u64) -> DenseMatrix {
+        let mut m = DenseMatrix::zero(t);
+        for i in 0..t {
+            for j in 0..t {
+                if i != j {
+                    m.set(i, j, scale);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn accumulator_windows_by_dep_count() {
+        let mut acc = PhaseAccumulator::new(4, 3);
+        for _ in 0..7 {
+            acc.add(0, 1, 8);
+        }
+        let ws = acc.finish();
+        assert_eq!(ws.len(), 3); // 3 + 3 + 1
+        assert_eq!(ws[0].total(), 24);
+        assert_eq!(ws[2].total(), 8);
+    }
+
+    #[test]
+    fn empty_accumulator_finishes_empty() {
+        let acc = PhaseAccumulator::new(4, 10);
+        assert!(acc.finish().is_empty());
+    }
+
+    #[test]
+    fn stable_pattern_is_one_phase() {
+        let windows: Vec<_> = (0..5).map(|_| pipeline_window(8, 100)).collect();
+        let phases = detect_phases(&windows, 0.5);
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].windows(), 5);
+        assert_eq!(phases[0].matrix.total(), 5 * 7 * 100);
+    }
+
+    #[test]
+    fn pattern_change_splits_phases() {
+        let mut windows = vec![pipeline_window(8, 100); 3];
+        windows.extend(vec![alltoall_window(8, 10); 3]);
+        windows.extend(vec![pipeline_window(8, 50); 2]);
+        let phases = detect_phases(&windows, 0.5);
+        assert_eq!(phases.len(), 3);
+        assert_eq!(phases[0].windows(), 3);
+        assert_eq!(phases[1].windows(), 3);
+        assert_eq!(phases[2].windows(), 2);
+    }
+
+    #[test]
+    fn volume_scaling_does_not_split() {
+        // Same topology at different volume: normalized distance is 0.
+        let windows = vec![pipeline_window(8, 100), pipeline_window(8, 10_000)];
+        assert_eq!(detect_phases(&windows, 0.5).len(), 1);
+    }
+}

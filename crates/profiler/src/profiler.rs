@@ -1,0 +1,365 @@
+//! The communication-pattern profiler: Algorithm 1 wired to the matrices.
+//!
+//! [`CommProfiler`] is an [`AccessSink`]: application threads run the
+//! analysis inline in `on_access`, exactly like the paper's design ("we use
+//! the same threads in the program... without any need to any extra
+//! threads", §IV-D3). Each detected RAW dependence is accumulated into
+//!
+//! * the **global** communication matrix,
+//! * the matrix of the access's **innermost loop** (the multi-layer /
+//!   nested structure of §IV-B and Figures 6–7), and
+//! * optionally a **phase window** (§V-A4).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lc_sigmem::{ReaderSet, SignatureConfig, WriterMap};
+use lc_trace::{AccessEvent, AccessSink, LoopId};
+use parking_lot::{Mutex, RwLock};
+
+use crate::matrix::{CommMatrix, DenseMatrix};
+use crate::phases::{PhaseAccumulator, Phase, detect_phases};
+use crate::raw::{AsymmetricDetector, PerfectDetector, RawDetector};
+
+/// Tunables for one profiling run.
+#[derive(Clone, Copy, Debug)]
+pub struct ProfilerConfig {
+    /// Number of profiled threads (matrix dimension).
+    pub threads: usize,
+    /// Attribute dependencies to per-loop matrices (Figures 6–7). Costs one
+    /// hash lookup per *dependence* (not per access).
+    pub track_nested: bool,
+    /// When `Some(w)`, snapshot the matrix every `w` dependencies for phase
+    /// detection (§V-A4).
+    pub phase_window: Option<u64>,
+}
+
+impl ProfilerConfig {
+    /// Nested tracking on, phases off — the Figures 6–8 configuration.
+    pub fn nested(threads: usize) -> Self {
+        Self {
+            threads,
+            track_nested: true,
+            phase_window: None,
+        }
+    }
+}
+
+/// The profiler, generic over the signature implementation.
+pub struct CommProfiler<R: ReaderSet, W: WriterMap> {
+    detector: RawDetector<R, W>,
+    config: ProfilerConfig,
+    global: CommMatrix,
+    nested: RwLock<HashMap<LoopId, Arc<CommMatrix>>>,
+    accesses: AtomicU64,
+    deps: AtomicU64,
+    phases: Option<Mutex<PhaseAccumulator>>,
+}
+
+/// The paper's profiler: approximate bounded-memory signatures.
+pub type AsymmetricProfiler =
+    CommProfiler<lc_sigmem::ReadSignature, lc_sigmem::WriteSignature>;
+
+/// The exact baseline profiler (perfect signature, §V-A3).
+pub type PerfectProfiler =
+    CommProfiler<lc_sigmem::PerfectReaderSet, lc_sigmem::PerfectWriterMap>;
+
+impl AsymmetricProfiler {
+    /// Build the signature-memory profiler.
+    pub fn asymmetric(sig: SignatureConfig, config: ProfilerConfig) -> Self {
+        Self::from_detector(AsymmetricDetector::asymmetric(sig), config)
+    }
+
+    /// Live signature-health diagnostics: occupancy, estimated footprint
+    /// and aliasing risk (was `n_slots` adequate for this program?).
+    pub fn signature_health(&self) -> lc_sigmem::SignatureHealth {
+        lc_sigmem::SignatureHealth::inspect(
+            self.detector().read_sig(),
+            self.detector().write_sig(),
+        )
+    }
+}
+
+impl PerfectProfiler {
+    /// Build the collision-free baseline profiler.
+    pub fn perfect(config: ProfilerConfig) -> Self {
+        Self::from_detector(PerfectDetector::perfect(), config)
+    }
+}
+
+impl<R: ReaderSet, W: WriterMap> CommProfiler<R, W> {
+    /// Build from an explicit detector.
+    pub fn from_detector(detector: RawDetector<R, W>, config: ProfilerConfig) -> Self {
+        assert!(config.threads >= 1);
+        let phases = config
+            .phase_window
+            .map(|w| Mutex::new(PhaseAccumulator::new(config.threads, w)));
+        Self {
+            detector,
+            config,
+            global: CommMatrix::new(config.threads),
+            nested: RwLock::new(HashMap::new()),
+            accesses: AtomicU64::new(0),
+            deps: AtomicU64::new(0),
+            phases,
+        }
+    }
+
+    fn loop_matrix(&self, id: LoopId) -> Arc<CommMatrix> {
+        if let Some(m) = self.nested.read().get(&id) {
+            return Arc::clone(m);
+        }
+        let mut w = self.nested.write();
+        Arc::clone(
+            w.entry(id)
+                .or_insert_with(|| Arc::new(CommMatrix::new(self.config.threads))),
+        )
+    }
+
+    /// Number of instrumented accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses.load(Ordering::Relaxed)
+    }
+
+    /// Number of RAW dependencies recorded.
+    pub fn dependencies(&self) -> u64 {
+        self.deps.load(Ordering::Relaxed)
+    }
+
+    /// Live snapshot of the global communication matrix.
+    pub fn global_matrix(&self) -> DenseMatrix {
+        self.global.snapshot()
+    }
+
+    /// Live snapshot of one loop's matrix (zero matrix if never touched).
+    pub fn loop_matrix_snapshot(&self, id: LoopId) -> DenseMatrix {
+        self.nested
+            .read()
+            .get(&id)
+            .map(|m| m.snapshot())
+            .unwrap_or_else(|| DenseMatrix::zero(self.config.threads))
+    }
+
+    /// Current profiler heap footprint: signatures + matrices. The
+    /// signatures dominate and are input-size independent — the Figure 5
+    /// property.
+    pub fn memory_bytes(&self) -> usize {
+        let matrices: usize = self
+            .nested
+            .read()
+            .values()
+            .map(|m| m.memory_bytes())
+            .sum::<usize>()
+            + self.global.memory_bytes();
+        self.detector.memory_bytes() + matrices
+    }
+
+    /// The underlying detector (diagnostics).
+    pub fn detector(&self) -> &RawDetector<R, W> {
+        &self.detector
+    }
+
+    /// Finish profiling and produce the full report.
+    pub fn report(&self) -> ProfileReport {
+        let per_loop = self
+            .nested
+            .read()
+            .iter()
+            .map(|(id, m)| (*id, m.snapshot()))
+            .collect();
+        let phases = self.phases.as_ref().map(|p| {
+            // Clone-out: accumulate into a fresh accumulator snapshot by
+            // draining windows through detect on the collected windows.
+            let acc = std::mem::replace(
+                &mut *p.lock(),
+                PhaseAccumulator::new(self.config.threads, self.config.phase_window.unwrap()),
+            );
+            acc.finish()
+        });
+        ProfileReport {
+            threads: self.config.threads,
+            global: self.global.snapshot(),
+            per_loop,
+            accesses: self.accesses(),
+            dependencies: self.dependencies(),
+            memory_bytes: self.memory_bytes(),
+            phase_windows: phases,
+        }
+    }
+}
+
+impl<R: ReaderSet, W: WriterMap> AccessSink for CommProfiler<R, W> {
+    #[inline]
+    fn on_access(&self, ev: &AccessEvent) {
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+        if let Some(dep) = self
+            .detector
+            .on_access(ev.tid, ev.addr, ev.size, ev.kind)
+        {
+            self.deps.fetch_add(1, Ordering::Relaxed);
+            self.global.add(dep.src, dep.dst, dep.bytes);
+            if self.config.track_nested {
+                self.loop_matrix(ev.loop_id).add(dep.src, dep.dst, dep.bytes);
+            }
+            if let Some(p) = &self.phases {
+                p.lock().add(dep.src, dep.dst, dep.bytes);
+            }
+        }
+    }
+}
+
+/// Everything one profiling run produced.
+#[derive(Clone, Debug)]
+pub struct ProfileReport {
+    /// Matrix dimension.
+    pub threads: usize,
+    /// Whole-program communication matrix.
+    pub global: DenseMatrix,
+    /// Per-loop matrices (innermost attribution), keyed by loop UID.
+    pub per_loop: HashMap<LoopId, DenseMatrix>,
+    /// Instrumented accesses observed.
+    pub accesses: u64,
+    /// RAW dependencies recorded.
+    pub dependencies: u64,
+    /// Profiler heap footprint at report time.
+    pub memory_bytes: usize,
+    /// Phase windows, when phase tracking was enabled.
+    pub phase_windows: Option<Vec<DenseMatrix>>,
+}
+
+impl ProfileReport {
+    /// Run phase detection on the recorded windows (None if phases were
+    /// not tracked).
+    pub fn phases(&self, threshold: f64) -> Option<Vec<Phase>> {
+        self.phase_windows
+            .as_ref()
+            .map(|w| detect_phases(w, threshold))
+    }
+
+    /// Sum of all per-loop matrices — for the Σ-children invariant check
+    /// against `global` (accesses outside any loop are attributed to
+    /// `LoopId::NONE`, so the sum over *all* keys equals the global).
+    pub fn per_loop_sum(&self) -> DenseMatrix {
+        let mut acc = DenseMatrix::zero(self.threads);
+        for m in self.per_loop.values() {
+            acc.accumulate(m);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_trace::{AccessKind, FuncId};
+
+    fn ev(tid: u32, addr: u64, kind: AccessKind, loop_id: LoopId) -> AccessEvent {
+        AccessEvent {
+            tid,
+            addr,
+            size: 8,
+            kind,
+            loop_id,
+            parent_loop: LoopId::NONE,
+            func: FuncId::NONE,
+                site: 0,
+        }
+    }
+
+    #[test]
+    fn profiler_builds_global_matrix() {
+        let p = PerfectProfiler::perfect(ProfilerConfig::nested(4));
+        p.on_access(&ev(0, 0x10, AccessKind::Write, LoopId(1)));
+        p.on_access(&ev(1, 0x10, AccessKind::Read, LoopId(1)));
+        p.on_access(&ev(2, 0x10, AccessKind::Read, LoopId(2)));
+        let r = p.report();
+        assert_eq!(r.accesses, 3);
+        assert_eq!(r.dependencies, 2);
+        assert_eq!(r.global.get(0, 1), 8);
+        assert_eq!(r.global.get(0, 2), 8);
+        assert_eq!(r.global.total(), 16);
+    }
+
+    #[test]
+    fn nested_attribution_is_per_loop() {
+        let p = PerfectProfiler::perfect(ProfilerConfig::nested(4));
+        p.on_access(&ev(0, 0x10, AccessKind::Write, LoopId(1)));
+        p.on_access(&ev(1, 0x10, AccessKind::Read, LoopId(1)));
+        p.on_access(&ev(0, 0x18, AccessKind::Write, LoopId(2)));
+        p.on_access(&ev(3, 0x18, AccessKind::Read, LoopId(2)));
+        let r = p.report();
+        assert_eq!(r.per_loop[&LoopId(1)].get(0, 1), 8);
+        assert_eq!(r.per_loop[&LoopId(2)].get(0, 3), 8);
+        // Σ per-loop == global.
+        assert_eq!(r.per_loop_sum(), r.global);
+    }
+
+    #[test]
+    fn nested_tracking_can_be_disabled() {
+        let p = PerfectProfiler::perfect(ProfilerConfig {
+            threads: 2,
+            track_nested: false,
+            phase_window: None,
+        });
+        p.on_access(&ev(0, 0x10, AccessKind::Write, LoopId(1)));
+        p.on_access(&ev(1, 0x10, AccessKind::Read, LoopId(1)));
+        let r = p.report();
+        assert!(r.per_loop.is_empty());
+        assert_eq!(r.global.total(), 8);
+    }
+
+    #[test]
+    fn phase_windows_are_recorded() {
+        let p = PerfectProfiler::perfect(ProfilerConfig {
+            threads: 2,
+            track_nested: false,
+            phase_window: Some(2),
+        });
+        for i in 0..5u64 {
+            p.on_access(&ev(0, 0x100 + i * 8, AccessKind::Write, LoopId::NONE));
+            p.on_access(&ev(1, 0x100 + i * 8, AccessKind::Read, LoopId::NONE));
+        }
+        let r = p.report();
+        let windows = r.phase_windows.as_ref().unwrap();
+        assert_eq!(windows.len(), 3); // 2 + 2 + 1 deps
+        assert_eq!(r.phases(0.5).unwrap().len(), 1); // same pattern: 1 phase
+    }
+
+    #[test]
+    fn profiler_is_reusable_from_many_threads() {
+        let p = Arc::new(PerfectProfiler::perfect(ProfilerConfig::nested(8)));
+        std::thread::scope(|s| {
+            for tid in 1..8u32 {
+                let p = Arc::clone(&p);
+                s.spawn(move || {
+                    // Thread 0 wrote these addresses up front... simulate by
+                    // each reader thread first writing its own then reading
+                    // a shared one written by tid-1 pattern.
+                    p.on_access(&ev(tid, 0x1000 + tid as u64 * 8, AccessKind::Write, LoopId(1)));
+                });
+            }
+        });
+        // Now single "reader" thread reads everything.
+        for tid in 1..8u32 {
+            p.on_access(&ev(0, 0x1000 + tid as u64 * 8, AccessKind::Read, LoopId(1)));
+        }
+        let r = p.report();
+        assert_eq!(r.dependencies, 7);
+        let loads = r.global.col_sums();
+        assert_eq!(loads[0], 7 * 8); // thread 0 consumed from everyone
+    }
+
+    #[test]
+    fn memory_bytes_reports_signatures_plus_matrices() {
+        let p = AsymmetricProfiler::asymmetric(
+            SignatureConfig::paper_default(1 << 10, 4),
+            ProfilerConfig::nested(4),
+        );
+        let m = p.memory_bytes();
+        assert!(m >= (1 << 10) * 4); // at least the write signature
+        p.on_access(&ev(0, 0x10, AccessKind::Write, LoopId(1)));
+        p.on_access(&ev(1, 0x10, AccessKind::Read, LoopId(1)));
+        assert!(p.memory_bytes() > m); // a loop matrix + a bloom appeared
+    }
+}

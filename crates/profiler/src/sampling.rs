@@ -1,0 +1,269 @@
+//! Access sampling — the paper's stated future work.
+//!
+//! §VII: "In the future we plan to apply sampling technique to reduce the
+//! overhead of instrumentation." This module implements two standard
+//! sampling disciplines as transparent [`AccessSink`] wrappers:
+//!
+//! * [`StrideSampler`] — forward every k-th access per thread. Cheap and
+//!   uniform, but systematically misses short-lived reuse pairs.
+//! * [`BurstSampler`] — alternate per-thread bursts of `on_len` forwarded
+//!   accesses with `off_len` dropped ones (the classic bursty-sampling
+//!   design of dependence profilers). Preserves short-range write→read
+//!   pairs inside a burst, which is exactly what RAW detection needs.
+//!
+//! Both track the sampling ratio so reported dependence volumes can be
+//! scaled back up ([`StrideSampler::inflation`]); the `ablation_sampling`
+//! bench quantifies the speed/accuracy trade-off.
+//!
+//! Counters are per-instance and per-thread (`CachePadded`, indexed by the
+//! dense tid) so samplers neither interfere with each other nor bounce
+//! cache lines between application threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::utils::CachePadded;
+use lc_trace::{AccessEvent, AccessSink};
+
+/// Maximum dense thread id the per-thread counters support.
+const MAX_TIDS: usize = 256;
+
+struct PerThreadCounters {
+    counts: Box<[CachePadded<AtomicU64>]>,
+    forwarded: AtomicU64,
+    seen: AtomicU64,
+}
+
+impl PerThreadCounters {
+    fn new() -> Self {
+        Self {
+            counts: (0..MAX_TIDS)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            forwarded: AtomicU64::new(0),
+            seen: AtomicU64::new(0),
+        }
+    }
+
+    /// Bump this thread's private counter; returns its new value.
+    #[inline]
+    fn tick(&self, tid: u32) -> u64 {
+        debug_assert!((tid as usize) < MAX_TIDS, "tid beyond sampler capacity");
+        self.seen.fetch_add(1, Ordering::Relaxed);
+        self.counts[tid as usize % MAX_TIDS].fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn inflation(&self) -> f64 {
+        let f = self.forwarded.load(Ordering::Relaxed);
+        if f == 0 {
+            return 1.0;
+        }
+        self.seen.load(Ordering::Relaxed) as f64 / f as f64
+    }
+}
+
+/// Forward every `k`-th access (per profiled thread).
+pub struct StrideSampler<S> {
+    inner: S,
+    k: u64,
+    ctr: PerThreadCounters,
+}
+
+impl<S: AccessSink> StrideSampler<S> {
+    /// Wrap `inner`, keeping one access in `k`.
+    pub fn new(inner: S, k: u64) -> Self {
+        assert!(k >= 1);
+        Self {
+            inner,
+            k,
+            ctr: PerThreadCounters::new(),
+        }
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Accesses observed (before sampling).
+    pub fn seen(&self) -> u64 {
+        self.ctr.seen.load(Ordering::Relaxed)
+    }
+
+    /// Accesses forwarded to the inner sink.
+    pub fn forwarded(&self) -> u64 {
+        self.ctr.forwarded.load(Ordering::Relaxed)
+    }
+
+    /// Volume scale-back factor: observed / forwarded.
+    pub fn inflation(&self) -> f64 {
+        self.ctr.inflation()
+    }
+}
+
+impl<S: AccessSink> AccessSink for StrideSampler<S> {
+    #[inline]
+    fn on_access(&self, ev: &AccessEvent) {
+        if self.ctr.tick(ev.tid) % self.k == 0 {
+            self.ctr.forwarded.fetch_add(1, Ordering::Relaxed);
+            self.inner.on_access(ev);
+        }
+    }
+}
+
+/// Alternate forwarded bursts with dropped gaps (per profiled thread).
+pub struct BurstSampler<S> {
+    inner: S,
+    on_len: u64,
+    period: u64,
+    ctr: PerThreadCounters,
+}
+
+impl<S: AccessSink> BurstSampler<S> {
+    /// Wrap `inner`: forward `on_len` consecutive accesses, then drop
+    /// `off_len`, repeating.
+    pub fn new(inner: S, on_len: u64, off_len: u64) -> Self {
+        assert!(on_len >= 1);
+        Self {
+            inner,
+            on_len,
+            period: on_len + off_len,
+            ctr: PerThreadCounters::new(),
+        }
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Accesses observed (before sampling).
+    pub fn seen(&self) -> u64 {
+        self.ctr.seen.load(Ordering::Relaxed)
+    }
+
+    /// Accesses forwarded to the inner sink.
+    pub fn forwarded(&self) -> u64 {
+        self.ctr.forwarded.load(Ordering::Relaxed)
+    }
+
+    /// Volume scale-back factor: observed / forwarded.
+    pub fn inflation(&self) -> f64 {
+        self.ctr.inflation()
+    }
+}
+
+impl<S: AccessSink> AccessSink for BurstSampler<S> {
+    #[inline]
+    fn on_access(&self, ev: &AccessEvent) {
+        if (self.ctr.tick(ev.tid) - 1) % self.period < self.on_len {
+            self.ctr.forwarded.fetch_add(1, Ordering::Relaxed);
+            self.inner.on_access(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_trace::{AccessKind, CountingSink, FuncId, LoopId};
+
+    fn ev(addr: u64) -> AccessEvent {
+        AccessEvent {
+            tid: 0,
+            addr,
+            size: 8,
+            kind: AccessKind::Read,
+            loop_id: LoopId::NONE,
+            parent_loop: LoopId::NONE,
+            func: FuncId::NONE,
+            site: 0,
+        }
+    }
+
+    #[test]
+    fn stride_keeps_one_in_k() {
+        let s = StrideSampler::new(CountingSink::new(), 4);
+        for i in 0..1000 {
+            s.on_access(&ev(i));
+        }
+        assert_eq!(s.seen(), 1000);
+        assert_eq!(s.forwarded(), 250);
+        assert_eq!(s.inner().total(), 250);
+        assert!((s.inflation() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stride_one_is_transparent() {
+        let s = StrideSampler::new(CountingSink::new(), 1);
+        for i in 0..100 {
+            s.on_access(&ev(i));
+        }
+        assert_eq!(s.forwarded(), 100);
+        assert_eq!(s.inflation(), 1.0);
+    }
+
+    #[test]
+    fn burst_forwards_on_fraction() {
+        let s = BurstSampler::new(CountingSink::new(), 100, 300);
+        for i in 0..4000 {
+            s.on_access(&ev(i));
+        }
+        assert_eq!(s.forwarded(), 1000); // 25% duty cycle
+        assert!((s.inflation() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burst_preserves_consecutive_runs() {
+        // Within one burst, consecutive accesses all pass — the property
+        // RAW pairs need.
+        let s = BurstSampler::new(
+            crate::profiler::PerfectProfiler::perfect(crate::profiler::ProfilerConfig {
+                threads: 2,
+                track_nested: false,
+                phase_window: None,
+            }),
+            64,
+            64,
+        );
+        let mut w = ev(0x10);
+        w.kind = AccessKind::Write;
+        w.tid = 0;
+        let mut r = ev(0x10);
+        r.tid = 1;
+        s.on_access(&w);
+        s.on_access(&r);
+        assert_eq!(s.inner().dependencies(), 1);
+    }
+
+    #[test]
+    fn counters_are_per_thread() {
+        let s = std::sync::Arc::new(StrideSampler::new(CountingSink::new(), 2));
+        std::thread::scope(|scope| {
+            for tid in 0..4u32 {
+                let s = std::sync::Arc::clone(&s);
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        let mut e = ev(i);
+                        e.tid = tid;
+                        s.on_access(&e);
+                    }
+                });
+            }
+        });
+        // Each thread forwards exactly 50 of its 100 — no cross-thread
+        // phase drift possible with private counters.
+        assert_eq!(s.forwarded(), 200);
+        assert_eq!(s.seen(), 400);
+    }
+
+    #[test]
+    fn independent_samplers_do_not_interfere() {
+        let a = StrideSampler::new(CountingSink::new(), 2);
+        let b = StrideSampler::new(CountingSink::new(), 2);
+        a.on_access(&ev(1)); // a: count 1 — dropped
+        b.on_access(&ev(1)); // b: count 1 — dropped (own counter!)
+        a.on_access(&ev(2)); // a: count 2 — forwarded
+        assert_eq!(a.forwarded(), 1);
+        assert_eq!(b.forwarded(), 0);
+    }
+}

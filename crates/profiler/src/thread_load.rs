@@ -1,0 +1,169 @@
+//! The quantitative thread-load metric (Eq. 1, Figure 8).
+//!
+//! §IV-E: "We can transform communication matrices into a simple vector to
+//! quantitatively express the overhead of communication on each thread...
+//! The numerator denotes total bytes of communication for thread_i which
+//! can be computed by summing all values on that thread's row in
+//! communication matrix."
+//!
+//! ```text
+//! threadLoad_i = sum(dataCommunicationInBytes_i) / threads_count
+//! ```
+
+use crate::matrix::DenseMatrix;
+
+/// Per-thread communication load of one code region.
+///
+/// ```
+/// use lc_profiler::{DenseMatrix, ThreadLoad};
+///
+/// let mut m = DenseMatrix::zero(4);
+/// m.set(0, 1, 400); // thread 0 produced 400 B for thread 1
+/// let load = ThreadLoad::from_matrix(&m);
+/// assert_eq!(load.loads, vec![100.0, 0.0, 0.0, 0.0]); // Eq. 1: row / t
+/// assert_eq!(load.active_threads(0.05), 1);
+/// assert!(load.imbalance() > 3.9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ThreadLoad {
+    /// `threadLoad_i` per Eq. 1 (producer rows / thread count).
+    pub loads: Vec<f64>,
+    /// Consumer-side variant (column sums / thread count), useful when a
+    /// region's imbalance is on the reading side.
+    pub consumer_loads: Vec<f64>,
+}
+
+impl ThreadLoad {
+    /// Compute Eq. 1 from a communication matrix.
+    pub fn from_matrix(m: &DenseMatrix) -> Self {
+        let t = m.threads() as f64;
+        Self {
+            loads: m.row_sums().iter().map(|&s| s as f64 / t).collect(),
+            consumer_loads: m.col_sums().iter().map(|&s| s as f64 / t).collect(),
+        }
+    }
+
+    /// Number of threads.
+    pub fn threads(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Mean producer load.
+    pub fn mean(&self) -> f64 {
+        self.loads.iter().sum::<f64>() / self.loads.len() as f64
+    }
+
+    /// Imbalance factor `max/mean` (1.0 = perfectly even; Fig. 8c's
+    /// radiosity hotspot ≈ 1, Fig. 8a's radix hotspot ≫ 1). Returns 1.0
+    /// for an all-zero region.
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            return 1.0;
+        }
+        self.loads.iter().cloned().fold(0.0_f64, f64::max) / mean
+    }
+
+    /// Number of threads carrying non-negligible load (> `frac` of the
+    /// maximum). Fig. 8a shows "half of threads are accessing the memory in
+    /// the correspondent loop" — this is that count.
+    pub fn active_threads(&self, frac: f64) -> usize {
+        let max = self.loads.iter().cloned().fold(0.0_f64, f64::max);
+        if max == 0.0 {
+            return 0;
+        }
+        self.loads.iter().filter(|&&l| l > max * frac).count()
+    }
+
+    /// Coefficient of variation of the loads (0 = perfectly even).
+    pub fn cv(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .loads
+            .iter()
+            .map(|l| (l - mean) * (l - mean))
+            .sum::<f64>()
+            / self.loads.len() as f64;
+        var.sqrt() / mean
+    }
+
+    /// ASCII bar chart of per-thread loads (Figure 8 style).
+    pub fn render(&self) -> String {
+        let max = self.loads.iter().cloned().fold(0.0_f64, f64::max);
+        let mut out = String::new();
+        for (i, &l) in self.loads.iter().enumerate() {
+            let width = if max > 0.0 {
+                ((l / max) * 50.0).round() as usize
+            } else {
+                0
+            };
+            out.push_str(&format!("T{i:<3} |{:<50}| {l:.1} B\n", "#".repeat(width)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix_half_loaded(t: usize) -> DenseMatrix {
+        // Threads 0..t/2 each produce 100 bytes; the rest are idle.
+        let mut m = DenseMatrix::zero(t);
+        for i in 0..t / 2 {
+            m.set(i, (i + 1) % t, 100);
+        }
+        m
+    }
+
+    #[test]
+    fn eq1_matches_hand_computation() {
+        let mut m = DenseMatrix::zero(4);
+        m.set(0, 1, 40);
+        m.set(0, 2, 40);
+        m.set(3, 0, 20);
+        let tl = ThreadLoad::from_matrix(&m);
+        assert_eq!(tl.loads, vec![20.0, 0.0, 0.0, 5.0]); // row sums / 4
+        assert_eq!(tl.consumer_loads, vec![5.0, 10.0, 10.0, 0.0]);
+        assert_eq!(tl.threads(), 4);
+    }
+
+    #[test]
+    fn even_load_has_imbalance_one() {
+        let mut m = DenseMatrix::zero(8);
+        for i in 0..8 {
+            m.set(i, (i + 1) % 8, 64);
+        }
+        let tl = ThreadLoad::from_matrix(&m);
+        assert!((tl.imbalance() - 1.0).abs() < 1e-12);
+        assert!(tl.cv() < 1e-12);
+        assert_eq!(tl.active_threads(0.05), 8);
+    }
+
+    #[test]
+    fn half_loaded_region_detected() {
+        let tl = ThreadLoad::from_matrix(&matrix_half_loaded(16));
+        assert_eq!(tl.active_threads(0.05), 8);
+        assert!(tl.imbalance() > 1.9);
+        assert!(tl.cv() > 0.5);
+    }
+
+    #[test]
+    fn zero_matrix_degenerates_gracefully() {
+        let tl = ThreadLoad::from_matrix(&DenseMatrix::zero(4));
+        assert_eq!(tl.imbalance(), 1.0);
+        assert_eq!(tl.active_threads(0.05), 0);
+        assert_eq!(tl.cv(), 0.0);
+    }
+
+    #[test]
+    fn render_emits_one_bar_per_thread() {
+        let tl = ThreadLoad::from_matrix(&matrix_half_loaded(4));
+        let s = tl.render();
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains("T0"));
+    }
+}

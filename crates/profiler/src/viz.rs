@@ -1,0 +1,164 @@
+//! SVG rendering of communication matrices and thread-load charts — the
+//! graphical form of the paper's Figures 6–8 for reports and READMEs.
+//!
+//! Self-contained SVG strings (no drawing dependency): a log-scaled
+//! sequential color ramp for matrix heat maps and horizontal bars for
+//! Eq. 1 thread loads.
+
+use std::fmt::Write as _;
+
+use crate::matrix::DenseMatrix;
+use crate::thread_load::ThreadLoad;
+
+/// Cell edge in pixels.
+const CELL: usize = 18;
+/// Chart margin for axis labels.
+const MARGIN: usize = 34;
+
+/// Map an intensity in [0, 1] to a white→deep-blue ramp.
+fn ramp(f: f64) -> String {
+    let f = f.clamp(0.0, 1.0);
+    // white (245) toward a dark blue (18, 44, 110).
+    let r = (245.0 - f * (245.0 - 18.0)) as u8;
+    let g = (245.0 - f * (245.0 - 44.0)) as u8;
+    let b = (248.0 - f * (248.0 - 110.0)) as u8;
+    format!("rgb({r},{g},{b})")
+}
+
+/// Render a matrix as an SVG heat map (producers on rows, consumers on
+/// columns, log-scaled shade, title on top).
+pub fn svg_heatmap(m: &DenseMatrix, title: &str) -> String {
+    let t = m.threads();
+    let w = MARGIN + t * CELL + 10;
+    let h = MARGIN + t * CELL + 10;
+    let max = m.max();
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" font-family="monospace" font-size="10">"#
+    );
+    let _ = write!(
+        s,
+        r#"<text x="{MARGIN}" y="12" font-size="11">{}</text>"#,
+        svg_escape(title)
+    );
+    for i in 0..t {
+        for j in 0..t {
+            let v = m.get(i, j);
+            let f = if max == 0 || v == 0 {
+                0.0
+            } else {
+                (v as f64).ln_1p() / (max as f64).ln_1p()
+            };
+            let x = MARGIN + j * CELL;
+            let y = MARGIN + i * CELL;
+            let _ = write!(
+                s,
+                r##"<rect x="{x}" y="{y}" width="{CELL}" height="{CELL}" fill="{}" stroke="#ddd"><title>{i}-&gt;{j}: {v} B</title></rect>"##,
+                ramp(f)
+            );
+        }
+        // Row/column labels.
+        let _ = write!(
+            s,
+            r#"<text x="{}" y="{}">{i}</text>"#,
+            8,
+            MARGIN + i * CELL + CELL / 2 + 4
+        );
+        let _ = write!(
+            s,
+            r#"<text x="{}" y="{}">{i}</text>"#,
+            MARGIN + i * CELL + CELL / 2 - 4,
+            MARGIN - 6
+        );
+    }
+    s.push_str("</svg>");
+    s
+}
+
+/// Render Eq. 1 thread loads as an SVG horizontal bar chart.
+pub fn svg_thread_load(load: &ThreadLoad, title: &str) -> String {
+    let t = load.threads();
+    let bar_w = 260.0;
+    let row_h = 16;
+    let w = MARGIN + bar_w as usize + 90;
+    let h = MARGIN + t * row_h + 10;
+    let max = load.loads.iter().cloned().fold(0.0_f64, f64::max).max(1e-12);
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" font-family="monospace" font-size="10">"#
+    );
+    let _ = write!(
+        s,
+        r#"<text x="{MARGIN}" y="12" font-size="11">{}</text>"#,
+        svg_escape(title)
+    );
+    for (i, &l) in load.loads.iter().enumerate() {
+        let y = MARGIN + i * row_h;
+        let len = (l / max * bar_w).max(0.5);
+        let _ = write!(s, r#"<text x="4" y="{}">T{i}</text>"#, y + 11);
+        let _ = write!(
+            s,
+            r#"<rect x="{MARGIN}" y="{y}" width="{len:.1}" height="{}" fill="{}"/>"#,
+            row_h - 3,
+            ramp(0.75)
+        );
+        let _ = write!(
+            s,
+            r#"<text x="{:.0}" y="{}">{l:.0} B</text>"#,
+            MARGIN as f64 + len + 4.0,
+            y + 11
+        );
+    }
+    s.push_str("</svg>");
+    s
+}
+
+fn svg_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DenseMatrix {
+        let mut m = DenseMatrix::zero(4);
+        m.set(0, 1, 1000);
+        m.set(1, 2, 10);
+        m
+    }
+
+    #[test]
+    fn heatmap_is_wellformed_svg_with_all_cells() {
+        let svg = svg_heatmap(&sample(), "test <matrix>");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 16);
+        assert!(svg.contains("test &lt;matrix&gt;"));
+        assert!(svg.contains("0-&gt;1: 1000 B"));
+    }
+
+    #[test]
+    fn zero_matrix_renders_blank_cells() {
+        let svg = svg_heatmap(&DenseMatrix::zero(2), "z");
+        assert_eq!(svg.matches("<rect").count(), 4);
+        assert!(svg.contains(&ramp(0.0)));
+    }
+
+    #[test]
+    fn thread_load_chart_has_one_bar_per_thread() {
+        let tl = ThreadLoad::from_matrix(&sample());
+        let svg = svg_thread_load(&tl, "loads");
+        assert_eq!(svg.matches("<rect").count(), 4);
+        assert!(svg.contains("T0") && svg.contains("T3"));
+    }
+
+    #[test]
+    fn ramp_endpoints() {
+        assert_eq!(ramp(0.0), "rgb(245,245,248)");
+        assert_eq!(ramp(1.0), "rgb(18,44,110)");
+        assert_eq!(ramp(-5.0), ramp(0.0)); // clamped
+    }
+}

@@ -1,0 +1,219 @@
+//! Sequential Bloom filter with paper-style automatic sizing.
+//!
+//! The second level of the read signature stores, per address class, the set
+//! of thread ids that have read that address. The paper sizes these filters
+//! automatically: "The bloom filter uses a bit vector of size m, where m
+//! depends on the number of threads available in the target program. Also a
+//! linear combination of hash functions has been devised to automatically
+//! adjust the number of hash functions according to the false positive rate
+//! required by the user" (§IV-D2).
+//!
+//! This module provides the single-threaded reference implementation used by
+//! tests and offline analysis; [`crate::concurrent_bloom`] provides the
+//! lock-free variant used on the online profiling path.
+
+use crate::murmur::hash_addr;
+
+/// Number of bits for a Bloom filter expected to hold `n` elements with
+/// false-positive probability `fp_rate`.
+///
+/// Classic optimum: `m = -n * ln(p) / ln(2)^2`, rounded up to a multiple of
+/// 64 so the bit vector packs into whole words.
+pub fn optimal_bits(n: usize, fp_rate: f64) -> usize {
+    assert!(n > 0, "bloom filter must be sized for at least one element");
+    assert!(
+        fp_rate > 0.0 && fp_rate < 1.0,
+        "false-positive rate must be in (0, 1), got {fp_rate}"
+    );
+    let m = (-(n as f64) * fp_rate.ln() / (core::f64::consts::LN_2.powi(2))).ceil() as usize;
+    m.max(64).div_ceil(64) * 64
+}
+
+/// Number of hash functions minimizing the false-positive rate for `m` bits
+/// and `n` expected elements: `k = (m/n) * ln(2)`.
+pub fn optimal_hashes(m_bits: usize, n: usize) -> usize {
+    assert!(n > 0);
+    let k = ((m_bits as f64 / n as f64) * core::f64::consts::LN_2).round() as usize;
+    k.clamp(1, 16)
+}
+
+/// Theoretical false-positive rate after `inserted` insertions into a filter
+/// of `m_bits` bits using `k` hash functions: `(1 - e^{-k·n/m})^k`.
+pub fn theoretical_fp_rate(m_bits: usize, k: usize, inserted: usize) -> f64 {
+    let exponent = -(k as f64) * (inserted as f64) / (m_bits as f64);
+    (1.0 - exponent.exp()).powi(k as i32)
+}
+
+/// Seeds for the two base hashes from which the `k` filter hashes are
+/// linearly combined (`h_i = h_a + i * h_b`, Kirsch–Mitzenmacher).
+const SEED_A: u64 = 0x9368_7fbc_a1b2_c3d4;
+const SEED_B: u64 = 0x1f83_d9ab_fb41_bd6b;
+
+/// Compute the `i`-th derived hash of `item`.
+#[inline]
+pub(crate) fn derived_hash(item: u64, i: usize) -> u64 {
+    let ha = hash_addr(item, SEED_A);
+    let hb = hash_addr(item, SEED_B) | 1; // force odd so strides cover all bits
+    ha.wrapping_add(hb.wrapping_mul(i as u64))
+}
+
+/// A plain (single-threaded) Bloom filter over `u64` items.
+#[derive(Clone, Debug)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    m_bits: usize,
+    k: usize,
+    inserted: usize,
+}
+
+impl BloomFilter {
+    /// Create a filter sized for `expected` elements at `fp_rate`.
+    pub fn with_rate(expected: usize, fp_rate: f64) -> Self {
+        let m_bits = optimal_bits(expected, fp_rate);
+        let k = optimal_hashes(m_bits, expected);
+        Self::with_params(m_bits, k)
+    }
+
+    /// Create a filter with explicit geometry.
+    pub fn with_params(m_bits: usize, k: usize) -> Self {
+        assert!(m_bits >= 64 && m_bits % 64 == 0, "m_bits must be a positive multiple of 64");
+        assert!(k >= 1);
+        Self {
+            bits: vec![0u64; m_bits / 64],
+            m_bits,
+            k,
+            inserted: 0,
+        }
+    }
+
+    /// Insert an item.
+    pub fn insert(&mut self, item: u64) {
+        for i in 0..self.k {
+            let bit = (derived_hash(item, i) % self.m_bits as u64) as usize;
+            self.bits[bit / 64] |= 1u64 << (bit % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Membership query. False positives possible, false negatives never.
+    pub fn contains(&self, item: u64) -> bool {
+        (0..self.k).all(|i| {
+            let bit = (derived_hash(item, i) % self.m_bits as u64) as usize;
+            self.bits[bit / 64] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    /// Remove every element (reset all bits).
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.inserted = 0;
+    }
+
+    /// Number of bits in the filter.
+    pub fn m_bits(&self) -> usize {
+        self.m_bits
+    }
+
+    /// Number of hash functions.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of `insert` calls since creation/clear (not deduplicated).
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// Count of set bits (useful to estimate saturation).
+    pub fn ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Heap footprint of the bit vector in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::with_rate(64, 0.001);
+        for i in 0..64u64 {
+            f.insert(i * 0x9e37);
+        }
+        for i in 0..64u64 {
+            assert!(f.contains(i * 0x9e37));
+        }
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::with_rate(32, 0.01);
+        assert!(!f.contains(42));
+        assert_eq!(f.ones(), 0);
+    }
+
+    #[test]
+    fn clear_resets_membership() {
+        let mut f = BloomFilter::with_rate(32, 0.01);
+        f.insert(7);
+        assert!(f.contains(7));
+        f.clear();
+        assert!(!f.contains(7));
+        assert_eq!(f.inserted(), 0);
+    }
+
+    #[test]
+    fn fp_rate_within_expectation() {
+        // Insert the designed-for number of elements, then probe many
+        // non-members; the observed FP rate must stay within ~4x of target.
+        let target = 0.01;
+        let n = 1000;
+        let mut f = BloomFilter::with_rate(n, target);
+        for i in 0..n as u64 {
+            f.insert(i);
+        }
+        let probes = 100_000u64;
+        let fps = (0..probes).filter(|p| f.contains(p + 1_000_000)).count();
+        let observed = fps as f64 / probes as f64;
+        assert!(
+            observed < target * 4.0,
+            "observed FP rate {observed} far above target {target}"
+        );
+    }
+
+    #[test]
+    fn optimal_bits_monotone_in_strictness() {
+        assert!(optimal_bits(32, 0.001) > optimal_bits(32, 0.01));
+        assert!(optimal_bits(64, 0.01) > optimal_bits(32, 0.01));
+    }
+
+    #[test]
+    fn optimal_hashes_reasonable() {
+        let m = optimal_bits(32, 0.001);
+        let k = optimal_hashes(m, 32);
+        // For p = 0.001 the optimum is ~ -log2(p) ≈ 10.
+        assert!((8..=12).contains(&k), "k = {k}");
+    }
+
+    #[test]
+    fn theoretical_rate_grows_with_load() {
+        let m = optimal_bits(32, 0.01);
+        let k = optimal_hashes(m, 32);
+        let light = theoretical_fp_rate(m, k, 8);
+        let heavy = theoretical_fp_rate(m, k, 64);
+        assert!(light < heavy);
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let f = BloomFilter::with_params(128, 3);
+        assert_eq!(f.m_bits(), 128);
+        assert_eq!(f.k(), 3);
+        assert_eq!(f.memory_bytes(), 16);
+    }
+}

@@ -1,0 +1,160 @@
+//! Lock-free Bloom filter storing reader-thread sets.
+//!
+//! One instance of this filter hangs off each occupied first-level slot of
+//! the read signature (Fig. 3a of the paper). It records *which threads*
+//! have read the addresses mapping to that slot. Because the number of
+//! distinct elements ever inserted is bounded by the thread count `t`, the
+//! paper notes "it is guaranteed that the false positive rate does not go
+//! beyond the threshold limit" (§IV-D2) — the filter is sized for exactly
+//! `t` elements at the user's requested rate.
+
+use crate::atomic_bits::AtomicBitVec;
+use crate::bloom::{derived_hash, optimal_bits, optimal_hashes};
+
+/// Geometry shared by every second-level filter of one read signature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BloomGeometry {
+    /// Bits per filter.
+    pub m_bits: usize,
+    /// Hash functions per query.
+    pub k: usize,
+}
+
+impl BloomGeometry {
+    /// Size a filter for `threads` potential members at `fp_rate`.
+    pub fn for_threads(threads: usize, fp_rate: f64) -> Self {
+        let m_bits = optimal_bits(threads, fp_rate);
+        let k = optimal_hashes(m_bits, threads);
+        Self { m_bits, k }
+    }
+
+    /// Heap bytes one filter of this geometry occupies.
+    pub fn bytes_per_filter(&self) -> usize {
+        self.m_bits / 8
+    }
+}
+
+/// A concurrent Bloom filter over small integer items (thread ids).
+#[derive(Debug)]
+pub struct ConcurrentBloom {
+    bits: AtomicBitVec,
+    geometry: BloomGeometry,
+}
+
+impl ConcurrentBloom {
+    /// Create an empty filter with the given geometry.
+    pub fn new(geometry: BloomGeometry) -> Self {
+        Self {
+            bits: AtomicBitVec::new(geometry.m_bits),
+            geometry,
+        }
+    }
+
+    /// Insert an item (typically a thread id). Lock-free.
+    #[inline]
+    pub fn insert(&self, item: u64) {
+        let m = self.bits.len() as u64;
+        for i in 0..self.geometry.k {
+            self.bits.set((derived_hash(item, i) % m) as usize);
+        }
+    }
+
+    /// Query membership. May return false positives, never false negatives
+    /// for items whose `insert` happened-before this call.
+    #[inline]
+    pub fn contains(&self, item: u64) -> bool {
+        let m = self.bits.len() as u64;
+        (0..self.geometry.k).all(|i| self.bits.get((derived_hash(item, i) % m) as usize))
+    }
+
+    /// Reset the filter to empty. Races with concurrent inserts are benign:
+    /// an insert overlapping a clear may survive or vanish, mirroring the
+    /// unsynchronized write/read ordering of the profiled program itself.
+    pub fn clear(&self) {
+        self.bits.clear();
+    }
+
+    /// Geometry of this filter.
+    pub fn geometry(&self) -> BloomGeometry {
+        self.geometry
+    }
+
+    /// Heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.bits.memory_bytes()
+    }
+
+    /// Set-bit count, for saturation diagnostics.
+    pub fn ones(&self) -> usize {
+        self.bits.count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn geom() -> BloomGeometry {
+        BloomGeometry::for_threads(32, 0.001)
+    }
+
+    #[test]
+    fn geometry_matches_sequential_sizing() {
+        let g = geom();
+        assert_eq!(g.m_bits, optimal_bits(32, 0.001));
+        assert_eq!(g.k, optimal_hashes(g.m_bits, 32));
+        assert_eq!(g.bytes_per_filter() * 8, g.m_bits);
+    }
+
+    #[test]
+    fn insert_then_contains() {
+        let f = ConcurrentBloom::new(geom());
+        for tid in 0..32u64 {
+            assert!(!f.contains(tid));
+            f.insert(tid);
+            assert!(f.contains(tid));
+        }
+    }
+
+    #[test]
+    fn clear_empties() {
+        let f = ConcurrentBloom::new(geom());
+        f.insert(5);
+        f.clear();
+        assert!(!f.contains(5));
+        assert_eq!(f.ones(), 0);
+    }
+
+    #[test]
+    fn concurrent_inserts_preserve_membership() {
+        let f = Arc::new(ConcurrentBloom::new(geom()));
+        let mut handles = Vec::new();
+        for tid in 0..16u64 {
+            let f = Arc::clone(&f);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    f.insert(tid);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for tid in 0..16u64 {
+            assert!(f.contains(tid));
+        }
+    }
+
+    #[test]
+    fn bounded_membership_keeps_fp_low() {
+        // With at most t = 32 members, probing ids far outside the inserted
+        // range should almost never hit at fp = 0.001.
+        let f = ConcurrentBloom::new(geom());
+        for tid in 0..32u64 {
+            f.insert(tid);
+        }
+        let fps = (1000..11_000u64).filter(|p| f.contains(*p)).count();
+        assert!(fps < 100, "false positives: {fps} / 10000");
+    }
+}

@@ -1,0 +1,235 @@
+//! MurmurHash3 implemented from scratch (x86_32 and x64_128 variants, plus
+//! the 64-bit finalizer used as a fast address hash).
+//!
+//! The paper selects MurmurHash for the first-level signature index because
+//! it "has much lower time complexity while having less collisions in
+//! comparison with other hash functions" (§IV-D2). We implement the public
+//! reference algorithm by Austin Appleby; the x86_32 variant is validated
+//! against the canonical test vectors, and the 64-bit finalizer (`fmix64`)
+//! is the hot path used to map memory addresses to signature slots.
+
+/// The 64-bit finalization mix of MurmurHash3.
+///
+/// This is a full-avalanche bijective mixer: every input bit affects every
+/// output bit with probability ~1/2. Being bijective, it never introduces
+/// collisions on 64-bit inputs, which makes it ideal for hashing memory
+/// addresses before reduction modulo the slot count.
+#[inline]
+pub fn fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    k ^= k >> 33;
+    k
+}
+
+/// The 32-bit finalization mix of MurmurHash3.
+#[inline]
+pub fn fmix32(mut h: u32) -> u32 {
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85eb_ca6b);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xc2b2_ae35);
+    h ^= h >> 16;
+    h
+}
+
+/// Hash a memory address together with a seed.
+///
+/// Used to derive the family of hash functions needed by the Bloom filters
+/// ("a linear combination of hash functions has been devised", §IV-D2):
+/// `h_i(x) = hash_addr(x, seed_a) + i * hash_addr(x, seed_b)`.
+#[inline]
+pub fn hash_addr(addr: u64, seed: u64) -> u64 {
+    fmix64(addr ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// MurmurHash3 x86_32 over an arbitrary byte slice.
+pub fn murmur3_x86_32(data: &[u8], seed: u32) -> u32 {
+    const C1: u32 = 0xcc9e_2d51;
+    const C2: u32 = 0x1b87_3593;
+
+    let mut h1 = seed;
+    let nblocks = data.len() / 4;
+
+    for block in data.chunks_exact(4) {
+        let mut k1 = u32::from_le_bytes([block[0], block[1], block[2], block[3]]);
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(15);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+        h1 = h1.rotate_left(13);
+        h1 = h1.wrapping_mul(5).wrapping_add(0xe654_6b64);
+    }
+
+    let tail = &data[nblocks * 4..];
+    let mut k1: u32 = 0;
+    if tail.len() >= 3 {
+        k1 ^= (tail[2] as u32) << 16;
+    }
+    if tail.len() >= 2 {
+        k1 ^= (tail[1] as u32) << 8;
+    }
+    if !tail.is_empty() {
+        k1 ^= tail[0] as u32;
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(15);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+    }
+
+    h1 ^= data.len() as u32;
+    fmix32(h1)
+}
+
+/// MurmurHash3 x64_128 over an arbitrary byte slice, returning the 128-bit
+/// digest as two 64-bit halves.
+pub fn murmur3_x64_128(data: &[u8], seed: u64) -> (u64, u64) {
+    const C1: u64 = 0x87c3_7b91_1142_53d5;
+    const C2: u64 = 0x4cf5_ad43_2745_937f;
+
+    let mut h1 = seed;
+    let mut h2 = seed;
+    let nblocks = data.len() / 16;
+
+    for block in data.chunks_exact(16) {
+        let mut k1 = u64::from_le_bytes(block[0..8].try_into().unwrap());
+        let mut k2 = u64::from_le_bytes(block[8..16].try_into().unwrap());
+
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(31);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+        h1 = h1.rotate_left(27);
+        h1 = h1.wrapping_add(h2);
+        h1 = h1.wrapping_mul(5).wrapping_add(0x52dc_e729);
+
+        k2 = k2.wrapping_mul(C2);
+        k2 = k2.rotate_left(33);
+        k2 = k2.wrapping_mul(C1);
+        h2 ^= k2;
+        h2 = h2.rotate_left(31);
+        h2 = h2.wrapping_add(h1);
+        h2 = h2.wrapping_mul(5).wrapping_add(0x3849_5ab5);
+    }
+
+    let tail = &data[nblocks * 16..];
+    let mut k1: u64 = 0;
+    let mut k2: u64 = 0;
+    // Process the 0-15 trailing bytes, mirroring the reference fallthrough
+    // switch (bytes 15..9 feed k2, bytes 8..1 feed k1).
+    for i in (8..tail.len()).rev() {
+        k2 ^= (tail[i] as u64) << ((i - 8) * 8);
+    }
+    if tail.len() > 8 {
+        k2 = k2.wrapping_mul(C2);
+        k2 = k2.rotate_left(33);
+        k2 = k2.wrapping_mul(C1);
+        h2 ^= k2;
+    }
+    for i in (0..tail.len().min(8)).rev() {
+        k1 ^= (tail[i] as u64) << (i * 8);
+    }
+    if !tail.is_empty() {
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(31);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+    }
+
+    h1 ^= data.len() as u64;
+    h2 ^= data.len() as u64;
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    h1 = fmix64(h1);
+    h2 = fmix64(h2);
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    (h1, h2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Canonical x86_32 test vectors (Appleby's reference implementation).
+    #[test]
+    fn x86_32_empty_input_vectors() {
+        assert_eq!(murmur3_x86_32(b"", 0), 0);
+        assert_eq!(murmur3_x86_32(b"", 1), 0x514e_28b7);
+        assert_eq!(murmur3_x86_32(b"", 0xffff_ffff), 0x81f1_6f39);
+    }
+
+    #[test]
+    fn x86_32_short_input_vectors() {
+        assert_eq!(murmur3_x86_32(&[0xff, 0xff, 0xff, 0xff], 0), 0x7629_3b50);
+        assert_eq!(murmur3_x86_32(&[0x21, 0x43, 0x65, 0x87], 0), 0xf55b_516b);
+        assert_eq!(
+            murmur3_x86_32(&[0x21, 0x43, 0x65, 0x87], 0x5082_edee),
+            0x2362_f9de
+        );
+        assert_eq!(murmur3_x86_32(&[0x21, 0x43, 0x65], 0), 0x7e4a_8634);
+        assert_eq!(murmur3_x86_32(&[0x21, 0x43], 0), 0xa0f7_b07a);
+        assert_eq!(murmur3_x86_32(&[0x21], 0), 0x7266_1cf4);
+        assert_eq!(murmur3_x86_32(&[0, 0, 0, 0], 0), 0x2362_f9de);
+        assert_eq!(murmur3_x86_32(&[0, 0, 0], 0), 0x85f0_b427);
+        assert_eq!(murmur3_x86_32(&[0, 0], 0), 0x30f4_c306);
+        assert_eq!(murmur3_x86_32(&[0], 0), 0x514e_28b7);
+    }
+
+    #[test]
+    fn fmix64_is_bijective_on_samples() {
+        // A bijection never maps two distinct inputs to the same output;
+        // sample a dense range and check injectivity.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u64..10_000 {
+            assert!(seen.insert(fmix64(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn fmix64_zero_maps_to_zero() {
+        // Known fixed point of the finalizer.
+        assert_eq!(fmix64(0), 0);
+    }
+
+    #[test]
+    fn hash_addr_seed_independence() {
+        // Different seeds must decorrelate the same address.
+        let a = hash_addr(0xdead_beef, 1);
+        let b = hash_addr(0xdead_beef, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn x64_128_empty_is_zero_with_zero_seed() {
+        assert_eq!(murmur3_x64_128(b"", 0), (0, 0));
+    }
+
+    #[test]
+    fn x64_128_differs_across_inputs_and_seeds() {
+        let h1 = murmur3_x64_128(b"hello", 0);
+        let h2 = murmur3_x64_128(b"hellp", 0);
+        let h3 = murmur3_x64_128(b"hello", 1);
+        assert_ne!(h1, h2);
+        assert_ne!(h1, h3);
+    }
+
+    #[test]
+    fn x64_128_tail_lengths_all_distinct() {
+        // Exercise every tail length 0..=16 and ensure no accidental
+        // collisions among the prefixes of a fixed buffer.
+        let buf: Vec<u8> = (0u8..33).collect();
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=buf.len() {
+            assert!(seen.insert(murmur3_x64_128(&buf[..len], 7)));
+        }
+    }
+
+    #[test]
+    fn x86_32_longer_ascii_vector() {
+        // "Hello, world!" with seed 0 — widely replicated vector.
+        assert_eq!(murmur3_x86_32(b"Hello, world!", 0), 0xc036_3e43);
+    }
+}

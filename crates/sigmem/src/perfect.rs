@@ -1,0 +1,174 @@
+//! Perfect (collision-free) signature memory.
+//!
+//! §V-A3: "We evaluated the false positive rate under four different
+//! signature sizes by implementing a perfect signature memory without any
+//! collision to be the baseline for FPR comparison." This module is that
+//! baseline: exact per-address reader sets and last-writer records backed by
+//! sharded hash maps. Memory grows with the program's footprint — the very
+//! behaviour the bounded signature avoids — which is itself measured in the
+//! Figure 5 comparison.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::murmur::fmix64;
+use crate::traits::{ReaderSet, WriterMap};
+
+/// Number of lock shards; power of two so selection is a mask.
+const SHARDS: usize = 64;
+
+/// Maximum thread id representable by the compact reader bitmask.
+pub const MAX_PERFECT_THREADS: u32 = 128;
+
+#[inline]
+fn shard(addr: u64) -> usize {
+    (fmix64(addr) >> 56) as usize & (SHARDS - 1)
+}
+
+/// Estimated heap bytes per occupied hash-map entry (key + value + bucket
+/// overhead), used for the memory-growth comparison in Figure 5.
+const BYTES_PER_ENTRY: usize = 48;
+
+/// Exact reader sets: `addr -> bitmask of reader tids` (tids < 128).
+pub struct PerfectReaderSet {
+    shards: Box<[Mutex<HashMap<u64, u128>>]>,
+}
+
+impl Default for PerfectReaderSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PerfectReaderSet {
+    /// Create an empty exact reader-set store.
+    pub fn new() -> Self {
+        let shards = (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
+        Self { shards }
+    }
+
+    /// Number of distinct addresses currently tracked.
+    pub fn tracked_addresses(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+impl ReaderSet for PerfectReaderSet {
+    fn insert(&self, addr: u64, tid: u32) {
+        assert!(
+            tid < MAX_PERFECT_THREADS,
+            "perfect signature supports up to {MAX_PERFECT_THREADS} threads"
+        );
+        *self.shards[shard(addr)].lock().entry(addr).or_insert(0) |= 1u128 << tid;
+    }
+
+    fn contains(&self, addr: u64, tid: u32) -> bool {
+        assert!(tid < MAX_PERFECT_THREADS);
+        self.shards[shard(addr)]
+            .lock()
+            .get(&addr)
+            .is_some_and(|m| m & (1u128 << tid) != 0)
+    }
+
+    fn clear_addr(&self, addr: u64) {
+        self.shards[shard(addr)].lock().remove(&addr);
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.tracked_addresses() * BYTES_PER_ENTRY
+    }
+}
+
+/// Exact last-writer map: `addr -> tid`.
+pub struct PerfectWriterMap {
+    shards: Box<[Mutex<HashMap<u64, u32>>]>,
+}
+
+impl Default for PerfectWriterMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PerfectWriterMap {
+    /// Create an empty exact writer map.
+    pub fn new() -> Self {
+        let shards = (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
+        Self { shards }
+    }
+
+    /// Number of distinct addresses ever written.
+    pub fn tracked_addresses(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+impl WriterMap for PerfectWriterMap {
+    fn record(&self, addr: u64, tid: u32) {
+        self.shards[shard(addr)].lock().insert(addr, tid);
+    }
+
+    fn last_writer(&self, addr: u64) -> Option<u32> {
+        self.shards[shard(addr)].lock().get(&addr).copied()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.tracked_addresses() * BYTES_PER_ENTRY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_set_is_exact() {
+        let rs = PerfectReaderSet::new();
+        rs.insert(0x10, 1);
+        rs.insert(0x10, 2);
+        assert!(rs.contains(0x10, 1));
+        assert!(rs.contains(0x10, 2));
+        assert!(!rs.contains(0x10, 3));
+        assert!(!rs.contains(0x11, 1)); // no aliasing, ever
+    }
+
+    #[test]
+    fn clear_addr_is_per_address() {
+        let rs = PerfectReaderSet::new();
+        rs.insert(0x10, 1);
+        rs.insert(0x20, 1);
+        rs.clear_addr(0x10);
+        assert!(!rs.contains(0x10, 1));
+        assert!(rs.contains(0x20, 1));
+    }
+
+    #[test]
+    fn writer_map_is_exact() {
+        let wm = PerfectWriterMap::new();
+        assert_eq!(wm.last_writer(0x40), None);
+        wm.record(0x40, 5);
+        wm.record(0x48, 6);
+        assert_eq!(wm.last_writer(0x40), Some(5));
+        assert_eq!(wm.last_writer(0x48), Some(6));
+        assert_eq!(wm.last_writer(0x50), None);
+    }
+
+    #[test]
+    fn memory_grows_with_footprint() {
+        let wm = PerfectWriterMap::new();
+        let before = wm.memory_bytes();
+        for a in 0..1000u64 {
+            wm.record(a * 8, 0);
+        }
+        assert!(wm.memory_bytes() >= before + 1000 * 8);
+        assert_eq!(wm.tracked_addresses(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect signature supports")]
+    fn rejects_oversized_tid() {
+        let rs = PerfectReaderSet::new();
+        rs.insert(0, MAX_PERFECT_THREADS);
+    }
+}

@@ -1,0 +1,217 @@
+//! Two-level read signature (Fig. 3a of the paper).
+//!
+//! A fixed first-level array of `n` slots is indexed by a MurmurHash of the
+//! memory address. Each occupied slot holds a pointer to a second-level
+//! Bloom filter recording the set of thread ids that have read addresses
+//! mapping to that slot. Slots are allocated lazily on first insert and
+//! published with a release-CAS so that a thread observing the pointer also
+//! observes a fully-constructed filter.
+//!
+//! Memory is bounded: at most `n` filters of fixed geometry can ever exist,
+//! so the footprint never depends on the profiled program's input size —
+//! the property Figures 5a/5b demonstrate.
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+use crate::concurrent_bloom::{BloomGeometry, ConcurrentBloom};
+use crate::murmur::fmix64;
+use crate::traits::ReaderSet;
+
+/// The two-level concurrent read signature.
+#[derive(Debug)]
+pub struct ReadSignature {
+    slots: Box<[AtomicPtr<ConcurrentBloom>]>,
+    geometry: BloomGeometry,
+    allocated: AtomicUsize,
+}
+
+impl ReadSignature {
+    /// Create a signature with `n_slots` first-level slots, second-level
+    /// filters sized for `threads` readers at `fp_rate`.
+    pub fn new(n_slots: usize, threads: usize, fp_rate: f64) -> Self {
+        assert!(n_slots > 0, "signature needs at least one slot");
+        let slots = (0..n_slots)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect();
+        Self {
+            slots,
+            geometry: BloomGeometry::for_threads(threads, fp_rate),
+            allocated: AtomicUsize::new(0),
+        }
+    }
+
+    /// First-level slot index for an address.
+    #[inline]
+    fn slot_index(&self, addr: u64) -> usize {
+        (fmix64(addr) % self.slots.len() as u64) as usize
+    }
+
+    /// Get the filter for `addr`, allocating (and racing to publish) it if
+    /// absent. The losing allocation of a publish race is freed immediately.
+    fn filter_or_insert(&self, addr: u64) -> &ConcurrentBloom {
+        let slot = &self.slots[self.slot_index(addr)];
+        let p = slot.load(Ordering::Acquire);
+        if !p.is_null() {
+            // Safety: a non-null pointer was published by a release-CAS after
+            // full construction and is never freed before `self` drops.
+            return unsafe { &*p };
+        }
+        let fresh = Box::into_raw(Box::new(ConcurrentBloom::new(self.geometry)));
+        match slot.compare_exchange(
+            std::ptr::null_mut(),
+            fresh,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                self.allocated.fetch_add(1, Ordering::Relaxed);
+                // Safety: we just published `fresh`; it stays alive until drop.
+                unsafe { &*fresh }
+            }
+            Err(winner) => {
+                // Safety: `fresh` was never shared; reclaim it.
+                drop(unsafe { Box::from_raw(fresh) });
+                // Safety: `winner` is the published pointer (see above).
+                unsafe { &*winner }
+            }
+        }
+    }
+
+    /// Filter for `addr` if one has been allocated.
+    #[inline]
+    fn filter(&self, addr: u64) -> Option<&ConcurrentBloom> {
+        let p = self.slots[self.slot_index(addr)].load(Ordering::Acquire);
+        // Safety: published pointers stay valid until `self` drops.
+        (!p.is_null()).then(|| unsafe { &*p })
+    }
+
+    /// Number of first-level slots.
+    pub fn n_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Second-level filter geometry.
+    pub fn geometry(&self) -> BloomGeometry {
+        self.geometry
+    }
+
+    /// How many second-level filters have been allocated so far.
+    pub fn allocated_filters(&self) -> usize {
+        self.allocated.load(Ordering::Relaxed)
+    }
+}
+
+impl ReaderSet for ReadSignature {
+    #[inline]
+    fn insert(&self, addr: u64, tid: u32) {
+        self.filter_or_insert(addr).insert(tid as u64);
+    }
+
+    #[inline]
+    fn contains(&self, addr: u64, tid: u32) -> bool {
+        self.filter(addr)
+            .is_some_and(|f| f.contains(tid as u64))
+    }
+
+    #[inline]
+    fn clear_addr(&self, addr: u64) {
+        if let Some(f) = self.filter(addr) {
+            f.clear();
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<AtomicPtr<ConcurrentBloom>>()
+            + self.allocated_filters()
+                * (self.geometry.bytes_per_filter() + std::mem::size_of::<ConcurrentBloom>())
+    }
+}
+
+impl Drop for ReadSignature {
+    fn drop(&mut self) {
+        for slot in self.slots.iter() {
+            let p = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            if !p.is_null() {
+                // Safety: sole owner at drop time; pointer came from Box::into_raw.
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_contains_clear_cycle() {
+        let sig = ReadSignature::new(1024, 8, 0.001);
+        assert!(!sig.contains(0x1000, 3));
+        sig.insert(0x1000, 3);
+        assert!(sig.contains(0x1000, 3));
+        assert!(!sig.contains(0x1000, 4));
+        sig.clear_addr(0x1000);
+        assert!(!sig.contains(0x1000, 3));
+    }
+
+    #[test]
+    fn lazy_allocation_counts_filters() {
+        let sig = ReadSignature::new(1 << 16, 8, 0.01);
+        assert_eq!(sig.allocated_filters(), 0);
+        let empty = sig.memory_bytes();
+        for a in 0..100u64 {
+            sig.insert(a * 640, 0); // spread across slots
+        }
+        assert!(sig.allocated_filters() > 0);
+        assert!(sig.allocated_filters() <= 100);
+        assert!(sig.memory_bytes() > empty);
+    }
+
+    #[test]
+    fn memory_is_bounded_by_slot_count() {
+        let sig = ReadSignature::new(64, 8, 0.01);
+        for a in 0..10_000u64 {
+            sig.insert(a, (a % 8) as u32);
+        }
+        assert!(sig.allocated_filters() <= 64);
+        let cap = 64 * 8
+            + 64 * (sig.geometry().bytes_per_filter() + std::mem::size_of::<ConcurrentBloom>());
+        assert!(sig.memory_bytes() <= cap);
+    }
+
+    #[test]
+    fn collisions_share_filters_but_keep_no_false_negatives() {
+        // With one slot, every address aliases; membership inserted must
+        // still be reported.
+        let sig = ReadSignature::new(1, 16, 0.001);
+        for a in 0..16u64 {
+            sig.insert(a, a as u32);
+        }
+        for a in 0..16u64 {
+            assert!(sig.contains(a, a as u32));
+        }
+        assert_eq!(sig.allocated_filters(), 1);
+    }
+
+    #[test]
+    fn concurrent_insert_race_allocates_once_per_slot() {
+        let sig = Arc::new(ReadSignature::new(4, 32, 0.001));
+        let mut handles = Vec::new();
+        for tid in 0..16u32 {
+            let sig = Arc::clone(&sig);
+            handles.push(std::thread::spawn(move || {
+                for a in 0..1000u64 {
+                    sig.insert(a, tid);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(sig.allocated_filters() <= 4);
+        for tid in 0..16u32 {
+            assert!(sig.contains(7, tid));
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Abstractions over the two halves of the asymmetric signature memory.
+//!
+//! Algorithm 1 of the paper consults a *read* side (which threads have read
+//! an address since its last write) and a *write* side (which thread wrote
+//! it last). Both the approximate signature implementation and the exact
+//! "perfect signature" baseline (§V-A3) implement these traits, so the RAW
+//! detector in `lc-profiler` is generic over the accuracy/memory trade-off.
+
+/// The read side: a per-address set of reader thread ids.
+pub trait ReaderSet: Send + Sync {
+    /// Record that thread `tid` read `addr`.
+    fn insert(&self, addr: u64, tid: u32);
+
+    /// Has thread `tid` read `addr` since the last clear of that address?
+    ///
+    /// Approximate implementations may report false positives (which
+    /// *suppress* duplicate communication edges — a conservative error),
+    /// never false negatives.
+    fn contains(&self, addr: u64, tid: u32) -> bool;
+
+    /// Forget all readers of `addr` (invoked on every write, Algorithm 1:
+    /// "clear correspondent bloom filter in read signature").
+    fn clear_addr(&self, addr: u64);
+
+    /// Current heap footprint in bytes.
+    fn memory_bytes(&self) -> usize;
+}
+
+/// The write side: a per-address record of the last writing thread.
+pub trait WriterMap: Send + Sync {
+    /// Record that thread `tid` is now the last writer of `addr`.
+    fn record(&self, addr: u64, tid: u32);
+
+    /// The last recorded writer of `addr`, or `None` if the address was
+    /// never written (approximate implementations may alias addresses,
+    /// returning the writer of a colliding address — the false-positive
+    /// source quantified in §V-A3).
+    fn last_writer(&self, addr: u64) -> Option<u32>;
+
+    /// Current heap footprint in bytes.
+    fn memory_bytes(&self) -> usize;
+}

@@ -1,0 +1,50 @@
+//! # lc-trace — instrumentation substrate
+//!
+//! The stand-in for the paper's compile-time LLVM instrumentation (§IV-B/C).
+//! Profiled programs are written against this crate's API:
+//!
+//! * [`TraceCtx`] — one profiled execution: event sink + loop UID registry
+//!   (the "static analysis" results) + deterministic virtual address space.
+//! * [`TracedBuffer`] — shared arrays whose every `load`/`store` emits the
+//!   paper's instrumentation tuple (type, address, size, function, current
+//!   loop UID, parent loop UID) before performing the access.
+//! * [`loops`] — loop/function annotation: `LoopTable` registration and
+//!   per-thread RAII nesting guards.
+//! * [`runtime`] — registered thread spawning and an instrumented
+//!   sense-reversing barrier.
+//! * [`sink`] — event consumers: no-op, counting, recording, fan-out.
+//! * [`replay`] — temporally ordered traces for deterministic offline
+//!   analysis.
+//! * [`selective`] — the §IV-A analyzed/not-analyzed region split as a
+//!   filtering sink wrapper.
+//!
+//! The profiler itself lives in `lc-profiler`; it is just another
+//! [`AccessSink`].
+
+#![warn(missing_docs)]
+
+pub mod ctx;
+pub mod event;
+pub mod loops;
+pub mod memory;
+pub mod registry;
+pub mod replay;
+pub mod runtime;
+pub mod selective;
+pub mod sink;
+pub mod sites;
+pub mod trace_compress;
+pub mod trace_io;
+
+pub use ctx::TraceCtx;
+pub use event::{AccessEvent, AccessKind, FuncId, LoopId, StampedEvent};
+pub use loops::{enter_func, enter_loop, FuncGuard, LoopGuard, LoopTable};
+pub use memory::{AddressSpace, TracedBuffer, Word};
+pub use registry::{current_tid, try_current_tid, ThreadGuard};
+pub use replay::{Trace, TraceStats};
+pub use runtime::{run_threads, InstrumentedBarrier};
+pub use selective::{RegionFilter, SelectiveSink};
+pub use sink::{AccessSink, CountingSink, ForkSink, NoopSink, RecordingSink};
+pub use sites::{site_location, SiteCounter, SiteTraffic};
+pub use trace_compress::{load_trace_compressed, save_trace_compressed};
+pub use trace_io::{load_trace, read_trace, save_trace, write_trace};

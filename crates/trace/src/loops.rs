@@ -1,0 +1,269 @@
+//! Loop annotation — the runtime image of the paper's static analysis.
+//!
+//! §IV-B: "It analyzes the program and annotates each loop with a unique
+//! identifier (UID) using LLVM metadata nodes... If the instrumented memory
+//! access is inside a loop, the UID of the parent loop is fed into the
+//! pattern detection." Our workloads are Rust, not LLVM IR, so loop UIDs
+//! are registered explicitly in a [`LoopTable`] (one registration per
+//! *static* loop, exactly like one metadata node per loop header) and the
+//! dynamic nesting is tracked by a per-thread loop stack of RAII guards ([`enter_loop`]).
+
+use std::cell::RefCell;
+
+use parking_lot::RwLock;
+
+use crate::event::{FuncId, LoopId};
+
+/// Static description of one annotated loop.
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    /// The loop's UID.
+    pub id: LoopId,
+    /// Human-readable label (e.g. `"daxpy"`, `"INTERF"`).
+    pub name: String,
+    /// Statically enclosing loop, or [`LoopId::NONE`].
+    pub parent: LoopId,
+    /// Function the loop lives in.
+    pub func: FuncId,
+}
+
+/// Registry of loop UIDs and function names for one profiled program.
+#[derive(Debug, Default)]
+pub struct LoopTable {
+    loops: RwLock<Vec<LoopInfo>>,
+    funcs: RwLock<Vec<String>>,
+}
+
+impl LoopTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a function/region name, returning its id.
+    pub fn register_func(&self, name: &str) -> FuncId {
+        let mut funcs = self.funcs.write();
+        if let Some(i) = funcs.iter().position(|f| f == name) {
+            return FuncId(i as u32 + 1);
+        }
+        funcs.push(name.to_string());
+        FuncId(funcs.len() as u32)
+    }
+
+    /// Register a loop with a label, static parent and owning function,
+    /// returning its fresh UID. Mirrors Listing 1 of the paper
+    /// (`loopUIDS++` attached to the loop header).
+    pub fn register_loop(&self, name: &str, parent: LoopId, func: FuncId) -> LoopId {
+        let mut loops = self.loops.write();
+        let id = LoopId(loops.len() as u32 + 1);
+        loops.push(LoopInfo {
+            id,
+            name: name.to_string(),
+            parent,
+            func,
+        });
+        id
+    }
+
+    /// Look up a loop's metadata.
+    pub fn info(&self, id: LoopId) -> Option<LoopInfo> {
+        if !id.is_some() {
+            return None;
+        }
+        self.loops.read().get(id.0 as usize - 1).cloned()
+    }
+
+    /// Label of a loop, `"<toplevel>"` for [`LoopId::NONE`].
+    pub fn name(&self, id: LoopId) -> String {
+        self.info(id)
+            .map(|i| i.name)
+            .unwrap_or_else(|| "<toplevel>".to_string())
+    }
+
+    /// Function name for a [`FuncId`].
+    pub fn func_name(&self, id: FuncId) -> String {
+        if id == FuncId::NONE {
+            return "<toplevel>".to_string();
+        }
+        self.funcs
+            .read()
+            .get(id.0 as usize - 1)
+            .cloned()
+            .unwrap_or_else(|| "<unknown>".to_string())
+    }
+
+    /// Static parent of a loop ([`LoopId::NONE`] at top level).
+    pub fn parent(&self, id: LoopId) -> LoopId {
+        self.info(id).map(|i| i.parent).unwrap_or(LoopId::NONE)
+    }
+
+    /// Direct children of a loop (or the roots when `id` is NONE).
+    pub fn children(&self, id: LoopId) -> Vec<LoopId> {
+        self.loops
+            .read()
+            .iter()
+            .filter(|l| l.parent == id)
+            .map(|l| l.id)
+            .collect()
+    }
+
+    /// All registered loop UIDs in registration order.
+    pub fn all_loops(&self) -> Vec<LoopId> {
+        self.loops.read().iter().map(|l| l.id).collect()
+    }
+
+    /// Number of registered loops.
+    pub fn len(&self) -> usize {
+        self.loops.read().len()
+    }
+
+    /// True when no loop is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Nesting depth of a loop (roots have depth 1).
+    pub fn depth(&self, id: LoopId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while cur.is_some() {
+            d += 1;
+            cur = self.parent(cur);
+            assert!(d <= 1024, "loop parent cycle detected");
+        }
+        d
+    }
+}
+
+thread_local! {
+    /// Dynamic loop nesting of the current thread: innermost is last.
+    static LOOP_STACK: RefCell<Vec<LoopId>> = const { RefCell::new(Vec::new()) };
+    /// Dynamic function nesting of the current thread.
+    static FUNC_STACK: RefCell<Vec<FuncId>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The thread's current (innermost, parent) loop context.
+#[inline]
+pub fn current_loops() -> (LoopId, LoopId) {
+    LOOP_STACK.with(|s| {
+        let s = s.borrow();
+        let cur = s.last().copied().unwrap_or(LoopId::NONE);
+        let par = if s.len() >= 2 {
+            s[s.len() - 2]
+        } else {
+            LoopId::NONE
+        };
+        (cur, par)
+    })
+}
+
+/// The thread's current function context.
+#[inline]
+pub fn current_func() -> FuncId {
+    FUNC_STACK.with(|s| s.borrow().last().copied().unwrap_or(FuncId::NONE))
+}
+
+/// RAII guard marking "this thread is executing iterations of loop `id`".
+#[must_use = "the loop region ends when the guard drops"]
+pub struct LoopGuard {
+    _priv: (),
+}
+
+/// Enter a loop region on the current thread.
+pub fn enter_loop(id: LoopId) -> LoopGuard {
+    LOOP_STACK.with(|s| s.borrow_mut().push(id));
+    LoopGuard { _priv: () }
+}
+
+impl Drop for LoopGuard {
+    fn drop(&mut self) {
+        LOOP_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// RAII guard marking "this thread is executing function `id`".
+#[must_use = "the function region ends when the guard drops"]
+pub struct FuncGuard {
+    _priv: (),
+}
+
+/// Enter a function region on the current thread.
+pub fn enter_func(id: FuncId) -> FuncGuard {
+    FUNC_STACK.with(|s| s.borrow_mut().push(id));
+    FuncGuard { _priv: () }
+}
+
+impl Drop for FuncGuard {
+    fn drop(&mut self) {
+        FUNC_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let t = LoopTable::new();
+        let f = t.register_func("lu");
+        let outer = t.register_loop("outer", LoopId::NONE, f);
+        let inner = t.register_loop("daxpy", outer, f);
+        assert_eq!(t.name(outer), "outer");
+        assert_eq!(t.parent(inner), outer);
+        assert_eq!(t.children(outer), vec![inner]);
+        assert_eq!(t.children(LoopId::NONE), vec![outer]);
+        assert_eq!(t.depth(inner), 2);
+        assert_eq!(t.func_name(f), "lu");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn func_registration_is_idempotent() {
+        let t = LoopTable::new();
+        assert_eq!(t.register_func("f"), t.register_func("f"));
+        assert_ne!(t.register_func("f"), t.register_func("g"));
+    }
+
+    #[test]
+    fn uids_are_unique_and_sequential() {
+        let t = LoopTable::new();
+        let a = t.register_loop("a", LoopId::NONE, FuncId::NONE);
+        let b = t.register_loop("b", LoopId::NONE, FuncId::NONE);
+        assert_eq!(a, LoopId(1));
+        assert_eq!(b, LoopId(2));
+    }
+
+    #[test]
+    fn stack_tracks_nesting() {
+        assert_eq!(current_loops(), (LoopId::NONE, LoopId::NONE));
+        let g1 = enter_loop(LoopId(5));
+        assert_eq!(current_loops(), (LoopId(5), LoopId::NONE));
+        {
+            let _g2 = enter_loop(LoopId(9));
+            assert_eq!(current_loops(), (LoopId(9), LoopId(5)));
+        }
+        assert_eq!(current_loops(), (LoopId(5), LoopId::NONE));
+        drop(g1);
+        assert_eq!(current_loops(), (LoopId::NONE, LoopId::NONE));
+    }
+
+    #[test]
+    fn func_stack_tracks_nesting() {
+        assert_eq!(current_func(), FuncId::NONE);
+        let _g = enter_func(FuncId(2));
+        assert_eq!(current_func(), FuncId(2));
+    }
+
+    #[test]
+    fn toplevel_names() {
+        let t = LoopTable::new();
+        assert_eq!(t.name(LoopId::NONE), "<toplevel>");
+        assert_eq!(t.func_name(FuncId::NONE), "<toplevel>");
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Selective analysis — the paper's analyzed / not-analyzed split.
+//!
+//! §IV-A: "The source code could be decomposed by user into two pieces:
+//! code that has to be analyzed and code that should not be analyzed. This
+//! can lead to a significant speedup of the analysis, due to the
+//! elimination of unnecessary analysis."
+//!
+//! [`SelectiveSink`] is that decomposition at runtime: a filter wrapper
+//! that forwards only events matching the user's region selection (by loop
+//! UID and/or function id), dropping the rest before any analysis cost is
+//! paid.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::event::{AccessEvent, FuncId, LoopId};
+use crate::sink::AccessSink;
+
+/// Which regions to analyze.
+#[derive(Clone, Debug, Default)]
+pub struct RegionFilter {
+    /// Analyze only these loops (empty = no loop restriction).
+    pub loops: HashSet<LoopId>,
+    /// Analyze only these functions (empty = no function restriction).
+    pub funcs: HashSet<FuncId>,
+    /// Also analyze accesses outside any loop.
+    pub include_toplevel: bool,
+}
+
+impl RegionFilter {
+    /// Analyze everything (the filterless default).
+    pub fn all() -> Self {
+        Self {
+            loops: HashSet::new(),
+            funcs: HashSet::new(),
+            include_toplevel: true,
+        }
+    }
+
+    /// Analyze only the given loops.
+    pub fn loops_only(loops: impl IntoIterator<Item = LoopId>) -> Self {
+        Self {
+            loops: loops.into_iter().collect(),
+            funcs: HashSet::new(),
+            include_toplevel: false,
+        }
+    }
+
+    /// Analyze only the given functions.
+    pub fn funcs_only(funcs: impl IntoIterator<Item = FuncId>) -> Self {
+        Self {
+            loops: HashSet::new(),
+            funcs: funcs.into_iter().collect(),
+            include_toplevel: false,
+        }
+    }
+
+    /// Does an event fall inside the analyzed region?
+    #[inline]
+    pub fn admits(&self, ev: &AccessEvent) -> bool {
+        if !ev.loop_id.is_some() && !self.include_toplevel {
+            return false;
+        }
+        let loop_ok = self.loops.is_empty()
+            || self.loops.contains(&ev.loop_id)
+            || self.loops.contains(&ev.parent_loop);
+        if !loop_ok {
+            return false;
+        }
+        if !self.funcs.is_empty() && !self.funcs.contains(&ev.func) {
+            return false;
+        }
+        true
+    }
+}
+
+/// Forwards only events admitted by the [`RegionFilter`].
+pub struct SelectiveSink<S> {
+    inner: S,
+    filter: RegionFilter,
+    admitted: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl<S: AccessSink> SelectiveSink<S> {
+    /// Wrap `inner` behind `filter`.
+    pub fn new(inner: S, filter: RegionFilter) -> Self {
+        Self {
+            inner,
+            filter,
+            admitted: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Events forwarded for analysis.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Events excluded from analysis.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl<S: AccessSink> AccessSink for SelectiveSink<S> {
+    #[inline]
+    fn on_access(&self, ev: &AccessEvent) {
+        if self.filter.admits(ev) {
+            self.admitted.fetch_add(1, Ordering::Relaxed);
+            self.inner.on_access(ev);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::AccessKind;
+    use crate::sink::CountingSink;
+
+    fn ev(loop_id: LoopId, parent: LoopId, func: FuncId) -> AccessEvent {
+        AccessEvent {
+            tid: 0,
+            addr: 0x10,
+            size: 8,
+            kind: AccessKind::Read,
+            loop_id,
+            parent_loop: parent,
+            func,
+            site: 0,
+        }
+    }
+
+    #[test]
+    fn all_admits_everything() {
+        let f = RegionFilter::all();
+        assert!(f.admits(&ev(LoopId::NONE, LoopId::NONE, FuncId::NONE)));
+        assert!(f.admits(&ev(LoopId(3), LoopId(1), FuncId(2))));
+    }
+
+    #[test]
+    fn loops_only_admits_loop_and_children() {
+        let f = RegionFilter::loops_only([LoopId(5)]);
+        assert!(f.admits(&ev(LoopId(5), LoopId::NONE, FuncId::NONE)));
+        // A nested loop whose parent is selected is part of the region.
+        assert!(f.admits(&ev(LoopId(9), LoopId(5), FuncId::NONE)));
+        assert!(!f.admits(&ev(LoopId(2), LoopId(1), FuncId::NONE)));
+        assert!(!f.admits(&ev(LoopId::NONE, LoopId::NONE, FuncId::NONE)));
+    }
+
+    #[test]
+    fn funcs_only_filters_by_function() {
+        let f = RegionFilter::funcs_only([FuncId(7)]);
+        assert!(f.admits(&ev(LoopId(1), LoopId::NONE, FuncId(7))));
+        assert!(!f.admits(&ev(LoopId(1), LoopId::NONE, FuncId(8))));
+    }
+
+    #[test]
+    fn selective_sink_counts_and_forwards() {
+        let s = SelectiveSink::new(CountingSink::new(), RegionFilter::loops_only([LoopId(1)]));
+        s.on_access(&ev(LoopId(1), LoopId::NONE, FuncId::NONE));
+        s.on_access(&ev(LoopId(2), LoopId::NONE, FuncId::NONE));
+        s.on_access(&ev(LoopId(1), LoopId::NONE, FuncId::NONE));
+        assert_eq!(s.admitted(), 2);
+        assert_eq!(s.dropped(), 1);
+        assert_eq!(s.inner().total(), 2);
+    }
+}

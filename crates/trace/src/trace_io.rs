@@ -1,0 +1,213 @@
+//! Trace persistence — save/load recorded traces as compact binary files.
+//!
+//! Offline workflows (record once, sweep many analyzer configurations —
+//! the FPR study's shape) benefit from traces on disk. The format is a
+//! fixed-width little-endian record stream with a magic/version header;
+//! one event is 41 bytes, so even the simlarge traces stay in the tens of
+//! megabytes (the paper notes simulation-based tools produce "more than
+//! 100GB" logs — the compactness matters).
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::event::{AccessEvent, AccessKind, FuncId, LoopId, StampedEvent};
+use crate::replay::Trace;
+
+/// File magic: "LCTR".
+const MAGIC: [u8; 4] = *b"LCTR";
+/// Format version.
+const VERSION: u32 = 1;
+/// Bytes per serialized event.
+const RECORD_BYTES: usize = 41;
+
+/// Serialize a trace to a writer.
+pub fn write_trace<W: Write>(trace: &Trace, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for e in trace.events() {
+        let ev = &e.event;
+        w.write_all(&e.seq.to_le_bytes())?;
+        w.write_all(&ev.tid.to_le_bytes())?;
+        w.write_all(&ev.addr.to_le_bytes())?;
+        w.write_all(&ev.size.to_le_bytes())?;
+        w.write_all(&[match ev.kind {
+            AccessKind::Read => 0u8,
+            AccessKind::Write => 1,
+        }])?;
+        w.write_all(&ev.loop_id.0.to_le_bytes())?;
+        w.write_all(&ev.parent_loop.0.to_le_bytes())?;
+        w.write_all(&ev.func.0.to_le_bytes())?;
+        // Sites are process-local `&'static Location` addresses; the low 32
+        // bits keep per-site streams distinct within one trace file.
+        w.write_all(&(ev.site as u32).to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Deserialize a trace from a reader.
+pub fn read_trace<R: Read>(r: R) -> io::Result<Trace> {
+    let mut r = BufReader::new(r);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a loopcomm trace (bad magic)",
+        ));
+    }
+    let mut u32b = [0u8; 4];
+    r.read_exact(&mut u32b)?;
+    let version = u32::from_le_bytes(u32b);
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {version}"),
+        ));
+    }
+    let mut u64b = [0u8; 8];
+    r.read_exact(&mut u64b)?;
+    let count = u64::from_le_bytes(u64b) as usize;
+
+    let mut events = Vec::with_capacity(count);
+    let mut rec = [0u8; RECORD_BYTES];
+    for _ in 0..count {
+        r.read_exact(&mut rec)?;
+        let seq = u64::from_le_bytes(rec[0..8].try_into().unwrap());
+        let tid = u32::from_le_bytes(rec[8..12].try_into().unwrap());
+        let addr = u64::from_le_bytes(rec[12..20].try_into().unwrap());
+        let size = u32::from_le_bytes(rec[20..24].try_into().unwrap());
+        let kind = match rec[24] {
+            0 => AccessKind::Read,
+            1 => AccessKind::Write,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad access kind {other}"),
+                ))
+            }
+        };
+        let loop_id = LoopId(u32::from_le_bytes(rec[25..29].try_into().unwrap()));
+        let parent_loop = LoopId(u32::from_le_bytes(rec[29..33].try_into().unwrap()));
+        let func = FuncId(u32::from_le_bytes(rec[33..37].try_into().unwrap()));
+        let site = u32::from_le_bytes(rec[37..41].try_into().unwrap()) as u64;
+        events.push(StampedEvent {
+            seq,
+            event: AccessEvent {
+                tid,
+                addr,
+                size,
+                kind,
+                loop_id,
+                parent_loop,
+                func,
+                site,
+            },
+        });
+    }
+    Ok(Trace::new(events))
+}
+
+/// Save a trace to a file path.
+pub fn save_trace(trace: &Trace, path: &Path) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    write_trace(trace, std::fs::File::create(path)?)
+}
+
+/// Load a trace from a file path.
+pub fn load_trace(path: &Path) -> io::Result<Trace> {
+    read_trace(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace::new(
+            (0..100u64)
+                .map(|i| StampedEvent {
+                    seq: i,
+                    event: AccessEvent {
+                        tid: (i % 4) as u32,
+                        addr: 0x1000 + i * 8,
+                        size: 8,
+                        kind: if i % 3 == 0 {
+                            AccessKind::Write
+                        } else {
+                            AccessKind::Read
+                        },
+                        loop_id: LoopId((i % 5) as u32),
+                        parent_loop: LoopId::NONE,
+                        func: FuncId(1),
+                        site: (i % 7) << 8,
+                    },
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything_but_high_site_bits() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        assert_eq!(buf.len(), 16 + 100 * RECORD_BYTES);
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back.len(), t.len());
+        for (a, b) in t.events().iter().zip(back.events()) {
+            assert_eq!(a.seq, b.seq);
+            // Sites are process-local pointers; the file keeps the low 32
+            // bits, enough to key per-site analysis within one trace.
+            let mut want = a.event;
+            want.site &= 0xffff_ffff;
+            assert_eq!(want, b.event);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("lc_trace_io_test");
+        let path = dir.join("t.lctrace");
+        let t = sample_trace();
+        save_trace(&t, &path).unwrap();
+        let back = load_trace(&path).unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.stats().writes, t.stats().writes);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_trace(&b"NOPE\x01\x00\x00\x00"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"LCTR");
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(read_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_body_is_rejected() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(read_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        write_trace(&Trace::default(), &mut buf).unwrap();
+        assert_eq!(read_trace(&buf[..]).unwrap().len(), 0);
+    }
+}

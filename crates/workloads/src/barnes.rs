@@ -1,0 +1,360 @@
+//! `barnes` — Barnes–Hut N-body (SPLASH-2 BARNES skeleton, 2-D).
+//!
+//! Per timestep: thread 0 builds the quadtree in shared (traced) arrays
+//! (`maketree`), every thread then computes forces for its body chunk by
+//! traversing the tree (`hackgrav` — the one-builder/many-reader broadcast
+//! the paper's n-body pattern shows), and owners advance their bodies
+//! (`advance`).
+//!
+//! Validation: the root's mass/center-of-mass must equal the exact totals,
+//! and sampled Barnes–Hut forces must agree with the direct O(n²) sum
+//! within the θ-approximation error.
+
+use std::sync::Arc;
+
+use lc_trace::{
+    enter_func, enter_loop, run_threads, InstrumentedBarrier, TraceCtx, TracedBuffer,
+};
+
+use crate::rng::Xoshiro256;
+use crate::util::chunk;
+use crate::{RunConfig, Workload, WorkloadResult};
+
+/// Opening criterion.
+const THETA: f64 = 0.5;
+/// Softening.
+const SOFT: f64 = 1e-4;
+/// Timestep.
+const DT: f64 = 1e-5;
+/// f64 fields per tree node: cx, cy, half, mass, comx, comy.
+const NF: usize = 6;
+
+#[inline]
+fn accel(m: f64, dx: f64, dy: f64) -> (f64, f64) {
+    let r2 = dx * dx + dy * dy + SOFT;
+    let inv = m / (r2 * r2.sqrt());
+    (dx * inv, dy * inv)
+}
+
+/// The Barnes–Hut workload.
+pub struct Barnes;
+
+impl Workload for Barnes {
+    fn name(&self) -> &'static str {
+        "barnes"
+    }
+
+    fn description(&self) -> &'static str {
+        "Barnes-Hut N-body: serial tree build, parallel tree-walk forces"
+    }
+
+    fn run(&self, ctx: &Arc<TraceCtx>, cfg: &RunConfig) -> WorkloadResult {
+        let n = cfg.size.pick(96usize, 192, 320);
+        let steps = cfg.size.pick(2, 2, 3);
+        let t = cfg.threads.min(n);
+        let max_nodes = 16 * n;
+
+        let bx: TracedBuffer<f64> = ctx.alloc(n);
+        let by: TracedBuffer<f64> = ctx.alloc(n);
+        let ax: TracedBuffer<f64> = ctx.alloc(n);
+        let ay: TracedBuffer<f64> = ctx.alloc(n);
+        let nodes: TracedBuffer<f64> = ctx.alloc(max_nodes * NF);
+        let children: TracedBuffer<u64> = ctx.alloc(max_nodes * 4); // idx+1, 0=none
+        let leaf_body: TracedBuffer<u64> = ctx.alloc(max_nodes); // body+1, 0=internal/empty
+        let node_count: TracedBuffer<u64> = ctx.alloc(1);
+
+        let mut rng = Xoshiro256::seed_from(cfg.seed);
+        for i in 0..n {
+            bx.poke(i, rng.range_f64(0.05, 0.95));
+            by.poke(i, rng.range_f64(0.05, 0.95));
+        }
+
+        let f = ctx.func("barnes");
+        let l_make = ctx.root_loop("maketree", f);
+        let l_grav = ctx.root_loop("hackgrav", f);
+        let l_adv = ctx.root_loop("advance", f);
+        let bar = InstrumentedBarrier::new(ctx, t, "barrier", f);
+
+        run_threads(t, |tid| {
+            let _fg = enter_func(f);
+            let (lo, hi) = chunk(n, t, tid);
+            for step in 0..steps {
+                if tid == 0 {
+                    let _mg = enter_loop(l_make);
+                    build_tree(n, max_nodes, &bx, &by, &nodes, &children, &leaf_body, &node_count);
+                }
+                bar.wait();
+
+                {
+                    let _gg = enter_loop(l_grav);
+                    let mut stack: Vec<usize> = Vec::with_capacity(64);
+                    for i in lo..hi {
+                        let (xi, yi) = (bx.load(i), by.load(i));
+                        let (mut sx, mut sy) = (0.0, 0.0);
+                        stack.clear();
+                        stack.push(0);
+                        while let Some(nd) = stack.pop() {
+                            let mass = nodes.load(nd * NF + 3);
+                            if mass == 0.0 {
+                                continue;
+                            }
+                            let lb = leaf_body.load(nd);
+                            if lb == i as u64 + 1 {
+                                continue; // self
+                            }
+                            let (comx, comy) = (nodes.load(nd * NF + 4), nodes.load(nd * NF + 5));
+                            let (dx, dy) = (comx - xi, comy - yi);
+                            let dist = (dx * dx + dy * dy).sqrt().max(1e-12);
+                            let width = nodes.load(nd * NF + 2) * 2.0;
+                            if lb != 0 || width / dist < THETA {
+                                let (gx, gy) = accel(mass, dx, dy);
+                                sx += gx;
+                                sy += gy;
+                            } else {
+                                for q in 0..4 {
+                                    let ch = children.load(nd * 4 + q);
+                                    if ch != 0 {
+                                        stack.push(ch as usize - 1);
+                                    }
+                                }
+                            }
+                        }
+                        ax.store(i, sx);
+                        ay.store(i, sy);
+                    }
+                }
+                bar.wait();
+
+                // Skip the last advance so the final tree/forces stay
+                // consistent with the final positions for validation.
+                if step + 1 < steps {
+                    let _ag = enter_loop(l_adv);
+                    for i in lo..hi {
+                        bx.update(i, |v| (v + DT * ax.load(i)).clamp(0.0, 1.0));
+                        by.update(i, |v| (v + DT * ay.load(i)).clamp(0.0, 1.0));
+                    }
+                }
+                bar.wait();
+            }
+        });
+
+        // Tree invariants: root aggregates are exact totals.
+        let root_mass = nodes.peek(3);
+        assert!(
+            (root_mass - n as f64).abs() < 1e-9,
+            "root mass {root_mass} != {n}"
+        );
+        let (mx, my): (f64, f64) = (0..n).fold((0.0, 0.0), |acc, i| {
+            (acc.0 + bx.peek(i), acc.1 + by.peek(i))
+        });
+        // Hierarchical weighted averaging reassociates the sum; allow
+        // floating-point slack.
+        assert!((nodes.peek(4) - mx / n as f64).abs() < 1e-6);
+        assert!((nodes.peek(5) - my / n as f64).abs() < 1e-6);
+
+        // Sampled force accuracy vs direct sum.
+        let mut rng2 = Xoshiro256::seed_from(cfg.seed ^ 0x5a5a);
+        for _ in 0..8 {
+            let i = rng2.below(n as u64) as usize;
+            let (xi, yi) = (bx.peek(i), by.peek(i));
+            let (mut dxs, mut dys) = (0.0, 0.0);
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let (gx, gy) = accel(1.0, bx.peek(j) - xi, by.peek(j) - yi);
+                dxs += gx;
+                dys += gy;
+            }
+            let (tx, ty) = (ax.peek(i), ay.peek(i));
+            let mag = (dxs * dxs + dys * dys).sqrt().max(1e-9);
+            let err = ((tx - dxs).powi(2) + (ty - dys).powi(2)).sqrt() / mag;
+            assert!(err < 0.35, "BH force error {err} at body {i}");
+        }
+
+        let checksum = (0..n).map(|i| bx.peek(i) * 2.0 + by.peek(i)).sum();
+        WorkloadResult { checksum }
+    }
+}
+
+/// Serial quadtree construction into the shared traced arrays. Called by
+/// thread 0 inside the `maketree` region.
+#[allow(clippy::too_many_arguments)]
+fn build_tree(
+    n: usize,
+    max_nodes: usize,
+    bx: &TracedBuffer<f64>,
+    by: &TracedBuffer<f64>,
+    nodes: &TracedBuffer<f64>,
+    children: &TracedBuffer<u64>,
+    leaf_body: &TracedBuffer<u64>,
+    node_count: &TracedBuffer<u64>,
+) {
+    // Reset the previously used prefix.
+    let used = node_count.load(0) as usize;
+    for nd in 0..used.max(1) {
+        nodes.store(nd * NF + 3, 0.0);
+        leaf_body.store(nd, 0);
+        for q in 0..4 {
+            children.store(nd * 4 + q, 0);
+        }
+    }
+    // Root covers the unit square.
+    nodes.store(0, 0.5);
+    nodes.store(1, 0.5);
+    nodes.store(2, 0.5);
+    let mut next = 1usize;
+
+    let alloc_child = |parent: usize, quad: usize, next: &mut usize| -> usize {
+        let nd = *next;
+        assert!(nd < max_nodes, "quadtree overflow");
+        *next += 1;
+        let pcx = nodes.load(parent * NF);
+        let pcy = nodes.load(parent * NF + 1);
+        let ph = nodes.load(parent * NF + 2);
+        let h = ph * 0.5;
+        let cx = pcx + if quad & 1 == 1 { h } else { -h };
+        let cy = pcy + if quad & 2 == 2 { h } else { -h };
+        nodes.store(nd * NF, cx);
+        nodes.store(nd * NF + 1, cy);
+        nodes.store(nd * NF + 2, h);
+        nodes.store(nd * NF + 3, 0.0);
+        leaf_body.store(nd, 0);
+        for q in 0..4 {
+            children.store(nd * 4 + q, 0);
+        }
+        children.store(parent * 4 + quad, nd as u64 + 1);
+        nd
+    };
+
+    let quad_of = |nd: usize, x: f64, y: f64| -> usize {
+        let cx = nodes.load(nd * NF);
+        let cy = nodes.load(nd * NF + 1);
+        usize::from(x >= cx) | (usize::from(y >= cy) << 1)
+    };
+
+    for b in 0..n {
+        let (x, y) = (bx.load(b), by.load(b));
+        let mut cur = 0usize;
+        let mut depth = 0;
+        loop {
+            depth += 1;
+            assert!(depth < 64, "quadtree degeneracy (coincident bodies?)");
+            let lb = leaf_body.load(cur);
+            let has_children = (0..4).any(|q| children.load(cur * 4 + q) != 0);
+            if lb == 0 && !has_children {
+                leaf_body.store(cur, b as u64 + 1);
+                break;
+            }
+            if lb != 0 {
+                // Occupied leaf: push the resident body one level down.
+                let old = lb as usize - 1;
+                let (ox, oy) = (bx.load(old), by.load(old));
+                let oq = quad_of(cur, ox, oy);
+                let child = alloc_child(cur, oq, &mut next);
+                leaf_body.store(child, old as u64 + 1);
+                leaf_body.store(cur, 0);
+                // fall through: cur is now internal, keep descending.
+            }
+            let q = quad_of(cur, x, y);
+            let ch = children.load(cur * 4 + q);
+            cur = if ch == 0 {
+                alloc_child(cur, q, &mut next)
+            } else {
+                ch as usize - 1
+            };
+        }
+    }
+    node_count.store(0, next as u64);
+
+    // Bottom-up mass / centre-of-mass with an explicit post-order stack.
+    let mut stack: Vec<(usize, bool)> = vec![(0, false)];
+    while let Some((nd, expanded)) = stack.pop() {
+        if !expanded {
+            stack.push((nd, true));
+            for q in 0..4 {
+                let ch = children.load(nd * 4 + q);
+                if ch != 0 {
+                    stack.push((ch as usize - 1, false));
+                }
+            }
+        } else {
+            let lb = leaf_body.load(nd);
+            if lb != 0 {
+                let b = lb as usize - 1;
+                nodes.store(nd * NF + 3, 1.0);
+                nodes.store(nd * NF + 4, bx.load(b));
+                nodes.store(nd * NF + 5, by.load(b));
+            } else {
+                let (mut m, mut sx, mut sy) = (0.0, 0.0, 0.0);
+                for q in 0..4 {
+                    let ch = children.load(nd * 4 + q);
+                    if ch != 0 {
+                        let cnd = ch as usize - 1;
+                        let cm = nodes.load(cnd * NF + 3);
+                        m += cm;
+                        sx += cm * nodes.load(cnd * NF + 4);
+                        sy += cm * nodes.load(cnd * NF + 5);
+                    }
+                }
+                nodes.store(nd * NF + 3, m);
+                if m > 0.0 {
+                    nodes.store(nd * NF + 4, sx / m);
+                    nodes.store(nd * NF + 5, sy / m);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InputSize;
+    use lc_trace::{NoopSink, RecordingSink};
+
+    #[test]
+    fn invariants_hold_and_thread_independent() {
+        let c = |t| {
+            let ctx = TraceCtx::new(Arc::new(NoopSink), t);
+            Barnes
+                .run(&ctx, &RunConfig::new(t, InputSize::SimDev, 31))
+                .checksum
+        };
+        assert!((c(1) - c(4)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maketree_is_single_writer_hackgrav_many_reader() {
+        let rec = Arc::new(RecordingSink::new());
+        let ctx = TraceCtx::new(rec.clone(), 4);
+        Barnes.run(&ctx, &RunConfig::new(4, InputSize::SimDev, 2));
+        let trace = rec.finish();
+        let make = ctx
+            .loops()
+            .all_loops()
+            .into_iter()
+            .find(|l| ctx.loops().name(*l) == "maketree")
+            .unwrap();
+        let grav = ctx
+            .loops()
+            .all_loops()
+            .into_iter()
+            .find(|l| ctx.loops().name(*l) == "hackgrav")
+            .unwrap();
+        // All maketree events come from thread 0.
+        assert!(trace
+            .events()
+            .iter()
+            .filter(|e| e.event.loop_id == make)
+            .all(|e| e.event.tid == 0));
+        // hackgrav is executed by every thread.
+        let tids: std::collections::HashSet<u32> = trace
+            .events()
+            .iter()
+            .filter(|e| e.event.loop_id == grav)
+            .map(|e| e.event.tid)
+            .collect();
+        assert_eq!(tids.len(), 4);
+    }
+}

@@ -1,0 +1,342 @@
+//! `ocean_cp` / `ocean_ncp` — iterative grid solvers (SPLASH-2 OCEAN).
+//!
+//! Both solve a Laplace relaxation on a square grid with fixed boundary;
+//! they differ in decomposition, as the SPLASH "contiguous partitions" vs
+//! "non-contiguous partitions" variants do:
+//!
+//! * `ocean_cp` — red-black Gauss–Seidel SOR over **row slabs**: each
+//!   thread exchanges only its top/bottom halo rows with its two
+//!   neighbours (1-D nearest-neighbour communication).
+//! * `ocean_ncp` — Jacobi over **2-D tiles**: each thread exchanges halos
+//!   with up to four neighbours (2-D structured-grid communication).
+//!
+//! Validation: the residual ‖∇²φ‖ must shrink across iterations.
+
+use std::sync::Arc;
+
+use lc_trace::{
+    enter_func, enter_loop, run_threads, InstrumentedBarrier, TraceCtx, TracedBuffer,
+};
+
+use crate::rng::Xoshiro256;
+use crate::util::{chunk, isqrt};
+use crate::{RunConfig, Workload, WorkloadResult};
+
+fn init_grid(g: usize, seed: u64, grid: &TracedBuffer<f64>) {
+    let mut rng = Xoshiro256::seed_from(seed);
+    for i in 0..g {
+        for j in 0..g {
+            let v = if i == 0 || j == 0 || i == g - 1 || j == g - 1 {
+                // Fixed hot/cold boundary.
+                if i == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                rng.range_f64(0.0, 1.0)
+            };
+            grid.poke(i * g + j, v);
+        }
+    }
+}
+
+/// Untraced residual ‖∇²φ‖₁ over the interior.
+fn residual(g: usize, grid: &TracedBuffer<f64>) -> f64 {
+    let mut r = 0.0;
+    for i in 1..g - 1 {
+        for j in 1..g - 1 {
+            let lap = grid.peek((i - 1) * g + j)
+                + grid.peek((i + 1) * g + j)
+                + grid.peek(i * g + j - 1)
+                + grid.peek(i * g + j + 1)
+                - 4.0 * grid.peek(i * g + j);
+            r += lap.abs();
+        }
+    }
+    r
+}
+
+/// Red-black SOR with a coarse-grid (multigrid) correction over row slabs
+/// (`ocean_cp`).
+///
+/// SPLASH OCEAN's solver is multigrid; this kernel keeps that structure:
+/// smoothing sweeps on the fine grid plus a periodic V-cycle leg —
+/// `restrict` the residual to a half-resolution grid, Jacobi-`coarse_relax`
+/// the error equation there, `prolong` the correction back. All three
+/// phases exchange halos, adding the coarse-level neighbour traffic the
+/// original exhibits.
+pub struct OceanCp;
+
+impl Workload for OceanCp {
+    fn name(&self) -> &'static str {
+        "ocean_cp"
+    }
+
+    fn description(&self) -> &'static str {
+        "multigrid red-black SOR on row slabs: 1-D halo exchange on two levels"
+    }
+
+    fn run(&self, ctx: &Arc<TraceCtx>, cfg: &RunConfig) -> WorkloadResult {
+        let g = cfg.size.pick(64usize, 96, 160);
+        let iters = cfg.size.pick(8, 10, 12);
+        let t = cfg.threads.min(g - 2);
+        let omega = 1.5;
+        let gc = g / 2; // coarse grid edge
+        let mg_every = 4; // V-cycle leg frequency
+        let coarse_sweeps = 4;
+
+        let grid: TracedBuffer<f64> = ctx.alloc(g * g);
+        let coarse_r: TracedBuffer<f64> = ctx.alloc(gc * gc); // restricted residual
+        let coarse_e: TracedBuffer<f64> = ctx.alloc(gc * gc); // error estimate (ping)
+        let coarse_e2: TracedBuffer<f64> = ctx.alloc(gc * gc); // error estimate (pong)
+        init_grid(g, cfg.seed, &grid);
+        let r0 = residual(g, &grid);
+
+        let f = ctx.func("ocean_cp");
+        let l_iter = ctx.root_loop("relax_iter", f);
+        let l_red = ctx.nested_loop("relax_red", l_iter, f);
+        let l_black = ctx.nested_loop("relax_black", l_iter, f);
+        let l_mg = ctx.root_loop("mg_cycle", f);
+        let l_restrict = ctx.nested_loop("restrict", l_mg, f);
+        let l_coarse = ctx.nested_loop("coarse_relax", l_mg, f);
+        let l_prolong = ctx.nested_loop("prolong", l_mg, f);
+        let bar = InstrumentedBarrier::new(ctx, t, "barrier", f);
+
+        run_threads(t, |tid| {
+            let _fg = enter_func(f);
+            // Interior rows 1..g-1 split into slabs; matching coarse slabs.
+            let (lo, hi) = chunk(g - 2, t, tid);
+            let (lo, hi) = (lo + 1, hi + 1);
+            let (clo, chi) = chunk(gc - 2, t, tid);
+            let (clo, chi) = (clo + 1, chi + 1);
+
+            for it in 0..iters {
+                let _ig = enter_loop(l_iter);
+                for color in 0..2usize {
+                    let _cg = enter_loop(if color == 0 { l_red } else { l_black });
+                    for i in lo..hi {
+                        for j in 1..g - 1 {
+                            if (i + j) % 2 != color {
+                                continue;
+                            }
+                            let up = grid.load((i - 1) * g + j); // halo at i==lo
+                            let down = grid.load((i + 1) * g + j); // halo at i==hi-1
+                            let left = grid.load(i * g + j - 1);
+                            let right = grid.load(i * g + j + 1);
+                            let old = grid.load(i * g + j);
+                            grid.store(
+                                i * g + j,
+                                (1.0 - omega) * old + omega * 0.25 * (up + down + left + right),
+                            );
+                        }
+                    }
+                    bar.wait();
+                }
+
+                if (it + 1) % mg_every != 0 {
+                    continue;
+                }
+                let _mg = enter_loop(l_mg);
+                {
+                    // Injection restriction of the fine residual.
+                    let _g2 = enter_loop(l_restrict);
+                    for ci in clo..chi {
+                        for cj in 1..gc - 1 {
+                            let (i, j) = (2 * ci, 2 * cj);
+                            let r = grid.load((i - 1) * g + j)
+                                + grid.load((i + 1) * g + j)
+                                + grid.load(i * g + j - 1)
+                                + grid.load(i * g + j + 1)
+                                - 4.0 * grid.load(i * g + j);
+                            coarse_r.store(ci * gc + cj, r);
+                            coarse_e.store(ci * gc + cj, 0.0);
+                            coarse_e2.store(ci * gc + cj, 0.0);
+                        }
+                    }
+                }
+                bar.wait();
+                {
+                    // Jacobi on the coarse error equation 4e − Σe = 4·r_c.
+                    let _g2 = enter_loop(l_coarse);
+                    for sweep in 0..coarse_sweeps {
+                        let (src, dst) = if sweep % 2 == 0 {
+                            (&coarse_e, &coarse_e2)
+                        } else {
+                            (&coarse_e2, &coarse_e)
+                        };
+                        for ci in clo..chi {
+                            for cj in 1..gc - 1 {
+                                let nsum = src.load((ci - 1) * gc + cj)
+                                    + src.load((ci + 1) * gc + cj)
+                                    + src.load(ci * gc + cj - 1)
+                                    + src.load(ci * gc + cj + 1);
+                                let e = 0.25 * nsum + coarse_r.load(ci * gc + cj);
+                                dst.store(ci * gc + cj, e);
+                            }
+                        }
+                        bar.wait();
+                    }
+                }
+                {
+                    // Piecewise-constant prolongation, under-relaxed.
+                    let _g2 = enter_loop(l_prolong);
+                    let e_final = if coarse_sweeps % 2 == 0 {
+                        &coarse_e
+                    } else {
+                        &coarse_e2
+                    };
+                    for i in lo..hi {
+                        let ci = (i / 2).clamp(1, gc - 2);
+                        for j in 1..g - 1 {
+                            let cj = (j / 2).clamp(1, gc - 2);
+                            let e = e_final.load(ci * gc + cj);
+                            grid.update(i * g + j, |v| v + 0.5 * e);
+                        }
+                    }
+                }
+                bar.wait();
+            }
+        });
+
+        let r1 = residual(g, &grid);
+        assert!(
+            r1 < r0 * 0.8,
+            "multigrid SOR failed to reduce residual: {r0} -> {r1}"
+        );
+        WorkloadResult { checksum: r1 }
+    }
+}
+
+/// Jacobi over 2-D tiles (`ocean_ncp`).
+pub struct OceanNcp;
+
+impl Workload for OceanNcp {
+    fn name(&self) -> &'static str {
+        "ocean_ncp"
+    }
+
+    fn description(&self) -> &'static str {
+        "Jacobi on 2-D tiles: 4-neighbour halo exchange"
+    }
+
+    fn run(&self, ctx: &Arc<TraceCtx>, cfg: &RunConfig) -> WorkloadResult {
+        let g = cfg.size.pick(64usize, 96, 160);
+        let iters = cfg.size.pick(8, 10, 12);
+        let t = cfg.threads;
+
+        let a: TracedBuffer<f64> = ctx.alloc(g * g);
+        let b: TracedBuffer<f64> = ctx.alloc(g * g);
+        init_grid(g, cfg.seed, &a);
+        for i in 0..g * g {
+            b.poke(i, a.peek(i));
+        }
+        let r0 = residual(g, &a);
+
+        // Near-square thread grid.
+        let pr = {
+            let mut best = 1;
+            let mut d = 1;
+            while d * d <= t {
+                if t % d == 0 {
+                    best = d;
+                }
+                d += 1;
+            }
+            best.min(isqrt(t).max(1))
+        };
+        let pc = t / pr;
+
+        let f = ctx.func("ocean_ncp");
+        let l_iter = ctx.root_loop("jacobi_iter", f);
+        let l_sweep = ctx.nested_loop("sweep", l_iter, f);
+        let bar = InstrumentedBarrier::new(ctx, t, "barrier", f);
+
+        run_threads(t, |tid| {
+            let _fg = enter_func(f);
+            let (tr, tc) = (tid / pc, tid % pc);
+            let (rlo, rhi) = chunk(g - 2, pr, tr);
+            let (clo, chi) = chunk(g - 2, pc, tc);
+            let (rlo, rhi, clo, chi) = (rlo + 1, rhi + 1, clo + 1, chi + 1);
+            for it in 0..iters {
+                let _ig = enter_loop(l_iter);
+                let (src, dst) = if it % 2 == 0 { (&a, &b) } else { (&b, &a) };
+                {
+                    let _sg = enter_loop(l_sweep);
+                    for i in rlo..rhi {
+                        for j in clo..chi {
+                            let v = 0.25
+                                * (src.load((i - 1) * g + j)
+                                    + src.load((i + 1) * g + j)
+                                    + src.load(i * g + j - 1)
+                                    + src.load(i * g + j + 1));
+                            dst.store(i * g + j, v);
+                        }
+                    }
+                }
+                bar.wait();
+            }
+        });
+
+        let final_grid = if iters % 2 == 0 { &a } else { &b };
+        let r1 = residual(g, final_grid);
+        assert!(
+            r1 < r0 * 0.8,
+            "Jacobi failed to reduce residual: {r0} -> {r1}"
+        );
+        WorkloadResult { checksum: r1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InputSize;
+    use lc_trace::{NoopSink, RecordingSink};
+
+    #[test]
+    fn cp_converges_any_thread_count() {
+        for t in [1usize, 2, 5] {
+            let ctx = TraceCtx::new(Arc::new(NoopSink), t);
+            let r = OceanCp.run(&ctx, &RunConfig::new(t, InputSize::SimDev, 3));
+            assert!(r.checksum.is_finite());
+        }
+    }
+
+    #[test]
+    fn ncp_converges_any_thread_count() {
+        for t in [1usize, 4, 6] {
+            let ctx = TraceCtx::new(Arc::new(NoopSink), t);
+            let r = OceanNcp.run(&ctx, &RunConfig::new(t, InputSize::SimDev, 3));
+            assert!(r.checksum.is_finite());
+        }
+    }
+
+    #[test]
+    fn ncp_is_thread_count_deterministic() {
+        // Jacobi ping-pong has no intra-iteration order dependence.
+        let c = |t| {
+            let ctx = TraceCtx::new(Arc::new(NoopSink), t);
+            OceanNcp
+                .run(&ctx, &RunConfig::new(t, InputSize::SimDev, 8))
+                .checksum
+        };
+        assert!((c(1) - c(4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cp_emits_halo_reads_in_relax_loops() {
+        let rec = Arc::new(RecordingSink::new());
+        let ctx = TraceCtx::new(rec.clone(), 4);
+        OceanCp.run(&ctx, &RunConfig::new(4, InputSize::SimDev, 1));
+        let names: Vec<String> = ctx
+            .loops()
+            .all_loops()
+            .into_iter()
+            .map(|l| ctx.loops().name(l))
+            .collect();
+        assert!(names.iter().any(|n| n == "relax_red"));
+        assert!(names.iter().any(|n| n == "relax_black"));
+        assert!(rec.finish().len() > 50_000);
+    }
+}

@@ -1,0 +1,168 @@
+//! `radiosity` — iterative patch-energy exchange (SPLASH-2 RADIOSITY
+//! skeleton).
+//!
+//! Jacobi radiosity: `B_new[i] = E[i] + ρ · Σ_j F[i][j]·B_old[j]` over
+//! statically partitioned patches. Every patch gathers from every other
+//! patch's radiosity (written by its owner in the previous round), giving
+//! the even, dense all-to-all pattern the paper's Figure 8c shows — "the
+//! load is evenly distributed among threads". (SPLASH radiosity uses task
+//! queues with stealing; at profiling-scale inputs a dynamic queue can
+//! degenerate to one consumer, so the even static schedule — the behaviour
+//! the paper reports — is used instead.)
+//!
+//! Form factors are precomputed read-only geometry (left uninstrumented,
+//! like constant data excluded from analysis in §IV-A); the radiosity
+//! vectors are fully traced.
+
+use std::sync::Arc;
+
+use lc_trace::{
+    enter_func, enter_loop, run_threads, InstrumentedBarrier, TraceCtx, TracedBuffer,
+};
+
+use crate::rng::Xoshiro256;
+use crate::{RunConfig, Workload, WorkloadResult};
+
+/// Reflectivity (< 1 guarantees convergence of the Neumann series).
+const RHO: f64 = 0.7;
+
+/// The radiosity workload.
+pub struct Radiosity;
+
+impl Workload for Radiosity {
+    fn name(&self) -> &'static str {
+        "radiosity"
+    }
+
+    fn description(&self) -> &'static str {
+        "Jacobi radiosity, static patch ownership: even all-to-all gather"
+    }
+
+    fn run(&self, ctx: &Arc<TraceCtx>, cfg: &RunConfig) -> WorkloadResult {
+        let np = cfg.size.pick(64usize, 96, 144);
+        let iters = cfg.size.pick(6, 8, 10);
+        let t = cfg.threads;
+
+        // Geometry-flavoured form factors: patch positions on the unit
+        // square, F[i][j] ∝ area_j / d², rows normalized to sum to 1.
+        let mut rng = Xoshiro256::seed_from(cfg.seed);
+        let pos: Vec<(f64, f64)> = (0..np)
+            .map(|_| (rng.next_f64(), rng.next_f64()))
+            .collect();
+        let area: Vec<f64> = (0..np).map(|_| rng.range_f64(0.5, 1.5)).collect();
+        let mut ff = vec![0.0f64; np * np];
+        for i in 0..np {
+            let mut row = 0.0;
+            for j in 0..np {
+                if i != j {
+                    let (dx, dy) = (pos[i].0 - pos[j].0, pos[i].1 - pos[j].1);
+                    let v = area[j] / (dx * dx + dy * dy + 0.05);
+                    ff[i * np + j] = v;
+                    row += v;
+                }
+            }
+            for j in 0..np {
+                ff[i * np + j] /= row;
+            }
+        }
+        let emission: Vec<f64> = (0..np)
+            .map(|_| if rng.next_f64() < 0.2 { 1.0 } else { 0.0 })
+            .collect();
+
+        let b_old: TracedBuffer<f64> = ctx.alloc(np);
+        let b_new: TracedBuffer<f64> = ctx.alloc(np);
+        let delta_partial: TracedBuffer<f64> = ctx.alloc(t);
+        for (i, &e) in emission.iter().enumerate() {
+            b_old.poke(i, e);
+        }
+
+        let f = ctx.func("radiosity");
+        let l_iter = ctx.root_loop("radiosity_iter", f);
+        let l_gather = ctx.nested_loop("gather", l_iter, f);
+        let bar = InstrumentedBarrier::new(ctx, t, "barrier", f);
+
+        let ff = &ff;
+        let emission = &emission;
+        run_threads(t, |tid| {
+            let _fg = enter_func(f);
+            let (lo, hi) = crate::util::chunk(np, t, tid);
+            for it in 0..iters {
+                let _ig = enter_loop(l_iter);
+                let (src, dst) = if it % 2 == 0 {
+                    (&b_old, &b_new)
+                } else {
+                    (&b_new, &b_old)
+                };
+                let mut local_delta = 0.0;
+                {
+                    let _gg = enter_loop(l_gather);
+                    for i in lo..hi {
+                        let mut s = 0.0;
+                        for j in 0..np {
+                            s += ff[i * np + j] * src.load(j);
+                        }
+                        let v = emission[i] + RHO * s;
+                        local_delta += (v - src.load(i)).abs();
+                        dst.store(i, v);
+                    }
+                }
+                delta_partial.store(tid, local_delta);
+                bar.wait();
+            }
+        });
+
+        let final_b = if iters % 2 == 0 { &b_old } else { &b_new };
+        // Physical sanity: radiosity ≥ emission, bounded by the series sum.
+        let mut checksum = 0.0;
+        for (i, &e) in emission.iter().enumerate() {
+            let v = final_b.peek(i);
+            assert!(v.is_finite() && v >= e - 1e-12);
+            assert!(v <= 1.0 / (1.0 - RHO) + 1e-9, "unbounded radiosity {v}");
+            checksum += v;
+        }
+        assert!(checksum > 0.0, "no energy in the scene");
+        WorkloadResult { checksum }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InputSize;
+    use lc_trace::{NoopSink, RecordingSink};
+
+    #[test]
+    fn converges_identically_for_any_schedule() {
+        let c = |t| {
+            let ctx = TraceCtx::new(Arc::new(NoopSink), t);
+            Radiosity
+                .run(&ctx, &RunConfig::new(t, InputSize::SimDev, 29))
+                .checksum
+        };
+        let base = c(1);
+        assert!((c(4) - base).abs() < 1e-9);
+        assert!((c(3) - base).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gather_loop_reads_all_patches() {
+        let rec = Arc::new(RecordingSink::new());
+        let ctx = TraceCtx::new(rec.clone(), 4);
+        Radiosity.run(&ctx, &RunConfig::new(4, InputSize::SimDev, 2));
+        let trace = rec.finish();
+        assert!(trace.len() > 20_000);
+        let gather = ctx
+            .loops()
+            .all_loops()
+            .into_iter()
+            .find(|l| ctx.loops().name(*l) == "gather")
+            .unwrap();
+        let tids: std::collections::HashSet<u32> = trace
+            .events()
+            .iter()
+            .filter(|e| e.event.loop_id == gather)
+            .map(|e| e.event.tid)
+            .collect();
+        assert!(tids.len() >= 2);
+    }
+}

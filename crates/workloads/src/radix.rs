@@ -1,0 +1,196 @@
+//! `radix` — parallel LSD radix sort (SPLASH-2 RADIX skeleton).
+//!
+//! Per pass: each thread histograms its key chunk into a private row of the
+//! shared histogram, all threads then read *every* row to compute their
+//! scatter offsets (the all-to-all "scan" communication), and finally
+//! permute their keys into the destination buffer. Barrier-separated, like
+//! the original's `slave_sort`.
+
+use std::sync::Arc;
+
+use lc_trace::{enter_func, enter_loop, run_threads, InstrumentedBarrier, TraceCtx};
+
+use crate::rng::Xoshiro256;
+use crate::util::chunk;
+use crate::{RunConfig, Workload, WorkloadResult};
+
+/// Digit width in bits (256-way radix, 4 passes over 32-bit keys).
+const RADIX_BITS: usize = 8;
+/// Buckets per pass.
+const BUCKETS: usize = 1 << RADIX_BITS;
+/// Key width in bits.
+const KEY_BITS: usize = 32;
+
+/// The radix-sort workload.
+pub struct Radix;
+
+impl Workload for Radix {
+    fn name(&self) -> &'static str {
+        "radix"
+    }
+
+    fn description(&self) -> &'static str {
+        "parallel LSD radix sort: private histograms, all-to-all scan, permute"
+    }
+
+    fn run(&self, ctx: &Arc<TraceCtx>, cfg: &RunConfig) -> WorkloadResult {
+        let n = cfg.size.pick(4_096, 16_384, 65_536);
+        let t = cfg.threads;
+        assert!(n >= t, "need at least one key per thread");
+
+        let keys = ctx.alloc::<u64>(n);
+        let spare = ctx.alloc::<u64>(n);
+        let hist = ctx.alloc::<u64>(t * BUCKETS);
+        let offsets = ctx.alloc::<u64>(t * BUCKETS);
+
+        // Untraced input generation (the paper's "code that should not be
+        // analyzed").
+        let mut rng = Xoshiro256::seed_from(cfg.seed);
+        for i in 0..n {
+            keys.poke(i, rng.next_u64() & 0xffff_ffff);
+        }
+
+        let f = ctx.func("radix_sort");
+        let l_pass = ctx.root_loop("pass", f);
+        let l_hist = ctx.nested_loop("histogram", l_pass, f);
+        let l_scan = ctx.nested_loop("scan", l_pass, f);
+        let l_perm = ctx.nested_loop("permute", l_pass, f);
+        let bar = InstrumentedBarrier::new(ctx, t, "radix_barrier", f);
+
+        let passes = KEY_BITS / RADIX_BITS;
+        run_threads(t, |tid| {
+            let _fg = enter_func(f);
+            let (lo, hi) = chunk(n, t, tid);
+            for pass in 0..passes {
+                let _pg = enter_loop(l_pass);
+                let shift = pass * RADIX_BITS;
+                let (src, dst) = if pass % 2 == 0 {
+                    (&keys, &spare)
+                } else {
+                    (&spare, &keys)
+                };
+
+                {
+                    let _g = enter_loop(l_hist);
+                    for d in 0..BUCKETS {
+                        hist.store(tid * BUCKETS + d, 0);
+                    }
+                    for i in lo..hi {
+                        let k = src.load(i);
+                        let d = (k >> shift) as usize & (BUCKETS - 1);
+                        hist.update(tid * BUCKETS + d, |v| v + 1);
+                    }
+                }
+                bar.wait();
+
+                {
+                    // Every thread reads every thread's histogram row: the
+                    // all-to-all exchange that dominates radix's pattern.
+                    let _g = enter_loop(l_scan);
+                    let mut below_digits = 0u64;
+                    for d in 0..BUCKETS {
+                        let mut my_off = below_digits;
+                        for tt in 0..t {
+                            let h = hist.load(tt * BUCKETS + d);
+                            if tt < tid {
+                                my_off += h;
+                            }
+                            below_digits += h;
+                        }
+                        offsets.store(tid * BUCKETS + d, my_off);
+                    }
+                }
+                bar.wait();
+
+                {
+                    let _g = enter_loop(l_perm);
+                    for i in lo..hi {
+                        let k = src.load(i);
+                        let d = (k >> shift) as usize & (BUCKETS - 1);
+                        let pos = offsets.update(tid * BUCKETS + d, |v| v + 1) - 1;
+                        dst.store(pos as usize, k);
+                    }
+                }
+                bar.wait();
+            }
+        });
+
+        // `passes` is even, so the sorted output is back in `keys`.
+        let mut prev = 0u64;
+        let mut checksum = 0.0f64;
+        for i in 0..n {
+            let v = keys.peek(i);
+            assert!(v >= prev, "radix output not sorted at index {i}");
+            prev = v;
+            checksum += (v as f64) * ((i % 97) as f64 + 1.0);
+        }
+        WorkloadResult { checksum }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InputSize;
+    use lc_trace::{CountingSink, NoopSink, RecordingSink};
+
+    #[test]
+    fn sorts_and_is_deterministic() {
+        let run = || {
+            let ctx = TraceCtx::new(Arc::new(NoopSink), 4);
+            Radix
+                .run(&ctx, &RunConfig::new(4, InputSize::SimDev, 42))
+                .checksum
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn single_thread_matches_parallel_checksum() {
+        let c1 = {
+            let ctx = TraceCtx::new(Arc::new(NoopSink), 1);
+            Radix
+                .run(&ctx, &RunConfig::new(1, InputSize::SimDev, 7))
+                .checksum
+        };
+        let c4 = {
+            let ctx = TraceCtx::new(Arc::new(NoopSink), 4);
+            Radix
+                .run(&ctx, &RunConfig::new(4, InputSize::SimDev, 7))
+                .checksum
+        };
+        assert_eq!(c1, c4);
+    }
+
+    #[test]
+    fn emits_loop_annotated_events() {
+        let rec = Arc::new(RecordingSink::new());
+        let ctx = TraceCtx::new(rec.clone(), 4);
+        Radix.run(&ctx, &RunConfig::new(4, InputSize::SimDev, 1));
+        let trace = rec.finish();
+        assert!(trace.len() > 10_000);
+        // Every access is attributed to a registered loop.
+        assert!(trace.events().iter().all(|e| e.event.loop_id.is_some()));
+        // The loop table knows histogram/scan/permute under "pass".
+        let names: Vec<String> = ctx
+            .loops()
+            .all_loops()
+            .into_iter()
+            .map(|l| ctx.loops().name(l))
+            .collect();
+        for expect in ["pass", "histogram", "scan", "permute"] {
+            assert!(names.iter().any(|n| n == expect), "missing loop {expect}");
+        }
+    }
+
+    #[test]
+    fn input_sizes_scale_event_counts() {
+        let count = |size| {
+            let c = Arc::new(CountingSink::new());
+            let ctx = TraceCtx::new(c.clone(), 2);
+            Radix.run(&ctx, &RunConfig::new(2, size, 3));
+            c.total()
+        };
+        assert!(count(InputSize::SimSmall) > count(InputSize::SimDev));
+    }
+}

@@ -1,0 +1,232 @@
+//! Synthetic topology workloads — labelled ground truth for §VI.
+//!
+//! Each [`Topology`] runs a real multi-threaded traced program whose
+//! inter-thread RAW communication follows one canonical pattern: in every
+//! round, each edge's producer writes a dedicated region and its consumer
+//! reads it after a barrier. Profiling one of these and classifying the
+//! resulting matrix is the end-to-end test of the paper's pattern-
+//! detection claim.
+
+use std::sync::Arc;
+
+use lc_trace::{
+    enter_func, enter_loop, run_threads, InstrumentedBarrier, TraceCtx, TracedBuffer,
+};
+
+use crate::{RunConfig, Workload, WorkloadResult};
+
+/// Canonical communication topologies (mirrors
+/// `lc_profiler::classify::PatternClass`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// i → i+1 chain.
+    Pipeline,
+    /// Symmetric ring exchange.
+    Ring1D,
+    /// Symmetric 4-neighbour grid exchange.
+    Grid2D,
+    /// Thread 0 ↔ workers.
+    MasterWorker,
+    /// i ↔ i xor 2^k hypercube.
+    Butterfly,
+    /// Dense symmetric all-to-all.
+    AllToAll,
+    /// i → i/2 binary-tree convergence.
+    ReductionTree,
+}
+
+impl Topology {
+    /// Every topology.
+    pub const ALL: [Topology; 7] = [
+        Topology::Pipeline,
+        Topology::Ring1D,
+        Topology::Grid2D,
+        Topology::MasterWorker,
+        Topology::Butterfly,
+        Topology::AllToAll,
+        Topology::ReductionTree,
+    ];
+
+    /// Stable name, matching `PatternClass::name`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Topology::Pipeline => "pipeline",
+            Topology::Ring1D => "ring-1d",
+            Topology::Grid2D => "grid-2d",
+            Topology::MasterWorker => "master-worker",
+            Topology::Butterfly => "butterfly",
+            Topology::AllToAll => "all-to-all",
+            Topology::ReductionTree => "reduction-tree",
+        }
+    }
+
+    /// The directed edge list `(src, dst, words_per_round)` for `t` threads.
+    pub fn edges(self, t: usize) -> Vec<(usize, usize, usize)> {
+        let mut e = Vec::new();
+        match self {
+            Topology::Pipeline => {
+                for i in 0..t - 1 {
+                    e.push((i, i + 1, 16));
+                }
+            }
+            Topology::Ring1D => {
+                for i in 0..t {
+                    e.push((i, (i + 1) % t, 8));
+                    e.push(((i + 1) % t, i, 8));
+                }
+            }
+            Topology::Grid2D => {
+                // Same width convention as classify::patterns::generate.
+                let w = ((t as f64).sqrt().round() as usize).max(2);
+                for i in 0..t {
+                    let (x, _y) = (i % w, i / w);
+                    if x + 1 < w && i + 1 < t {
+                        e.push((i, i + 1, 8));
+                        e.push((i + 1, i, 8));
+                    }
+                    if i + w < t {
+                        e.push((i, i + w, 8));
+                        e.push((i + w, i, 8));
+                    }
+                }
+            }
+            Topology::MasterWorker => {
+                for i in 1..t {
+                    e.push((0, i, 12));
+                    e.push((i, 0, 4));
+                }
+            }
+            Topology::Butterfly => {
+                let mut k = 1;
+                while k < t {
+                    for i in 0..t {
+                        let j = i ^ k;
+                        if j < t && j > i {
+                            e.push((i, j, 8));
+                            e.push((j, i, 8));
+                        }
+                    }
+                    k <<= 1;
+                }
+            }
+            Topology::AllToAll => {
+                for i in 0..t {
+                    for j in 0..t {
+                        if i != j {
+                            e.push((i, j, 4));
+                        }
+                    }
+                }
+            }
+            Topology::ReductionTree => {
+                for i in 1..t {
+                    e.push((i, i / 2, 16));
+                }
+            }
+        }
+        e
+    }
+}
+
+/// A synthetic-pattern workload.
+pub struct SyntheticPattern {
+    /// The topology to exercise.
+    pub topology: Topology,
+}
+
+impl Workload for SyntheticPattern {
+    fn name(&self) -> &'static str {
+        self.topology.name()
+    }
+
+    fn description(&self) -> &'static str {
+        "synthetic labelled communication-topology generator"
+    }
+
+    fn run(&self, ctx: &Arc<TraceCtx>, cfg: &RunConfig) -> WorkloadResult {
+        let t = cfg.threads;
+        assert!(t >= 4, "topologies need at least 4 threads");
+        let rounds = cfg.size.pick(4, 8, 16);
+        let edges = self.topology.edges(t);
+        let max_words = edges.iter().map(|e| e.2).max().unwrap_or(1);
+
+        // One region per edge; fresh values each round force new RAW edges.
+        let region: Vec<TracedBuffer<u64>> = edges
+            .iter()
+            .map(|_| ctx.alloc::<u64>(max_words))
+            .collect();
+
+        let f = ctx.func(self.topology.name());
+        let l_round = ctx.root_loop("exchange_round", f);
+        let bar = InstrumentedBarrier::new(ctx, t, "barrier", f);
+
+        let edges = &edges;
+        let region = &region;
+        run_threads(t, |tid| {
+            let _fg = enter_func(f);
+            for round in 0..rounds {
+                let _rg = enter_loop(l_round);
+                for (ei, &(src, _dst, words)) in edges.iter().enumerate() {
+                    if src == tid {
+                        for wd in 0..words {
+                            region[ei].store(wd, (round * 1000 + wd) as u64);
+                        }
+                    }
+                }
+                bar.wait();
+                for (ei, &(_src, dst, words)) in edges.iter().enumerate() {
+                    if dst == tid {
+                        let mut acc = 0u64;
+                        for wd in 0..words {
+                            acc = acc.wrapping_add(region[ei].load(wd));
+                        }
+                        std::hint::black_box(acc);
+                    }
+                }
+                bar.wait();
+            }
+        });
+
+        WorkloadResult {
+            checksum: edges.len() as f64 * rounds as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InputSize;
+    use lc_trace::NoopSink;
+
+    #[test]
+    fn edges_are_valid_for_various_thread_counts() {
+        for t in [4usize, 8, 16] {
+            for topo in Topology::ALL {
+                let edges = topo.edges(t);
+                assert!(!edges.is_empty(), "{topo:?} t={t}");
+                for (s, d, w) in edges {
+                    assert!(s < t && d < t && s != d && w > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_topologies_run() {
+        for topo in Topology::ALL {
+            let ctx = TraceCtx::new(Arc::new(NoopSink), 8);
+            let r = SyntheticPattern { topology: topo }
+                .run(&ctx, &RunConfig::new(8, InputSize::SimDev, 1));
+            assert!(r.checksum > 0.0);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Topology::ALL.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+}

@@ -1,0 +1,89 @@
+//! Shared helpers for the kernels: partitioning and small numerics.
+
+/// Contiguous chunk `[start, end)` of `n` items for thread `tid` of `t`
+/// (remainder spread over the first threads).
+pub fn chunk(n: usize, t: usize, tid: usize) -> (usize, usize) {
+    assert!(tid < t);
+    let base = n / t;
+    let rem = n % t;
+    let start = tid * base + tid.min(rem);
+    let len = base + usize::from(tid < rem);
+    (start, start + len)
+}
+
+/// Round-robin ownership: which thread owns item `i` of a cyclic
+/// distribution over `t` threads.
+#[inline]
+pub fn cyclic_owner(i: usize, t: usize) -> usize {
+    i % t
+}
+
+/// Largest power of two ≤ `n` (n ≥ 1).
+pub fn prev_pow2(n: usize) -> usize {
+    assert!(n >= 1);
+    1 << (usize::BITS - 1 - n.leading_zeros())
+}
+
+/// Integer square root (floor).
+pub fn isqrt(n: usize) -> usize {
+    if n < 2 {
+        return n;
+    }
+    let mut x = (n as f64).sqrt() as usize;
+    while (x + 1) * (x + 1) <= n {
+        x += 1;
+    }
+    while x * x > n {
+        x -= 1;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_exactly() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for t in [1usize, 3, 8] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for tid in 0..t {
+                    let (s, e) = chunk(n, t, tid);
+                    assert_eq!(s, prev_end);
+                    prev_end = e;
+                    covered += e - s;
+                }
+                assert_eq!(covered, n);
+                assert_eq!(prev_end, n);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_balance_is_within_one() {
+        for tid in 0..8 {
+            let (s, e) = chunk(100, 8, tid);
+            assert!((e - s) == 12 || (e - s) == 13);
+        }
+    }
+
+    #[test]
+    fn pow2_and_isqrt() {
+        assert_eq!(prev_pow2(1), 1);
+        assert_eq!(prev_pow2(2), 2);
+        assert_eq!(prev_pow2(3), 2);
+        assert_eq!(prev_pow2(17), 16);
+        assert_eq!(isqrt(0), 0);
+        assert_eq!(isqrt(15), 3);
+        assert_eq!(isqrt(16), 4);
+        assert_eq!(isqrt(10_000), 100);
+    }
+
+    #[test]
+    fn cyclic_owner_wraps() {
+        assert_eq!(cyclic_owner(0, 4), 0);
+        assert_eq!(cyclic_owner(5, 4), 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! `water_nsq` / `water_spatial` — molecular-dynamics kernels (SPLASH-2
+//! WATER-NSQUARED and WATER-SPATIAL).
+//!
+//! Both integrate particles under a softened pairwise attraction; they
+//! differ in how interaction partners are found:
+//!
+//! * `water_nsq` — O(n²): every thread computes forces on its own
+//!   molecules by reading **all** positions (all-to-all reads). The loop
+//!   structure mirrors the paper's Figure 7: an `MDMAIN` timestep loop
+//!   containing two `INTERF` force passes (predictor/corrector halves) and
+//!   a `POTENG` energy-reduction loop.
+//! * `water_spatial` — cell lists: the domain is a 2-D grid of cells owned
+//!   in row slabs; forces come only from the 3×3 cell neighbourhood, so
+//!   communication is spatial-neighbour shaped.
+//!
+//! Validation: Newton's third law makes the total force vanish
+//! analytically in the nsq kernel; positions/energies stay finite; results
+//! are thread-count independent.
+
+use std::sync::Arc;
+
+use lc_trace::{
+    enter_func, enter_loop, run_threads, InstrumentedBarrier, TraceCtx, TracedBuffer,
+};
+
+use crate::rng::Xoshiro256;
+use crate::util::chunk;
+use crate::{RunConfig, Workload, WorkloadResult};
+
+/// Softening that keeps the pair force bounded.
+const SOFT: f64 = 1e-2;
+/// Timestep.
+const DT: f64 = 1e-4;
+
+#[inline]
+fn pair_force(dx: f64, dy: f64) -> (f64, f64) {
+    let r2 = dx * dx + dy * dy + SOFT;
+    let inv = 1.0 / (r2 * r2.sqrt());
+    (dx * inv, dy * inv)
+}
+
+/// O(n²) molecular dynamics.
+pub struct WaterNsq;
+
+impl Workload for WaterNsq {
+    fn name(&self) -> &'static str {
+        "water_nsq"
+    }
+
+    fn description(&self) -> &'static str {
+        "O(n²) MD: MDMAIN/INTERF/POTENG with all-to-all position reads"
+    }
+
+    fn run(&self, ctx: &Arc<TraceCtx>, cfg: &RunConfig) -> WorkloadResult {
+        let n = cfg.size.pick(64usize, 128, 224);
+        let steps = cfg.size.pick(3, 4, 5);
+        let t = cfg.threads.min(n);
+
+        let px: TracedBuffer<f64> = ctx.alloc(n);
+        let py: TracedBuffer<f64> = ctx.alloc(n);
+        let fx: TracedBuffer<f64> = ctx.alloc(n);
+        let fy: TracedBuffer<f64> = ctx.alloc(n);
+        let partial_pe: TracedBuffer<f64> = ctx.alloc(t);
+        let energy: TracedBuffer<f64> = ctx.alloc(1);
+
+        let mut rng = Xoshiro256::seed_from(cfg.seed);
+        for i in 0..n {
+            px.poke(i, rng.range_f64(0.0, 1.0));
+            py.poke(i, rng.range_f64(0.0, 1.0));
+        }
+
+        let f = ctx.func("MDMAIN");
+        let l_main = ctx.root_loop("MDMAIN", f);
+        let l_interf1 = ctx.nested_loop("INTERF", l_main, f);
+        let l_interf2 = ctx.nested_loop("INTERF", l_main, f);
+        let l_poteng = ctx.nested_loop("POTENG", l_main, f);
+        let bar = InstrumentedBarrier::new(ctx, t, "barrier", f);
+
+        run_threads(t, |tid| {
+            let _fg = enter_func(f);
+            let (lo, hi) = chunk(n, t, tid);
+            for _step in 0..steps {
+                let _mg = enter_loop(l_main);
+                for (half, l_interf) in [(0usize, l_interf1), (1, l_interf2)] {
+                    let _ig = enter_loop(l_interf);
+                    // Forces on own molecules from all molecules.
+                    for i in lo..hi {
+                        let (xi, yi) = (px.load(i), py.load(i));
+                        let (mut sx, mut sy) = (0.0, 0.0);
+                        for j in 0..n {
+                            if i == j {
+                                continue;
+                            }
+                            let (dx, dy) = (px.load(j) - xi, py.load(j) - yi);
+                            let (gx, gy) = pair_force(dx, dy);
+                            sx += gx;
+                            sy += gy;
+                        }
+                        fx.store(i, sx);
+                        fy.store(i, sy);
+                    }
+                    bar.wait();
+                    // Half-kick drift on own molecules.
+                    for i in lo..hi {
+                        let scale = if half == 0 { 0.5 } else { 1.0 };
+                        px.update(i, |v| v + scale * DT * fx.load(i));
+                        py.update(i, |v| v + scale * DT * fy.load(i));
+                    }
+                    bar.wait();
+                }
+                {
+                    // Potential-energy reduction: partials then a gather by
+                    // thread 0 (all-to-one).
+                    let _pg = enter_loop(l_poteng);
+                    let mut pe = 0.0;
+                    for i in lo..hi {
+                        let (xi, yi) = (px.load(i), py.load(i));
+                        for j in i + 1..n {
+                            let (dx, dy) = (px.load(j) - xi, py.load(j) - yi);
+                            pe -= 1.0 / (dx * dx + dy * dy + SOFT).sqrt();
+                        }
+                    }
+                    partial_pe.store(tid, pe);
+                    bar.wait();
+                    if tid == 0 {
+                        let mut total = 0.0;
+                        for tt in 0..t {
+                            total += partial_pe.load(tt);
+                        }
+                        energy.store(0, total);
+                    }
+                    bar.wait();
+                }
+            }
+        });
+
+        // Newton's third law: the final force field sums to ~0.
+        let (mut sfx, mut sfy) = (0.0, 0.0);
+        let mut maxf: f64 = 0.0;
+        for i in 0..n {
+            sfx += fx.peek(i);
+            sfy += fy.peek(i);
+            maxf = maxf.max(fx.peek(i).abs()).max(fy.peek(i).abs());
+        }
+        assert!(maxf.is_finite() && maxf > 0.0);
+        assert!(
+            sfx.abs() < 1e-6 * maxf * n as f64 && sfy.abs() < 1e-6 * maxf * n as f64,
+            "momentum violated: ({sfx},{sfy}), maxf {maxf}"
+        );
+        let pe = energy.peek(0);
+        assert!(pe.is_finite() && pe < 0.0, "potential energy {pe}");
+
+        let checksum = (0..n).map(|i| px.peek(i) + py.peek(i)).sum::<f64>() + pe;
+        WorkloadResult { checksum }
+    }
+}
+
+/// Cell-list molecular dynamics.
+pub struct WaterSpatial;
+
+impl Workload for WaterSpatial {
+    fn name(&self) -> &'static str {
+        "water_spatial"
+    }
+
+    fn description(&self) -> &'static str {
+        "cell-list MD: forces from 3×3 neighbour cells, slab-owned grid"
+    }
+
+    fn run(&self, ctx: &Arc<TraceCtx>, cfg: &RunConfig) -> WorkloadResult {
+        let c = cfg.size.pick(6usize, 8, 10); // c×c cells
+        let per_cell = 4usize;
+        let n = c * c * per_cell;
+        let steps = cfg.size.pick(3, 4, 5);
+        let t = cfg.threads.min(c);
+
+        // Positions stored per cell slot: cell (ci,cj), slot s.
+        let px: TracedBuffer<f64> = ctx.alloc(n);
+        let py: TracedBuffer<f64> = ctx.alloc(n);
+        let fxb: TracedBuffer<f64> = ctx.alloc(n);
+        let fyb: TracedBuffer<f64> = ctx.alloc(n);
+        let slot = |ci: usize, cj: usize, s: usize| (ci * c + cj) * per_cell + s;
+
+        let cell_w = 1.0 / c as f64;
+        let mut rng = Xoshiro256::seed_from(cfg.seed);
+        for ci in 0..c {
+            for cj in 0..c {
+                for s in 0..per_cell {
+                    px.poke(
+                        slot(ci, cj, s),
+                        (cj as f64 + rng.next_f64()) * cell_w,
+                    );
+                    py.poke(
+                        slot(ci, cj, s),
+                        (ci as f64 + rng.next_f64()) * cell_w,
+                    );
+                }
+            }
+        }
+
+        let f = ctx.func("MDMAIN_spatial");
+        let l_main = ctx.root_loop("MDMAIN", f);
+        let l_forces = ctx.nested_loop("INTERF_cells", l_main, f);
+        let l_advance = ctx.nested_loop("advance", l_main, f);
+        let bar = InstrumentedBarrier::new(ctx, t, "barrier", f);
+
+        run_threads(t, |tid| {
+            let _fg = enter_func(f);
+            let (rlo, rhi) = chunk(c, t, tid);
+            for _step in 0..steps {
+                let _mg = enter_loop(l_main);
+                {
+                    let _fg2 = enter_loop(l_forces);
+                    for ci in rlo..rhi {
+                        for cj in 0..c {
+                            for s in 0..per_cell {
+                                let me = slot(ci, cj, s);
+                                let (xi, yi) = (px.load(me), py.load(me));
+                                let (mut sx, mut sy) = (0.0, 0.0);
+                                // 3×3 neighbourhood (cross-slab rows are
+                                // halo reads from neighbour threads).
+                                for di in -1i64..=1 {
+                                    for dj in -1i64..=1 {
+                                        let ni = ci as i64 + di;
+                                        let nj = cj as i64 + dj;
+                                        if ni < 0 || nj < 0 || ni >= c as i64 || nj >= c as i64 {
+                                            continue;
+                                        }
+                                        for s2 in 0..per_cell {
+                                            let other = slot(ni as usize, nj as usize, s2);
+                                            if other == me {
+                                                continue;
+                                            }
+                                            let (dx, dy) =
+                                                (px.load(other) - xi, py.load(other) - yi);
+                                            let (gx, gy) = pair_force(dx, dy);
+                                            sx += gx;
+                                            sy += gy;
+                                        }
+                                    }
+                                }
+                                fxb.store(me, sx);
+                                fyb.store(me, sy);
+                            }
+                        }
+                    }
+                }
+                bar.wait();
+                {
+                    let _ag = enter_loop(l_advance);
+                    for ci in rlo..rhi {
+                        for cj in 0..c {
+                            for s in 0..per_cell {
+                                let me = slot(ci, cj, s);
+                                // Clamp inside the owning cell so the static
+                                // cell assignment stays valid.
+                                let (xlo, xhi) =
+                                    (cj as f64 * cell_w, (cj as f64 + 1.0) * cell_w - 1e-9);
+                                let (ylo, yhi) =
+                                    (ci as f64 * cell_w, (ci as f64 + 1.0) * cell_w - 1e-9);
+                                px.update(me, |v| (v + DT * fxb.load(me)).clamp(xlo, xhi));
+                                py.update(me, |v| (v + DT * fyb.load(me)).clamp(ylo, yhi));
+                            }
+                        }
+                    }
+                }
+                bar.wait();
+            }
+        });
+
+        let mut checksum = 0.0;
+        for i in 0..n {
+            let (x, y) = (px.peek(i), py.peek(i));
+            assert!(x.is_finite() && y.is_finite());
+            assert!((0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y));
+            checksum += x * 3.0 + y;
+        }
+        WorkloadResult { checksum }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InputSize;
+    use lc_trace::NoopSink;
+
+    #[test]
+    fn nsq_momentum_and_determinism() {
+        let c = |t| {
+            let ctx = TraceCtx::new(Arc::new(NoopSink), t);
+            WaterNsq
+                .run(&ctx, &RunConfig::new(t, InputSize::SimDev, 17))
+                .checksum
+        };
+        assert!((c(1) - c(4)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spatial_stays_in_box_and_deterministic() {
+        let c = |t| {
+            let ctx = TraceCtx::new(Arc::new(NoopSink), t);
+            WaterSpatial
+                .run(&ctx, &RunConfig::new(t, InputSize::SimDev, 17))
+                .checksum
+        };
+        assert!((c(1) - c(3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure7_loop_names_exist_with_two_interf_instances() {
+        let ctx = TraceCtx::new(Arc::new(NoopSink), 2);
+        WaterNsq.run(&ctx, &RunConfig::new(2, InputSize::SimDev, 1));
+        let names: Vec<String> = ctx
+            .loops()
+            .all_loops()
+            .into_iter()
+            .map(|l| ctx.loops().name(l))
+            .collect();
+        assert_eq!(names.iter().filter(|n| *n == "INTERF").count(), 2);
+        assert!(names.iter().any(|n| n == "MDMAIN"));
+        assert!(names.iter().any(|n| n == "POTENG"));
+    }
+
+    #[test]
+    fn pair_force_is_antisymmetric_and_bounded() {
+        let (fx, fy) = pair_force(0.3, -0.4);
+        let (gx, gy) = pair_force(-0.3, 0.4);
+        assert!((fx + gx).abs() < 1e-15 && (fy + gy).abs() < 1e-15);
+        let (hx, hy) = pair_force(0.0, 0.0);
+        assert!(hx.abs() < 1e9 && hy.abs() < 1e9); // softened at r=0
+    }
+}

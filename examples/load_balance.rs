@@ -1,0 +1,51 @@
+//! Thread-load analysis — the Figure 8 view.
+//!
+//! Profiles `radix`, `raytrace` and `radiosity`, extracts each program's
+//! hottest loops and prints the Eq. 1 per-thread load vectors, reproducing
+//! the paper's observation that radix's hotspot loads a subset of threads
+//! while radiosity's is evenly distributed.
+//!
+//! ```sh
+//! cargo run --release --example load_balance -- [threads]
+//! ```
+
+use std::sync::Arc;
+
+use loopcomm::prelude::*;
+
+fn main() {
+    let threads: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("threads must be a number"))
+        .unwrap_or(8);
+
+    for name in ["radix", "raytrace", "radiosity"] {
+        let workload = by_name(name).unwrap();
+        let profiler = Arc::new(AsymmetricProfiler::asymmetric(
+            SignatureConfig::paper_default(1 << 20, threads),
+            ProfilerConfig::nested(threads),
+        ));
+        let ctx = TraceCtx::new(profiler.clone(), threads);
+        workload.run(&ctx, &RunConfig::new(threads, InputSize::SimSmall, 99));
+
+        let report = profiler.report();
+        let nested = NestedReport::build(ctx.loops(), &report.per_loop, threads);
+
+        println!("=== {name} ===");
+        for (node, total) in nested.hotspots().into_iter().take(2) {
+            if total == 0 {
+                continue;
+            }
+            let load = ThreadLoad::from_matrix(&node.aggregate);
+            println!(
+                "hotspot `{}` — {} B, imbalance {:.2}, active {}/{}",
+                node.name,
+                total,
+                load.imbalance(),
+                load.active_threads(0.05),
+                threads
+            );
+            println!("{}", load.render());
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Nested communication patterns — the Figure 6 / Figure 7 view.
+//!
+//! Profiles `lu_ncb` (or a workload of your choice) and prints the loop
+//! tree with per-node communication volumes and heat maps for the hottest
+//! loops, then verifies the paper's Σ-children invariant: every loop's
+//! aggregate matrix equals its own plus its children's.
+//!
+//! ```sh
+//! cargo run --release --example nested_patterns -- [workload] [threads]
+//! ```
+
+use std::sync::Arc;
+
+use lc_profiler::verify_sum_invariant;
+use loopcomm::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "lu_ncb".to_string());
+    let threads: usize = args
+        .next()
+        .map(|s| s.parse().expect("threads must be a number"))
+        .unwrap_or(8);
+
+    let workload = by_name(&name).expect("unknown workload");
+    let profiler = Arc::new(AsymmetricProfiler::asymmetric(
+        SignatureConfig::paper_default(1 << 20, threads),
+        ProfilerConfig::nested(threads),
+    ));
+    let ctx = TraceCtx::new(profiler.clone(), threads);
+    workload.run(&ctx, &RunConfig::new(threads, InputSize::SimSmall, 7));
+
+    let report = profiler.report();
+    let nested = NestedReport::build(ctx.loops(), &report.per_loop, threads);
+
+    println!("nested communication patterns of `{name}` ({threads} threads)\n");
+    println!("{}", nested.render(4));
+
+    let bad = verify_sum_invariant(&nested);
+    assert!(bad.is_empty(), "sum invariant violated at {bad:?}");
+    println!("Σ-children invariant holds for every loop node.");
+
+    let total = nested.total();
+    println!(
+        "\ntree total {} B vs global matrix {} B",
+        total.total(),
+        report.global.total()
+    );
+}

@@ -1,0 +1,63 @@
+//! Quickstart: profile one workload and print its communication pattern.
+//!
+//! ```sh
+//! cargo run --release --example quickstart -- [workload] [threads]
+//! ```
+//! Defaults: `radix`, 8 threads.
+
+use std::sync::Arc;
+
+use loopcomm::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "radix".to_string());
+    let threads: usize = args
+        .next()
+        .map(|s| s.parse().expect("threads must be a number"))
+        .unwrap_or(8);
+
+    let workload = by_name(&name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown workload `{name}`; available: {}",
+            all_workloads()
+                .iter()
+                .map(|w| w.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(1);
+    });
+
+    // The paper's configuration, scaled down: FPRate 0.001, 2^20 slots.
+    let profiler = Arc::new(AsymmetricProfiler::asymmetric(
+        SignatureConfig::paper_default(1 << 20, threads),
+        ProfilerConfig::nested(threads),
+    ));
+    let ctx = TraceCtx::new(profiler.clone(), threads);
+
+    println!("profiling `{name}` with {threads} threads...");
+    let result = workload.run(&ctx, &RunConfig::new(threads, InputSize::SimSmall, 42));
+    let report = profiler.report();
+
+    println!("\nworkload checksum: {:.6}", result.checksum);
+    println!("instrumented accesses: {}", report.accesses);
+    println!("inter-thread RAW dependencies: {}", report.dependencies);
+    println!(
+        "profiler memory: {}",
+        lc_profiler::report::fmt_bytes(report.memory_bytes as u64)
+    );
+
+    println!("\nglobal communication matrix (bytes, producers x consumers):");
+    println!("{}", report.global.heatmap());
+
+    let load = ThreadLoad::from_matrix(&report.global);
+    println!("thread load (Eq. 1):");
+    println!("{}", load.render());
+    println!(
+        "imbalance: {:.2}  active threads: {}/{}",
+        load.imbalance(),
+        load.active_threads(0.05),
+        threads
+    );
+}

@@ -1,0 +1,391 @@
+//! `loopcomm` — command-line front end to the profiler.
+//!
+//! ```text
+//! loopcomm list
+//! loopcomm profile  <workload> [--threads N] [--size simdev|simsmall|simlarge] [--slots 2^k]
+//! loopcomm nested   <workload> [--threads N] [--size ...]
+//! loopcomm load     <workload> [--threads N] [--size ...]
+//! loopcomm classify <workload> [--threads N] [--size ...]
+//! loopcomm map      <workload> [--threads N] [--size ...]
+//! loopcomm phases   <workload> [--threads N] [--size ...] [--window W]
+//! loopcomm report   <workload> <out.html> [--threads N] [--size ...]
+//! loopcomm record   <workload> <file.lctrace> [--threads N] [--size ...]
+//! loopcomm analyze  <file.lctrace> [--threads N] [--slots 2^k]
+//! loopcomm simulate <workload> [--threads N] [--size ...]
+//! loopcomm hotsites <workload> [--threads N] [--size ...]
+//! loopcomm deps     <workload> [--threads N] [--size ...]
+//! ```
+
+use std::sync::Arc;
+
+use lc_profiler::classify::{synthetic_dataset, NearestCentroid};
+use lc_profiler::{greedy_mapping, MachineTopology, NestedReport, ThreadMapping};
+use loopcomm::prelude::*;
+
+struct Options {
+    threads: usize,
+    size: InputSize,
+    slots: usize,
+    window: u64,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loopcomm <command> [workload] [options]\n\
+         \n\
+         commands:\n\
+         \x20 list                   list available workloads\n\
+         \x20 profile  <workload>    global communication matrix + stats\n\
+         \x20 nested   <workload>    per-loop nested pattern tree (Fig. 6/7)\n\
+         \x20 load     <workload>    Eq. 1 thread-load bars (Fig. 8)\n\
+         \x20 classify <workload>    dominant parallel-pattern class (§VI)\n\
+         \x20 map      <workload>    communication-aware thread mapping\n\
+         \x20 phases   <workload>    dynamic phase detection (§V-A4)\n\
+         \x20 report   <workload> <out.html>  write a full HTML report\n\
+         \x20 record   <workload> <file>  record an access trace to disk\n\
+         \x20 analyze  <file>        offline analysis of a recorded trace\n\
+         \x20 simulate <workload>    MESI cache simulation of mappings\n\
+         \x20 hotsites <workload>    hottest source access sites\n\
+         \x20 deps     <workload>    full RAW/WAR/WAW/RAR taxonomy\n\
+         \n\
+         options:\n\
+         \x20 --threads N      worker threads (default 8)\n\
+         \x20 --size S         simdev | simsmall | simlarge (default simsmall)\n\
+         \x20 --slots K        signature slots (default 1048576)\n\
+         \x20 --window W       phase window in dependencies (default 2000)\n\
+         \x20 --seed S         workload RNG seed (default 42)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut o = Options {
+        threads: 8,
+        size: InputSize::SimSmall,
+        slots: 1 << 20,
+        window: 2000,
+        seed: 42,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {a}");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--threads" => o.threads = val().parse().expect("--threads N"),
+            "--slots" => o.slots = val().parse().expect("--slots K"),
+            "--window" => o.window = val().parse().expect("--window W"),
+            "--seed" => o.seed = val().parse().expect("--seed S"),
+            "--size" => {
+                o.size = match val().as_str() {
+                    "simdev" => InputSize::SimDev,
+                    "simsmall" => InputSize::SimSmall,
+                    "simlarge" => InputSize::SimLarge,
+                    other => {
+                        eprintln!("unknown size `{other}`");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown option `{other}`");
+                usage();
+            }
+        }
+    }
+    o
+}
+
+fn profile(
+    name: &str,
+    o: &Options,
+    phase_window: Option<u64>,
+) -> (Arc<AsymmetricProfiler>, Arc<TraceCtx>) {
+    let workload = by_name(name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown workload `{name}` — try `loopcomm list`"
+        );
+        std::process::exit(2);
+    });
+    let profiler = Arc::new(AsymmetricProfiler::asymmetric(
+        SignatureConfig::paper_default(o.slots, o.threads),
+        lc_profiler::ProfilerConfig {
+            threads: o.threads,
+            track_nested: true,
+            phase_window,
+        },
+    ));
+    let ctx = TraceCtx::new(profiler.clone(), o.threads);
+    workload.run(&ctx, &RunConfig::new(o.threads, o.size, o.seed));
+    (profiler, ctx)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+
+    if cmd == "list" {
+        println!("available workloads:");
+        for w in all_workloads() {
+            println!("  {:<14} {}", w.name(), w.description());
+        }
+        return;
+    }
+
+    let Some(name) = args.get(1) else { usage() };
+    // `record` takes an extra positional (the output file) before options.
+    let opt_start = if cmd == "record" || cmd == "report" { 3 } else { 2 };
+    let o = parse_options(&args[opt_start.min(args.len())..]);
+
+    match cmd.as_str() {
+        "profile" => {
+            let (p, _ctx) = profile(name, &o, None);
+            let r = p.report();
+            println!("workload            : {name}");
+            println!("threads             : {}", o.threads);
+            println!("accesses            : {}", r.accesses);
+            println!("RAW dependencies    : {}", r.dependencies);
+            println!(
+                "profiler memory     : {}",
+                lc_profiler::report::fmt_bytes(r.memory_bytes as u64)
+            );
+            let health = p.signature_health();
+            println!(
+                "signature health    : {:.1}% slot aliasing (~{:.0} written addrs)",
+                health.write_aliasing * 100.0,
+                health.est_written_addresses
+            );
+            if health.needs_more_slots() {
+                println!(
+                    "                      warning: rerun with --slots {} for <5% aliasing",
+                    health.suggested_slots(0.05)
+                );
+            }
+            println!("\ncommunication matrix (bytes):\n{}", r.global.heatmap());
+        }
+        "nested" => {
+            let (p, ctx) = profile(name, &o, None);
+            let r = p.report();
+            let nested = NestedReport::build(ctx.loops(), &r.per_loop, o.threads);
+            println!("{}", nested.render(4));
+            let bad = lc_profiler::verify_sum_invariant(&nested);
+            assert!(bad.is_empty(), "sum invariant violated: {bad:?}");
+        }
+        "load" => {
+            let (p, ctx) = profile(name, &o, None);
+            let r = p.report();
+            let nested = NestedReport::build(ctx.loops(), &r.per_loop, o.threads);
+            for (node, total) in nested.hotspots().into_iter().take(3) {
+                if total == 0 {
+                    break;
+                }
+                let load = ThreadLoad::from_matrix(&node.aggregate);
+                println!("hotspot `{}` ({} B):", node.name, total);
+                println!("{}", load.render());
+                println!(
+                    "imbalance {:.2}  active {}/{}\n",
+                    load.imbalance(),
+                    load.active_threads(0.05),
+                    o.threads
+                );
+            }
+        }
+        "classify" => {
+            let (p, _ctx) = profile(name, &o, None);
+            let train = synthetic_dataset(o.threads.max(8), 30, &[0.0, 0.05, 0.1], 1);
+            let model = NearestCentroid::train(&train);
+            println!(
+                "dominant pattern class of `{name}`: {}",
+                model.predict(&p.global_matrix())
+            );
+        }
+        "map" => {
+            let (p, _ctx) = profile(name, &o, None);
+            let topo = MachineTopology::dual_socket_xeon();
+            if o.threads > topo.cores() {
+                eprintln!("machine model has only {} cores", topo.cores());
+                std::process::exit(2);
+            }
+            let m = p.global_matrix();
+            let greedy = greedy_mapping(&m, &topo);
+            println!(
+                "identity cost : {}",
+                ThreadMapping::identity(o.threads).cost(&m, &topo)
+            );
+            println!("greedy cost   : {}", greedy.cost(&m, &topo));
+            println!("assignment    : {:?}", greedy.assignment);
+        }
+        "report" => {
+            let Some(path) = args.get(2) else { usage() };
+            let (p, ctx) = profile(name, &o, Some(o.window));
+            let html =
+                lc_profiler::html_report(&format!("loopcomm: {name}"), &p.report(), ctx.loops());
+            std::fs::write(path, html).expect("write report");
+            println!("wrote {path}");
+        }
+        "record" => {
+            let Some(path) = args.get(2) else { usage() };
+            let workload = by_name(name).unwrap_or_else(|| {
+                eprintln!("unknown workload `{name}`");
+                std::process::exit(2);
+            });
+            let rec = Arc::new(lc_trace::RecordingSink::new());
+            let ctx = TraceCtx::new(rec.clone(), o.threads);
+            workload.run(&ctx, &RunConfig::new(o.threads, o.size, o.seed));
+            let trace = rec.finish();
+            lc_trace::save_trace(&trace, std::path::Path::new(path)).expect("write trace");
+            let stats = trace.stats();
+            println!(
+                "recorded {} events ({} reads, {} writes, {} addresses, {} threads) -> {path}",
+                trace.len(),
+                stats.reads,
+                stats.writes,
+                stats.distinct_addrs,
+                stats.threads
+            );
+        }
+        "analyze" => {
+            // `name` is the trace path here.
+            let trace =
+                lc_trace::load_trace(std::path::Path::new(name)).expect("read trace");
+            let stats = trace.stats();
+            let threads = stats.threads.max(1);
+            println!(
+                "trace: {} events, {} distinct addresses, {} threads",
+                trace.len(),
+                stats.distinct_addrs,
+                stats.threads
+            );
+            let profiler = AsymmetricProfiler::asymmetric(
+                SignatureConfig::paper_default(o.slots, threads),
+                lc_profiler::ProfilerConfig {
+                    threads,
+                    track_nested: true,
+                    phase_window: None,
+                },
+            );
+            trace.replay(&profiler);
+            let r = profiler.report();
+            println!(
+                "RAW dependencies: {}  profiler memory: {}",
+                r.dependencies,
+                lc_profiler::report::fmt_bytes(r.memory_bytes as u64)
+            );
+            println!("\ncommunication matrix:\n{}", r.global.heatmap());
+        }
+        "simulate" => {
+            let topo = MachineTopology::dual_socket_xeon();
+            if o.threads > topo.cores() {
+                eprintln!("machine model has only {} cores", topo.cores());
+                std::process::exit(2);
+            }
+            let workload = by_name(name).unwrap_or_else(|| {
+                eprintln!("unknown workload `{name}`");
+                std::process::exit(2);
+            });
+            let rec = Arc::new(lc_trace::RecordingSink::new());
+            let prof = Arc::new(lc_profiler::PerfectProfiler::perfect(
+                lc_profiler::ProfilerConfig {
+                    threads: o.threads,
+                    track_nested: false,
+                    phase_window: None,
+                },
+            ));
+            let fork = Arc::new(lc_trace::ForkSink::new(vec![
+                rec.clone() as Arc<dyn lc_trace::AccessSink>,
+                prof.clone(),
+            ]));
+            let ctx = TraceCtx::new(fork, o.threads);
+            workload.run(&ctx, &RunConfig::new(o.threads, o.size, o.seed));
+            let trace = rec.finish();
+            let matrix = prof.global_matrix();
+            let cfg = lc_cachesim::CacheConfig::small_l1();
+            println!(
+                "MESI simulation of `{name}` ({} events, {} threads on 2x8 cores):\n",
+                trace.len(),
+                o.threads
+            );
+            for (label, mapping) in [
+                ("identity", ThreadMapping::identity(o.threads)),
+                ("scrambled", ThreadMapping::scrambled(o.threads, 4242)),
+                ("greedy", greedy_mapping(&matrix, &topo)),
+            ] {
+                let r = lc_cachesim::simulate(&trace, &mapping, &topo, cfg);
+                println!(
+                    "{label:<10} miss {:.1}%  local/remote transfers {}/{}  cost {}",
+                    r.stats.miss_ratio() * 100.0,
+                    r.stats.local_transfers,
+                    r.stats.remote_transfers,
+                    r.stats.transfer_cost
+                );
+            }
+        }
+        "deps" => {
+            let workload = by_name(name).unwrap_or_else(|| {
+                eprintln!("unknown workload `{name}`");
+                std::process::exit(2);
+            });
+            let det = Arc::new(lc_profiler::FullDetector::new(
+                o.threads,
+                lc_profiler::DepConfig::all(),
+            ));
+            let ctx = TraceCtx::new(det.clone(), o.threads);
+            workload.run(&ctx, &RunConfig::new(o.threads, o.size, o.seed));
+            println!("inter-thread dependence taxonomy of `{name}` (bytes):\n");
+            for kind in lc_profiler::DepKind::ALL {
+                let m = det.matrix(kind);
+                println!("{}: {} B total", kind.name(), m.total());
+                if m.total() > 0 {
+                    println!("{}", m.heatmap());
+                }
+            }
+        }
+        "hotsites" => {
+            let workload = by_name(name).unwrap_or_else(|| {
+                eprintln!("unknown workload `{name}`");
+                std::process::exit(2);
+            });
+            let counter = Arc::new(lc_trace::SiteCounter::new());
+            let ctx = TraceCtx::new(counter.clone(), o.threads);
+            workload.run(&ctx, &RunConfig::new(o.threads, o.size, o.seed));
+            println!(
+                "hottest access sites of `{name}` ({} events, {} sites):\n",
+                counter.total(),
+                counter.distinct_sites()
+            );
+            for (loc, t) in counter.hottest(15) {
+                println!(
+                    "{:>12} B  {:>9} r {:>9} w  {loc}",
+                    t.bytes, t.reads, t.writes
+                );
+            }
+        }
+        "phases" => {
+            let (p, _ctx) = profile(name, &o, Some(o.window));
+            let r = p.report();
+            let phases = r.phases(0.5).expect("phase tracking enabled");
+            println!(
+                "{} phase(s) over {} windows of {} dependencies:",
+                phases.len(),
+                r.phase_windows.as_ref().map(|w| w.len()).unwrap_or(0),
+                o.window
+            );
+            for (i, ph) in phases.iter().enumerate() {
+                println!(
+                    "\nphase {i}: windows {}..{} ({} B)\n{}",
+                    ph.start_window,
+                    ph.end_window,
+                    ph.matrix.total(),
+                    ph.matrix.heatmap()
+                );
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,88 @@
+//! §VI end-to-end: profile real threaded topology programs, classify the
+//! measured matrices.
+
+use std::sync::Arc;
+
+use lc_profiler::classify::{synthetic_dataset, NearestCentroid, PatternClass};
+use lc_profiler::{PerfectProfiler, ProfilerConfig};
+use lc_workloads::synthetic::{SyntheticPattern, Topology};
+use loopcomm::prelude::*;
+
+fn measured_matrix(topo: Topology, threads: usize) -> lc_profiler::DenseMatrix {
+    let profiler = Arc::new(PerfectProfiler::perfect(ProfilerConfig {
+        threads,
+        track_nested: false,
+        phase_window: None,
+    }));
+    let ctx = TraceCtx::new(profiler.clone(), threads);
+    SyntheticPattern { topology: topo }.run(
+        &ctx,
+        &RunConfig::new(threads, InputSize::SimSmall, 5),
+    );
+    profiler.global_matrix()
+}
+
+#[test]
+fn measured_topologies_classify_correctly_at_16_threads() {
+    let train = synthetic_dataset(16, 30, &[0.0, 0.05, 0.1], 1);
+    let model = NearestCentroid::train(&train);
+    let mut wrong = Vec::new();
+    for topo in Topology::ALL {
+        let m = measured_matrix(topo, 16);
+        let pred = model.predict(&m);
+        if pred.name() != topo.name() {
+            wrong.push((topo.name(), pred.name()));
+        }
+    }
+    assert!(
+        wrong.len() <= 1,
+        "too many misclassifications: {wrong:?}"
+    );
+}
+
+#[test]
+fn synthetic_accuracy_matches_papers_97_percent_claim() {
+    let train = synthetic_dataset(16, 40, &[0.0, 0.05, 0.1, 0.15], 2);
+    let test = synthetic_dataset(16, 25, &[0.0, 0.05, 0.1, 0.15], 31337);
+    let model = NearestCentroid::train(&train);
+    let eval = model.evaluate(&test);
+    assert!(
+        eval.accuracy() >= 0.97,
+        "accuracy {:.3}\n{}",
+        eval.accuracy(),
+        eval.render()
+    );
+}
+
+#[test]
+fn splash_workloads_map_to_sensible_classes() {
+    let train = synthetic_dataset(8, 30, &[0.0, 0.05, 0.1], 3);
+    let model = NearestCentroid::train(&train);
+
+    let classify = |name: &str| -> PatternClass {
+        let profiler = Arc::new(PerfectProfiler::perfect(ProfilerConfig {
+            threads: 8,
+            track_nested: false,
+            phase_window: None,
+        }));
+        let ctx = TraceCtx::new(profiler.clone(), 8);
+        by_name(name)
+            .unwrap()
+            .run(&ctx, &RunConfig::new(8, InputSize::SimDev, 9));
+        model.predict(&profiler.global_matrix())
+    };
+
+    // O(n²) MD reads everyone: the n-body/all-to-all class.
+    assert_eq!(classify("water_nsq"), PatternClass::AllToAll);
+    // Radiosity gathers from all patches evenly: also all-to-all.
+    assert_eq!(classify("radiosity"), PatternClass::AllToAll);
+    // Row-slab stencil: nearest-neighbour family (ring/grid/pipeline bands).
+    let ocean = classify("ocean_cp");
+    assert!(
+        matches!(
+            ocean,
+            PatternClass::Ring1D | PatternClass::Grid2D | PatternClass::Pipeline
+        ),
+        "ocean_cp classified as {ocean}"
+    );
+}

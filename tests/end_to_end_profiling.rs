@@ -1,0 +1,161 @@
+//! End-to-end: every SPLASH-style workload profiled with the exact
+//! detector produces a coherent communication report.
+
+use std::sync::Arc;
+
+use lc_profiler::{verify_sum_invariant, NestedReport, PerfectProfiler, ProfilerConfig};
+use loopcomm::prelude::*;
+
+fn profile(name: &str, threads: usize) -> (Arc<PerfectProfiler>, Arc<TraceCtx>) {
+    let w = by_name(name).expect("workload exists");
+    let profiler = Arc::new(PerfectProfiler::perfect(ProfilerConfig::nested(threads)));
+    let ctx = TraceCtx::new(profiler.clone(), threads);
+    w.run(&ctx, &RunConfig::new(threads, InputSize::SimDev, 42));
+    (profiler, ctx)
+}
+
+#[test]
+fn every_workload_produces_interthread_communication() {
+    for w in all_workloads() {
+        let (profiler, _ctx) = profile(w.name(), 4);
+        let report = profiler.report();
+        assert!(
+            report.dependencies > 0,
+            "{}: no inter-thread RAW dependencies detected",
+            w.name()
+        );
+        assert!(!report.global.is_zero(), "{}: zero matrix", w.name());
+        assert!(report.accesses > report.dependencies, "{}", w.name());
+        // Diagonal must be empty: a thread never communicates with itself.
+        for i in 0..4 {
+            assert_eq!(
+                report.global.get(i, i),
+                0,
+                "{}: self-communication at {i}",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn per_loop_attribution_sums_to_global() {
+    for name in ["radix", "lu_ncb", "water_nsq", "ocean_cp", "fft"] {
+        let (profiler, _ctx) = profile(name, 4);
+        let report = profiler.report();
+        assert_eq!(
+            report.per_loop_sum(),
+            report.global,
+            "{name}: per-loop matrices do not sum to the global matrix"
+        );
+    }
+}
+
+#[test]
+fn nested_tree_invariant_holds_for_all_workloads() {
+    for w in all_workloads() {
+        let (profiler, ctx) = profile(w.name(), 4);
+        let report = profiler.report();
+        let nested = NestedReport::build(ctx.loops(), &report.per_loop, 4);
+        assert!(
+            verify_sum_invariant(&nested).is_empty(),
+            "{}: Σ-children invariant violated",
+            w.name()
+        );
+        assert_eq!(
+            nested.total(),
+            report.global,
+            "{}: tree total != global",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn hotspots_are_nonempty_and_ranked() {
+    let (profiler, ctx) = profile("lu_ncb", 4);
+    let report = profiler.report();
+    let nested = NestedReport::build(ctx.loops(), &report.per_loop, 4);
+    let hs = nested.hotspots();
+    assert!(!hs.is_empty());
+    for pair in hs.windows(2) {
+        assert!(pair[0].1 >= pair[1].1, "hotspots not sorted");
+    }
+    // bmod dominates LU communication (Figure 6's biggest box).
+    let top_names: Vec<&str> = hs.iter().take(3).map(|(n, _)| n.name.as_str()).collect();
+    assert!(
+        top_names.contains(&"bmod"),
+        "bmod missing from top-3 hotspots: {top_names:?}"
+    );
+}
+
+#[test]
+fn every_workload_scales_with_input_size() {
+    use lc_trace::CountingSink;
+    for w in all_workloads() {
+        let count = |size| {
+            let c = Arc::new(CountingSink::new());
+            let ctx = TraceCtx::new(c.clone(), 4);
+            w.run(&ctx, &RunConfig::new(4, size, 2));
+            c.total()
+        };
+        let dev = count(InputSize::SimDev);
+        let small = count(InputSize::SimSmall);
+        assert!(
+            small > dev,
+            "{}: simsmall ({small}) should exceed simdev ({dev})",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn more_threads_widen_the_matrix() {
+    let (p4, _) = profile("radiosity", 4);
+    let (p8, _) = profile("radiosity", 8);
+    assert_eq!(p4.report().global.threads(), 4);
+    assert_eq!(p8.report().global.threads(), 8);
+    assert!(p8.report().dependencies > 0);
+}
+
+#[test]
+fn water_nsq_pattern_is_dense_all_to_all() {
+    let (profiler, _ctx) = profile("water_nsq", 4);
+    let m = profiler.report().global;
+    // O(n²) MD: every ordered pair communicates.
+    for i in 0..4 {
+        for j in 0..4 {
+            if i != j {
+                assert!(m.get(i, j) > 0, "missing edge {i}->{j}");
+            }
+        }
+    }
+}
+
+#[test]
+fn ocean_cp_pattern_is_neighbour_dominated() {
+    let (profiler, _ctx) = profile("ocean_cp", 6);
+    let m = profiler.report().global;
+    let total = m.total() as f64;
+    let neighbour: u64 = (0..6usize)
+        .flat_map(|i| (0..6usize).map(move |j| (i, j)))
+        .filter(|&(i, j)| i.abs_diff(j) == 1)
+        .map(|(i, j)| m.get(i, j))
+        .sum();
+    assert!(
+        neighbour as f64 / total > 0.6,
+        "halo exchange should dominate: {:.2}",
+        neighbour as f64 / total
+    );
+}
+
+#[test]
+fn barnes_pattern_is_broadcast_from_builder() {
+    let (profiler, _ctx) = profile("barnes", 4);
+    let m = profiler.report().global;
+    let from_builder: u64 = (1..4).map(|j| m.get(0, j)).sum();
+    assert!(
+        from_builder as f64 / m.total() as f64 > 0.4,
+        "tree-builder broadcast should dominate"
+    );
+}

@@ -1,0 +1,80 @@
+//! The full dependence taxonomy (RAW/WAR/WAW/RAR) on real workloads — the
+//! DiscoPoP-substrate view the communication paper builds on (§III-B).
+
+use std::sync::Arc;
+
+use lc_profiler::{DepConfig, DepKind, FullDetector, PerfectProfiler, ProfilerConfig};
+use loopcomm::prelude::*;
+
+fn run_full(name: &str, threads: usize, config: DepConfig) -> Arc<FullDetector> {
+    let det = Arc::new(FullDetector::new(threads, config));
+    let ctx = TraceCtx::new(det.clone(), threads);
+    by_name(name)
+        .unwrap()
+        .run(&ctx, &RunConfig::new(threads, InputSize::SimDev, 41));
+    det
+}
+
+#[test]
+fn raw_plane_matches_the_communication_profiler_on_workloads() {
+    for name in ["radix", "ocean_cp", "water_spatial"] {
+        // Run both detectors over the same deterministic single-thread
+        // execution so temporal order is identical.
+        let full = Arc::new(FullDetector::new(4, DepConfig::all()));
+        let comm = Arc::new(PerfectProfiler::perfect(ProfilerConfig {
+            threads: 4,
+            track_nested: false,
+            phase_window: None,
+        }));
+        let fork = Arc::new(lc_trace::ForkSink::new(vec![
+            full.clone() as Arc<dyn lc_trace::AccessSink>,
+            comm.clone(),
+        ]));
+        let ctx = TraceCtx::new(fork, 4);
+        by_name(name)
+            .unwrap()
+            .run(&ctx, &RunConfig::new(4, InputSize::SimDev, 41));
+        assert_eq!(
+            full.matrix(DepKind::Raw),
+            comm.global_matrix(),
+            "{name}: RAW planes diverged"
+        );
+    }
+}
+
+#[test]
+fn ping_pong_buffers_generate_waw_and_war() {
+    // Jacobi ping-pong (ocean_ncp) re-writes each cell every other
+    // iteration after neighbours read it: WAR and WAW must both appear.
+    let det = run_full("ocean_ncp", 4, DepConfig::all());
+    assert!(det.total(DepKind::Raw) > 0);
+    assert!(
+        det.total(DepKind::War) > 0,
+        "halo reads before the next write should yield WAR"
+    );
+    assert!(
+        det.total(DepKind::Waw) > 0,
+        "iterative rewrites should yield WAW"
+    );
+}
+
+#[test]
+fn read_shared_tables_generate_rar() {
+    // Radiosity: every thread reads every patch each round — massive RAR.
+    let det = run_full("radiosity", 4, DepConfig::all());
+    assert!(
+        det.total(DepKind::Rar) > det.total(DepKind::Raw),
+        "RAR {} should dwarf RAW {} for a gather-everything kernel",
+        det.total(DepKind::Rar),
+        det.total(DepKind::Raw)
+    );
+}
+
+#[test]
+fn ordering_only_config_suppresses_rar_volume() {
+    let all = run_full("radiosity", 4, DepConfig::all());
+    let ordering = run_full("radiosity", 4, DepConfig::ordering_only());
+    assert!(all.total(DepKind::Rar) > 0);
+    assert_eq!(ordering.total(DepKind::Rar), 0);
+    assert_eq!(all.total(DepKind::Raw), ordering.total(DepKind::Raw));
+}

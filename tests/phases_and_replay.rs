@@ -1,0 +1,168 @@
+//! Dynamic-behaviour detection (§V-A4) and record/replay determinism.
+
+use std::sync::Arc;
+
+use lc_profiler::{PerfectProfiler, ProfilerConfig};
+use lc_trace::{enter_loop, run_threads, InstrumentedBarrier, RecordingSink};
+use lc_workloads::synthetic::{SyntheticPattern, Topology};
+use loopcomm::prelude::*;
+
+/// A two-phase program: pipeline rounds, then all-to-all rounds.
+fn run_two_phase_program(profiler: Arc<PerfectProfiler>, threads: usize) {
+    let ctx = TraceCtx::new(profiler, threads);
+    let f = ctx.func("two_phase");
+    let l_a = ctx.root_loop("phase_pipeline", f);
+    let l_b = ctx.root_loop("phase_alltoall", f);
+    let bar = InstrumentedBarrier::new(&ctx, threads, "barrier", f);
+    let buf: lc_trace::TracedBuffer<u64> = ctx.alloc(threads * threads * 4);
+
+    run_threads(threads, |tid| {
+        // Phase A: pipeline i -> i+1.
+        for round in 0..30 {
+            let _g = enter_loop(l_a);
+            for w in 0..4 {
+                buf.store(tid * 4 + w, (round * 100 + w) as u64);
+            }
+            bar.wait();
+            if tid > 0 {
+                for w in 0..4 {
+                    let _ = buf.load((tid - 1) * 4 + w);
+                }
+            }
+            bar.wait();
+        }
+        // Phase B: all-to-all.
+        for round in 0..30 {
+            let _g = enter_loop(l_b);
+            for w in 0..4 {
+                buf.store(tid * 4 + w, (round * 7 + w) as u64);
+            }
+            bar.wait();
+            for other in 0..threads {
+                if other != tid {
+                    for w in 0..4 {
+                        let _ = buf.load(other * 4 + w);
+                    }
+                }
+            }
+            bar.wait();
+        }
+    });
+}
+
+#[test]
+fn phase_transition_is_detected() {
+    let threads = 6;
+    let profiler = Arc::new(PerfectProfiler::perfect(ProfilerConfig {
+        threads,
+        track_nested: true,
+        phase_window: Some(40),
+    }));
+    run_two_phase_program(profiler.clone(), threads);
+    let report = profiler.report();
+    let phases = report.phases(0.5).expect("phase tracking enabled");
+    assert!(
+        phases.len() >= 2,
+        "expected at least two phases, got {}",
+        phases.len()
+    );
+    // The first phase is pipeline-dominated, the last all-to-all-dominated.
+    let first = &phases[0].matrix;
+    let last = &phases[phases.len() - 1].matrix;
+    assert!(first.l1_distance(last) > 0.5, "phases look identical");
+}
+
+#[test]
+fn per_loop_matrices_separate_the_phases() {
+    let threads = 6;
+    let profiler = Arc::new(PerfectProfiler::perfect(ProfilerConfig::nested(threads)));
+    let ctx = TraceCtx::new(profiler.clone(), threads);
+    let f = ctx.func("two_phase");
+    let l_a = ctx.root_loop("phase_pipeline", f);
+    let l_b = ctx.root_loop("phase_alltoall", f);
+    let bar = InstrumentedBarrier::new(&ctx, threads, "barrier", f);
+    let buf: lc_trace::TracedBuffer<u64> = ctx.alloc(threads * 4);
+
+    run_threads(threads, |tid| {
+        for round in 0..10u64 {
+            {
+                let _g = enter_loop(l_a);
+                buf.store(tid, round);
+                bar.wait();
+                if tid > 0 {
+                    let _ = buf.load(tid - 1);
+                }
+                bar.wait();
+            }
+            {
+                let _g = enter_loop(l_b);
+                buf.store(tid, round + 50);
+                bar.wait();
+                for o in 0..threads {
+                    if o != tid {
+                        let _ = buf.load(o);
+                    }
+                }
+                bar.wait();
+            }
+        }
+    });
+
+    let report = profiler.report();
+    let ma = &report.per_loop[&l_a];
+    let mb = &report.per_loop[&l_b];
+    // Pipeline loop: only sub-diagonal edges; all-to-all loop: dense.
+    let ma_offband: u64 = (0..threads)
+        .flat_map(|i| (0..threads).map(move |j| (i, j)))
+        .filter(|&(i, j)| j != i + 1 && i != j)
+        .map(|(i, j)| ma.get(i, j))
+        .sum();
+    assert_eq!(ma_offband, 0, "pipeline loop leaked edges:\n{}", ma.heatmap());
+    let mb_nonzero = (0..threads)
+        .flat_map(|i| (0..threads).map(move |j| (i, j)))
+        .filter(|&(i, j)| i != j && mb.get(i, j) > 0)
+        .count();
+    assert_eq!(mb_nonzero, threads * (threads - 1), "{}", mb.heatmap());
+}
+
+#[test]
+fn recording_same_seed_single_thread_is_bit_identical() {
+    let record = || {
+        let rec = Arc::new(RecordingSink::new());
+        let ctx = TraceCtx::new(rec.clone(), 1);
+        by_name("fft")
+            .unwrap()
+            .run(&ctx, &RunConfig::new(1, InputSize::SimDev, 77));
+        rec.finish()
+    };
+    let (a, b) = (record(), record());
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.events().iter().zip(b.events()) {
+        assert_eq!(x.event, y.event);
+    }
+}
+
+#[test]
+fn multithreaded_recording_preserves_per_thread_streams() {
+    let record = || {
+        let rec = Arc::new(RecordingSink::new());
+        let ctx = TraceCtx::new(rec.clone(), 4);
+        SyntheticPattern {
+            topology: Topology::Ring1D,
+        }
+        .run(&ctx, &RunConfig::new(4, InputSize::SimDev, 5));
+        rec.finish()
+    };
+    let (a, b) = (record(), record());
+    // Interleaving may differ; each thread's own ordered stream must not.
+    for tid in 0..4u32 {
+        let stream = |t: &lc_trace::Trace| -> Vec<(u64, lc_trace::AccessKind)> {
+            t.events()
+                .iter()
+                .filter(|e| e.event.tid == tid)
+                .map(|e| (e.event.addr, e.event.kind))
+                .collect()
+        };
+        assert_eq!(stream(&a), stream(&b), "thread {tid} stream diverged");
+    }
+}

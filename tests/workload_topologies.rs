@@ -1,0 +1,139 @@
+//! Structural signatures of every workload's measured communication
+//! matrix — the repository-wide "does each kernel communicate the way its
+//! SPLASH original does?" check, using the scale-free features of the
+//! classifier.
+
+use std::sync::Arc;
+
+use lc_profiler::classify::{extract, FEATURE_NAMES};
+use lc_profiler::{DenseMatrix, PerfectProfiler, ProfilerConfig};
+use loopcomm::prelude::*;
+
+const THREADS: usize = 8;
+
+fn measured(name: &str) -> DenseMatrix {
+    let p = Arc::new(PerfectProfiler::perfect(ProfilerConfig {
+        threads: THREADS,
+        track_nested: false,
+        phase_window: None,
+    }));
+    let ctx = TraceCtx::new(p.clone(), THREADS);
+    by_name(name)
+        .unwrap()
+        .run(&ctx, &RunConfig::new(THREADS, InputSize::SimDev, 23));
+    p.global_matrix()
+}
+
+fn feature(m: &DenseMatrix, name: &str) -> f64 {
+    let f = extract(m);
+    f[FEATURE_NAMES.iter().position(|n| *n == name).unwrap()]
+}
+
+#[test]
+fn ocean_cp_is_symmetric_neighbour_exchange() {
+    let m = measured("ocean_cp");
+    assert!(feature(&m, "neighbor_frac") > 0.6, "{}", m.heatmap());
+    assert!(feature(&m, "symmetry") > 0.7, "{}", m.heatmap());
+}
+
+#[test]
+fn ocean_ncp_has_grid_band() {
+    let m = measured("ocean_ncp");
+    // 2-D tiles on 8 threads (2×4 grid): neighbours at distance 1 and 4.
+    let banded = feature(&m, "neighbor_frac") + feature(&m, "grid_frac")
+        + feature(&m, "pow2_frac");
+    assert!(banded > 0.6, "banded mass {banded}\n{}", m.heatmap());
+    assert!(feature(&m, "density") < 0.9, "{}", m.heatmap());
+}
+
+#[test]
+fn water_nsq_is_dense_and_even() {
+    let m = measured("water_nsq");
+    assert!(feature(&m, "density") > 0.95, "{}", m.heatmap());
+    assert!(feature(&m, "row_cv") < 0.2, "{}", m.heatmap());
+}
+
+#[test]
+fn water_spatial_is_sparser_than_nsq() {
+    let nsq = measured("water_nsq");
+    let spatial = measured("water_spatial");
+    // Cell lists cut the interaction range: strictly less off-band mass.
+    assert!(
+        feature(&spatial, "neighbor_frac") > feature(&nsq, "neighbor_frac"),
+        "spatial should be more neighbour-concentrated"
+    );
+}
+
+#[test]
+fn barnes_and_raytrace_are_master_heavy() {
+    for name in ["barnes", "raytrace"] {
+        let m = measured(name);
+        assert!(
+            feature(&m, "master_frac") > 0.5,
+            "{name}: master_frac {}\n{}",
+            feature(&m, "master_frac"),
+            m.heatmap()
+        );
+    }
+}
+
+#[test]
+fn radiosity_and_radix_are_even_all_to_all() {
+    for name in ["radiosity", "radix"] {
+        let m = measured(name);
+        assert!(feature(&m, "density") > 0.9, "{name}\n{}", m.heatmap());
+        assert!(
+            feature(&m, "row_cv") < 0.35,
+            "{name}: row_cv {}\n{}",
+            feature(&m, "row_cv"),
+            m.heatmap()
+        );
+    }
+}
+
+#[test]
+fn fft_transpose_is_dense_all_to_all() {
+    let m = measured("fft");
+    assert!(feature(&m, "density") > 0.9, "{}", m.heatmap());
+    assert!(feature(&m, "symmetry") > 0.5, "{}", m.heatmap());
+}
+
+#[test]
+fn lu_variants_share_their_topology() {
+    // Same arithmetic, same ownership: the two layouts must produce
+    // near-identical communication patterns.
+    let cb = measured("lu_cb");
+    let ncb = measured("lu_ncb");
+    assert!(
+        cb.l1_distance(&ncb) < 0.1,
+        "layouts diverged: L1 {}",
+        cb.l1_distance(&ncb)
+    );
+}
+
+#[test]
+fn cholesky_communicates_along_panels() {
+    let m = measured("cholesky");
+    assert!(!m.is_zero());
+    // Round-robin block ownership spreads producers evenly.
+    assert!(feature(&m, "row_cv") < 0.6, "{}", m.heatmap());
+}
+
+#[test]
+fn volrend_mixes_neighbour_filter_and_gather() {
+    let m = measured("volrend");
+    assert!(!m.is_zero());
+    // Slab filtering gives a neighbour band; the raycast gather adds
+    // longer-range mass. Both must be present.
+    assert!(feature(&m, "neighbor_frac") > 0.1, "{}", m.heatmap());
+    assert!(feature(&m, "neighbor_frac") < 0.9, "{}", m.heatmap());
+}
+
+#[test]
+fn fmm_near_field_dominates_volume() {
+    let m = measured("fmm");
+    // p2p near-field (neighbour rows) carries most bytes; the m2l far
+    // field adds a thin all-to-all floor.
+    assert!(feature(&m, "density") > 0.5, "{}", m.heatmap());
+    assert!(!m.is_zero());
+}
