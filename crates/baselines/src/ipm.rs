@@ -129,7 +129,7 @@ mod tests {
             loop_id: LoopId::NONE,
             parent_loop: LoopId::NONE,
             func: FuncId::NONE,
-                site: 0,
+            site: 0,
         }
     }
 

@@ -55,9 +55,7 @@ impl StrideRecord {
                 } else {
                     (other.base, self)
                 };
-                u64::from(
-                    point >= run.base && point <= run.end() && (point - run.base) % s == 0,
-                )
+                u64::from(point >= run.base && point <= run.end() && (point - run.base) % s == 0)
             }
             (sa, sb) => {
                 let g = gcd(sa, sb);

@@ -172,7 +172,7 @@ mod tests {
             loop_id: LoopId::NONE,
             parent_loop: LoopId::NONE,
             func: FuncId::NONE,
-                site: 0,
+            site: 0,
         }
     }
 
@@ -219,8 +219,7 @@ mod tests {
     fn model_costs_are_ordered() {
         assert!(ShadowModel::Helgrind32.bytes_per_word() < ShadowModel::Memcheck.bytes_per_word());
         assert!(
-            ShadowModel::Helgrind32.bytes_per_word()
-                < ShadowModel::HelgrindPlus64.bytes_per_word()
+            ShadowModel::Helgrind32.bytes_per_word() < ShadowModel::HelgrindPlus64.bytes_per_word()
         );
         assert_eq!(ShadowModel::Memcheck.name(), "Memcheck");
     }

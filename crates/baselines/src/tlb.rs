@@ -138,9 +138,7 @@ impl TlbProfiler {
 impl AccessSink for TlbProfiler {
     fn on_access(&self, ev: &AccessEvent) {
         let page = ev.addr >> self.page_bits;
-        self.tlbs[ev.tid as usize]
-            .lock()
-            .touch(page, self.entries);
+        self.tlbs[ev.tid as usize].lock().touch(page, self.entries);
         let n = self.accesses.fetch_add(1, Ordering::Relaxed) + 1;
         if n % self.sample_interval == 0 {
             self.sample();

@@ -66,7 +66,9 @@ fn bench_hash_choice(c: &mut Criterion) {
     let slots = 4096u64;
     let collide = |h: &dyn Fn(u64) -> u64| {
         let mut used = std::collections::HashSet::new();
-        (0..2048u64).filter(|i| !used.insert(h(0x1000 + i * 8) % slots)).count()
+        (0..2048u64)
+            .filter(|i| !used.insert(h(0x1000 + i * 8) % slots))
+            .count()
     };
     eprintln!(
         "[ablation] collisions over 2048 seq addrs into 4096 slots: murmur={} fnv={} mulshift={}",
@@ -192,7 +194,9 @@ fn bench_two_level_vs_flat(c: &mut Criterion) {
             flat.insert(black_box(i % 32_768), 5)
         })
     });
-    g.bench_function("two_level_contains", |b| b.iter(|| two.contains(black_box(512), 5)));
+    g.bench_function("two_level_contains", |b| {
+        b.iter(|| two.contains(black_box(512), 5))
+    });
     g.bench_function("flat_bitmask_contains", |b| {
         b.iter(|| flat.contains(black_box(512), 5))
     });

@@ -26,9 +26,7 @@ fn bench_cachesim(c: &mut Criterion) {
         let trace = rec.finish();
         g.throughput(Throughput::Elements(trace.len() as u64));
         let mapping = ThreadMapping::identity(threads);
-        g.bench_function(name, |b| {
-            b.iter(|| simulate(&trace, &mapping, &topo, cfg))
-        });
+        g.bench_function(name, |b| b.iter(|| simulate(&trace, &mapping, &topo, cfg)));
     }
     g.finish();
 }

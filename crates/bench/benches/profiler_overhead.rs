@@ -66,15 +66,21 @@ fn bench_sink_dispatch(c: &mut Criterion) {
         ProfilerConfig::nested(8),
     );
     asym.on_access(&e_write);
-    g.bench_function("asymmetric_nested", |b| b.iter(|| asym.on_access(black_box(&e_read))));
+    g.bench_function("asymmetric_nested", |b| {
+        b.iter(|| asym.on_access(black_box(&e_read)))
+    });
 
     let perfect = PerfectProfiler::perfect(flat(8));
     perfect.on_access(&e_write);
-    g.bench_function("perfect_flat", |b| b.iter(|| perfect.on_access(black_box(&e_read))));
+    g.bench_function("perfect_flat", |b| {
+        b.iter(|| perfect.on_access(black_box(&e_read)))
+    });
 
     let shadow = ShadowProfiler::new(8, ShadowModel::Helgrind32);
     shadow.on_access(&e_write);
-    g.bench_function("shadow", |b| b.iter(|| shadow.on_access(black_box(&e_read))));
+    g.bench_function("shadow", |b| {
+        b.iter(|| shadow.on_access(black_box(&e_read)))
+    });
     g.finish();
 }
 

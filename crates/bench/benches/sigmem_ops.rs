@@ -24,8 +24,12 @@ fn bench_hashes(c: &mut Criterion) {
         b.iter(|| hash_addr(black_box(0xdead_beef_0000), black_box(7)))
     });
     let buf = vec![0xa5u8; 64];
-    g.bench_function("x86_32_64B", |b| b.iter(|| murmur3_x86_32(black_box(&buf), 0)));
-    g.bench_function("x64_128_64B", |b| b.iter(|| murmur3_x64_128(black_box(&buf), 0)));
+    g.bench_function("x86_32_64B", |b| {
+        b.iter(|| murmur3_x86_32(black_box(&buf), 0))
+    });
+    g.bench_function("x64_128_64B", |b| {
+        b.iter(|| murmur3_x64_128(black_box(&buf), 0))
+    });
     g.finish();
 }
 
@@ -51,7 +55,9 @@ fn bench_bloom(c: &mut Criterion) {
 
     let cb = ConcurrentBloom::new(BloomGeometry::for_threads(32, 0.001));
     g.bench_function("concurrent_insert", |b| b.iter(|| cb.insert(black_box(9))));
-    g.bench_function("concurrent_contains", |b| b.iter(|| cb.contains(black_box(9))));
+    g.bench_function("concurrent_contains", |b| {
+        b.iter(|| cb.contains(black_box(9)))
+    });
     g.finish();
 }
 
@@ -71,9 +77,15 @@ fn bench_signatures(c: &mut Criterion) {
             rs.insert(black_box(i % 8192), 3)
         })
     });
-    g.bench_function("read_sig_contains", |b| b.iter(|| rs.contains(black_box(512), 3)));
-    g.bench_function("read_sig_clear_addr", |b| b.iter(|| rs.clear_addr(black_box(512))));
-    g.bench_function("write_sig_record", |b| b.iter(|| ws.record(black_box(512), 5)));
+    g.bench_function("read_sig_contains", |b| {
+        b.iter(|| rs.contains(black_box(512), 3))
+    });
+    g.bench_function("read_sig_clear_addr", |b| {
+        b.iter(|| rs.clear_addr(black_box(512)))
+    });
+    g.bench_function("write_sig_record", |b| {
+        b.iter(|| ws.record(black_box(512), 5))
+    });
     g.bench_function("write_sig_last_writer", |b| {
         b.iter(|| ws.last_writer(black_box(512)))
     });

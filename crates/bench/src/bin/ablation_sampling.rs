@@ -37,10 +37,8 @@ fn main() {
         let ctx = TraceCtx::new(rec.clone(), threads);
         w.run(&ctx, &RunConfig::new(threads, InputSize::SimDev, 7));
         let trace = rec.finish();
-        let full = AsymmetricProfiler::asymmetric(
-            SignatureConfig::paper_default(1 << 18, threads),
-            flat,
-        );
+        let full =
+            AsymmetricProfiler::asymmetric(SignatureConfig::paper_default(1 << 18, threads), flat);
         trace.replay(&full);
         let reference = full.global_matrix();
 

@@ -54,10 +54,8 @@ fn main() {
             phase_window: None,
         }));
         let ctx = TraceCtx::new(profiler.clone(), threads);
-        SyntheticPattern { topology: topo }.run(
-            &ctx,
-            &RunConfig::new(threads, InputSize::SimSmall, 5),
-        );
+        SyntheticPattern { topology: topo }
+            .run(&ctx, &RunConfig::new(threads, InputSize::SimSmall, 5));
         let pred = model.predict(&profiler.global_matrix());
         let ok = pred.name() == topo.name();
         correct += usize::from(ok);
@@ -85,8 +83,15 @@ fn main() {
         srows.push(vec![w.name().to_string(), pred.name().to_string()]);
         eprintln!("  classified {}", w.name());
     }
-    println!("{}", ascii_table(&["kernel", "dominant pattern class"], &srows));
+    println!(
+        "{}",
+        ascii_table(&["kernel", "dominant pattern class"], &srows)
+    );
 
-    save_csv("classify_topologies.csv", &["truth", "predicted", "ok"], &rows);
+    save_csv(
+        "classify_topologies.csv",
+        &["truth", "predicted", "ok"],
+        &rows,
+    );
     save_csv("classify_splash.csv", &["kernel", "class"], &srows);
 }

@@ -37,7 +37,10 @@ fn main() {
     }
     println!(
         "{}",
-        ascii_table(&["slots n", "threads t", "Eq.2 model", "impl. bound"], &rows)
+        ascii_table(
+            &["slots n", "threads t", "Eq.2 model", "impl. bound"],
+            &rows
+        )
     );
     let op = paper_sig_mem_bytes(10_000_000, 32, 0.001) / (1024.0 * 1024.0);
     println!(
@@ -48,9 +51,7 @@ fn main() {
     // Live measurement: profile at growing input sizes with a fixed config.
     let threads = env_threads();
     let cfg = SignatureConfig::paper_default(1 << 16, threads);
-    println!(
-        "live allocation with n = 2^16 slots, t = {threads} (radix, growing input):\n"
-    );
+    println!("live allocation with n = 2^16 slots, t = {threads} (radix, growing input):\n");
     let mut live_rows = Vec::new();
     for size in [InputSize::SimDev, InputSize::SimSmall, InputSize::SimLarge] {
         let asym = Arc::new(AsymmetricProfiler::asymmetric(

@@ -59,13 +59,27 @@ fn main() {
         println!(
             "{}",
             ascii_table(
-                &["app", "DiscoPoP(sig)", "Memcheck", "Helgrind", "Helgrind+", "IPM"],
+                &[
+                    "app",
+                    "DiscoPoP(sig)",
+                    "Memcheck",
+                    "Helgrind",
+                    "Helgrind+",
+                    "IPM"
+                ],
                 &rows
             )
         );
         save_csv(
             &format!("fig{fig}_memory_{}.csv", size.name()),
-            &["app", "signature", "memcheck", "helgrind", "helgrind_plus", "ipm"],
+            &[
+                "app",
+                "signature",
+                "memcheck",
+                "helgrind",
+                "helgrind_plus",
+                "ipm",
+            ],
             &rows,
         );
         println!();

@@ -35,7 +35,10 @@ fn main() {
     let bad = verify_sum_invariant(&nested);
     assert!(bad.is_empty(), "Σ-children invariant violated: {bad:?}");
     println!("parent = Σ children holds at every node (paper §V-A4).");
-    println!("\nglobal matrix (= sum of all roots):\n{}", report.global.heatmap());
+    println!(
+        "\nglobal matrix (= sum of all roots):\n{}",
+        report.global.heatmap()
+    );
 
     let rows: Vec<Vec<String>> = nested
         .all_nodes()

@@ -18,8 +18,8 @@ use lc_bench::{ascii_table, env_threads, save_csv};
 use lc_profiler::{AsymmetricProfiler, PerfectProfiler, ProfilerConfig};
 use lc_sigmem::SignatureConfig;
 use lc_trace::RecordingSink;
-use lc_workloads::{all_workloads, InputSize, RunConfig};
 use lc_trace::TraceCtx;
+use lc_workloads::{all_workloads, InputSize, RunConfig};
 
 fn main() {
     let threads = env_threads();
@@ -58,8 +58,7 @@ fn main() {
                 flat,
             );
             trace.replay(&asym);
-            let err_deps =
-                asym.dependencies().abs_diff(exact_deps) as f64 / exact_deps as f64;
+            let err_deps = asym.dependencies().abs_diff(exact_deps) as f64 / exact_deps as f64;
             // Spurious and suppressed edges can cancel in the dependence
             // *count*; the matrix L1 distance is the honest error metric.
             let err_l1 = exact.l1_distance(&asym.global_matrix());

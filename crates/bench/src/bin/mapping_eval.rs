@@ -12,7 +12,9 @@ use std::sync::Arc;
 
 use lc_bench::{ascii_table, save_csv};
 use lc_cachesim::{simulate, CacheConfig};
-use lc_profiler::{greedy_mapping, MachineTopology, PerfectProfiler, ProfilerConfig, ThreadMapping};
+use lc_profiler::{
+    greedy_mapping, MachineTopology, PerfectProfiler, ProfilerConfig, ThreadMapping,
+};
 use lc_trace::{RecordingSink, TraceCtx};
 use lc_workloads::{all_workloads, InputSize, RunConfig};
 
@@ -50,8 +52,14 @@ fn main() {
         rows.push(vec![
             w.name().to_string(),
             format!("{:.1}%", s_id.miss_ratio() * 100.0),
-            format!("{} / {} / {}", s_id.remote_transfers, s_sc.remote_transfers, s_gr.remote_transfers),
-            format!("{} / {} / {}", s_id.transfer_cost, s_sc.transfer_cost, s_gr.transfer_cost),
+            format!(
+                "{} / {} / {}",
+                s_id.remote_transfers, s_sc.remote_transfers, s_gr.remote_transfers
+            ),
+            format!(
+                "{} / {} / {}",
+                s_id.transfer_cost, s_sc.transfer_cost, s_gr.transfer_cost
+            ),
             format!(
                 "{:+.1}%",
                 100.0 * (s_gr.transfer_cost as f64 - s_sc.transfer_cost as f64)
@@ -71,7 +79,13 @@ fn main() {
     println!(
         "{}",
         ascii_table(
-            &["app", "miss ratio", "remote transfers", "transfer cost", "greedy vs scrambled"],
+            &[
+                "app",
+                "miss ratio",
+                "remote transfers",
+                "transfer cost",
+                "greedy vs scrambled"
+            ],
             &rows
         )
     );
@@ -81,7 +95,13 @@ fn main() {
     );
     save_csv(
         "mapping_eval.csv",
-        &["app", "miss_ratio", "remote_id_sc_gr", "cost_id_sc_gr", "greedy_vs_scrambled"],
+        &[
+            "app",
+            "miss_ratio",
+            "remote_id_sc_gr",
+            "cost_id_sc_gr",
+            "greedy_vs_scrambled",
+        ],
         &rows,
     );
 }

@@ -35,7 +35,8 @@ fn main() {
         let mut acc = 0.0;
         for app in apps {
             let w = by_name(app).unwrap();
-            let native = time_workload(&*w, || Arc::new(NoopSink), threads, InputSize::SimDev, reps);
+            let native =
+                time_workload(&*w, || Arc::new(NoopSink), threads, InputSize::SimDev, reps);
             let t = time_workload(
                 &*w,
                 || -> Arc<dyn lc_trace::AccessSink> {
@@ -113,7 +114,8 @@ fn main() {
     let perfect = PerfectProfiler::perfect(flat);
     trace.replay(&perfect);
     let exact = perfect.global_matrix();
-    let asym = AsymmetricProfiler::asymmetric(SignatureConfig::paper_default(1 << 18, threads), flat);
+    let asym =
+        AsymmetricProfiler::asymmetric(SignatureConfig::paper_default(1 << 18, threads), flat);
     trace.replay(&asym);
     let sig_l1 = exact.l1_distance(&asym.global_matrix());
     let sd3 = Sd3Profiler::new(threads);
@@ -153,7 +155,11 @@ fn main() {
             fmt_slowdown(slow["signature"]),
             fmt_slowdown(slow["tlb"]),
             fmt_slowdown(slow["ipm"]),
-            format!("{} (shadow {})", fmt_slowdown(slow["sd3"]), fmt_slowdown(slow["shadow"])),
+            format!(
+                "{} (shadow {})",
+                fmt_slowdown(slow["sd3"]),
+                fmt_slowdown(slow["shadow"])
+            ),
         ],
         vec![
             "Pattern accuracy (L1 vs exact, radix)".into(),
@@ -192,7 +198,13 @@ fn main() {
     println!(
         "{}",
         ascii_table(
-            &["criterion", "DiscoPoP (this repo)", "TLB [11] (simulated)", "IPM-style", "SD3-style"],
+            &[
+                "criterion",
+                "DiscoPoP (this repo)",
+                "TLB [11] (simulated)",
+                "IPM-style",
+                "SD3-style"
+            ],
             &rows
         )
     );

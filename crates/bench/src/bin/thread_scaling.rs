@@ -30,10 +30,8 @@ fn main() {
                 phase_window: None,
             }));
             let ctx = TraceCtx::new(profiler.clone(), threads);
-            SyntheticPattern { topology: topo }.run(
-                &ctx,
-                &RunConfig::new(threads, InputSize::SimSmall, 5),
-            );
+            SyntheticPattern { topology: topo }
+                .run(&ctx, &RunConfig::new(threads, InputSize::SimSmall, 5));
             let pred = model.predict(&profiler.global_matrix());
             if pred.name() == topo.name() {
                 correct += 1;

@@ -360,8 +360,8 @@ mod tests {
     fn writes_invalidate_sharers() {
         let script = [
             (0u32, 0x300u64, Write),
-            (1, 0x300, Read), // transfer, now shared
-            (2, 0x300, Read), // another sharer
+            (1, 0x300, Read),  // transfer, now shared
+            (2, 0x300, Read),  // another sharer
             (0, 0x300, Write), // upgrade: invalidate 1 and 2
             (1, 0x300, Read),  // must miss again
         ];

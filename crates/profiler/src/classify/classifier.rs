@@ -81,11 +81,10 @@ impl NearestCentroid {
         let mut acc: BTreeMap<PatternClass, ([f64; N_FEATURES], usize)> = BTreeMap::new();
         for s in samples {
             let e = acc.entry(s.label).or_insert(([0.0; N_FEATURES], 0));
-            for (c, (f, (m, sd))) in e.0.iter_mut().zip(
-                s.features
-                    .iter()
-                    .zip(mean.iter().zip(std.iter())),
-            ) {
+            for (c, (f, (m, sd))) in
+                e.0.iter_mut()
+                    .zip(s.features.iter().zip(mean.iter().zip(std.iter())))
+            {
                 *c += (f - m) / sd;
             }
             e.1 += 1;

@@ -13,16 +13,16 @@ pub const N_FEATURES: usize = 10;
 
 /// Human-readable feature names, aligned with [`extract`]'s output order.
 pub const FEATURE_NAMES: [&str; N_FEATURES] = [
-    "neighbor_frac",    // |i-j| == 1 (non-wrap)
-    "wrap_frac",        // ring wraparound cells (0,t-1)/(t-1,0)
-    "directionality",   // upper vs lower traffic skew [0,1]
-    "master_frac",      // row 0 + column 0
-    "pow2_frac",        // |i-j| == 2^k, k >= 1
-    "grid_frac",        // |i-j| == row width of a square grid
-    "tree_frac",        // j == i/2 (binary-tree parent)
-    "symmetry",         // 1 - |M - Mᵀ| / 2·total
-    "density",          // fraction of non-zero off-diagonal cells
-    "row_cv",           // coefficient of variation of row sums (capped /3)
+    "neighbor_frac",  // |i-j| == 1 (non-wrap)
+    "wrap_frac",      // ring wraparound cells (0,t-1)/(t-1,0)
+    "directionality", // upper vs lower traffic skew [0,1]
+    "master_frac",    // row 0 + column 0
+    "pow2_frac",      // |i-j| == 2^k, k >= 1
+    "grid_frac",      // |i-j| == row width of a square grid
+    "tree_frac",      // j == i/2 (binary-tree parent)
+    "symmetry",       // 1 - |M - Mᵀ| / 2·total
+    "density",        // fraction of non-zero off-diagonal cells
+    "row_cv",         // coefficient of variation of row sums (capped /3)
 ];
 
 /// Extract the feature vector of a matrix. All features lie in [0, 1];

@@ -100,7 +100,10 @@ impl std::fmt::Display for PatternClass {
 /// over random off-pattern cells (models false positives and incidental
 /// sharing — §VI notes classification must tolerate FP noise).
 pub fn generate(class: PatternClass, t: usize, seed: u64, noise: f64) -> DenseMatrix {
-    assert!(t >= 4, "patterns need at least 4 threads (paper: ≥8 advisable)");
+    assert!(
+        t >= 4,
+        "patterns need at least 4 threads (paper: ≥8 advisable)"
+    );
     assert!((0.0..1.0).contains(&noise));
     let mut rng = SplitMix64(seed ^ (class as u64).wrapping_mul(0x51ed_2701));
     let mut m = DenseMatrix::zero(t);

@@ -9,6 +9,9 @@
 //! * [`profiler`] — [`CommProfiler`], the [`lc_trace::AccessSink`] that
 //!   application threads drive inline.
 //! * [`matrix`] — concurrent communication matrices and snapshot math.
+//! * [`shards`] — the sharded accumulation layer the hot path runs
+//!   through: per-thread counters, epoch-flushed dependence delta buffers,
+//!   and the lock-free per-loop matrix registry.
 //! * [`nested`] — the loop-tree report of Figures 6–7 with the Σ-children
 //!   invariant.
 //! * [`thread_load`] — the Eq. 1 quantitative metric of Figure 8.
@@ -40,6 +43,7 @@ pub mod raw;
 pub mod report;
 pub mod report_html;
 pub mod sampling;
+pub mod shards;
 pub mod thread_load;
 pub mod viz;
 
@@ -54,7 +58,8 @@ pub use profiler::{
     AsymmetricProfiler, CommProfiler, PerfectProfiler, ProfileReport, ProfilerConfig,
 };
 pub use raw::{AsymmetricDetector, Dependence, PerfectDetector, RawDetector};
-pub use sampling::{BurstSampler, StrideSampler};
-pub use thread_load::ThreadLoad;
 pub use report_html::html_report;
+pub use sampling::{BurstSampler, StrideSampler};
+pub use shards::{AccumConfig, FlushTarget, LoopRegistry, ShardSet};
+pub use thread_load::ThreadLoad;
 pub use viz::{svg_heatmap, svg_thread_load};

@@ -220,9 +220,7 @@ pub fn refine(
     // Marginal cost of thread `u` at its current core, given the placement.
     let thread_cost = |assign: &[usize], u: usize| -> u64 {
         (0..t)
-            .map(|v| {
-                (m.get(u, v) + m.get(v, u)) * topo.distance(assign[u], assign[v])
-            })
+            .map(|v| (m.get(u, v) + m.get(v, u)) * topo.distance(assign[u], assign[v]))
             .sum()
     };
     for _ in 0..max_rounds {
@@ -231,16 +229,15 @@ pub fn refine(
             for b in a + 1..t {
                 // Same-socket swaps are cost-neutral only in two-level
                 // models; with clusters every cross-cluster swap matters.
-                if topo.cluster_of(mapping.assignment[a])
-                    == topo.cluster_of(mapping.assignment[b])
+                if topo.cluster_of(mapping.assignment[a]) == topo.cluster_of(mapping.assignment[b])
                 {
                     continue;
                 }
-                let before = thread_cost(&mapping.assignment, a)
-                    + thread_cost(&mapping.assignment, b);
+                let before =
+                    thread_cost(&mapping.assignment, a) + thread_cost(&mapping.assignment, b);
                 mapping.assignment.swap(a, b);
-                let after = thread_cost(&mapping.assignment, a)
-                    + thread_cost(&mapping.assignment, b);
+                let after =
+                    thread_cost(&mapping.assignment, a) + thread_cost(&mapping.assignment, b);
                 if after < before {
                     improved = true;
                 } else {
@@ -403,11 +400,8 @@ mod tests {
         let map = greedy_mapping(&m, &t);
         assert_eq!(map.assignment.len(), 6);
         // Six mutually-communicating threads fit one socket entirely.
-        let sockets: std::collections::HashSet<usize> = map
-            .assignment
-            .iter()
-            .map(|&c| t.socket_of(c))
-            .collect();
+        let sockets: std::collections::HashSet<usize> =
+            map.assignment.iter().map(|&c| t.socket_of(c)).collect();
         assert_eq!(sockets.len(), 1, "ring of 6 should land on one socket");
     }
 

@@ -16,7 +16,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Plain (unpadded) atomics: with t ≤ 64 a matrix is ≤ 32 KiB, and padding
 /// every cell to a cache line would multiply the per-loop matrix footprint
 /// by 16 for a structure the paper calls "negligible in comparison with the
-/// size of signature memory" (§V-A2).
+/// size of signature memory" (§V-A2). Cross-thread contention on shared
+/// cells is instead handled a layer up: the profiler's sharded path
+/// ([`crate::shards`]) aggregates dependences in per-thread delta buffers
+/// and only touches these atomics once per flush epoch, so `add` is off the
+/// per-dependence hot path in the default configuration. Cell addition is
+/// commutative, which is what makes that batching lossless.
 #[derive(Debug)]
 pub struct CommMatrix {
     t: usize,

@@ -118,6 +118,15 @@ impl NestedReport {
         Self { threads, roots }
     }
 
+    /// Build directly from a profiler report — shorthand for
+    /// `build(table, &report.per_loop, report.threads)`. The report's
+    /// `per_loop` map is the snapshot of the profiler's lock-free loop
+    /// registry, so this is the normal route from a finished run to the
+    /// Figures 6–7 tree.
+    pub fn from_report(table: &LoopTable, report: &crate::profiler::ProfileReport) -> Self {
+        Self::build(table, &report.per_loop, report.threads)
+    }
+
     /// Sum of the root aggregates — must equal the global matrix.
     pub fn total(&self) -> DenseMatrix {
         let mut acc = DenseMatrix::zero(self.threads);
@@ -272,6 +281,32 @@ mod tests {
         assert!(s.contains("daxpy"));
         assert!(s.contains("hotspot"));
         assert!(s.contains("consumers"));
+    }
+
+    #[test]
+    fn from_report_matches_build() {
+        use crate::profiler::{PerfectProfiler, ProfilerConfig};
+        use lc_trace::{AccessEvent, AccessKind, AccessSink, FuncId};
+
+        let (table, outer, _, _) = table_with_tree();
+        let p = PerfectProfiler::perfect(ProfilerConfig::nested(4));
+        let mk = |tid, kind| AccessEvent {
+            tid,
+            addr: 0x10,
+            size: 8,
+            kind,
+            loop_id: outer,
+            parent_loop: LoopId::NONE,
+            func: FuncId::NONE,
+            site: 0,
+        };
+        p.on_access(&mk(0, AccessKind::Write));
+        p.on_access(&mk(1, AccessKind::Read));
+        let report = p.report();
+        let direct = NestedReport::build(&table, &report.per_loop, report.threads);
+        let via = NestedReport::from_report(&table, &report);
+        assert_eq!(via.total(), direct.total());
+        assert_eq!(via.total().get(0, 1), 8);
     }
 
     #[test]

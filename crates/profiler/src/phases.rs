@@ -13,7 +13,11 @@
 use crate::matrix::DenseMatrix;
 
 /// Accumulates dependence windows during profiling.
-#[derive(Debug)]
+///
+/// `Clone` matters: [`crate::CommProfiler::report`] snapshots the
+/// accumulator by cloning so reporting never destroys in-progress phase
+/// state.
+#[derive(Clone, Debug)]
 pub struct PhaseAccumulator {
     window_deps: u64,
     threads: usize,

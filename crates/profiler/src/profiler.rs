@@ -9,18 +9,28 @@
 //! * the matrix of the access's **innermost loop** (the multi-layer /
 //!   nested structure of §IV-B and Figures 6–7), and
 //! * optionally a **phase window** (§V-A4).
+//!
+//! Accumulation runs through the sharded layer of [`crate::shards`] by
+//! default: per-thread padded counters, per-thread dependence delta buffers
+//! flushed at epoch boundaries, and a lock-free fixed-capacity registry of
+//! per-loop matrices. The legacy shared-atomic path is selectable via
+//! [`AccumConfig::shared`] and is the baseline the `sharded_equivalence`
+//! differential test compares against — the two paths produce byte-identical
+//! reports for the same access stream. Reads ([`CommProfiler::report`],
+//! [`CommProfiler::global_matrix`], ...) flush pending deltas first, so a
+//! live snapshot is never missing buffered communication.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 use lc_sigmem::{ReaderSet, SignatureConfig, WriterMap};
 use lc_trace::{AccessEvent, AccessSink, LoopId};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 
 use crate::matrix::{CommMatrix, DenseMatrix};
-use crate::phases::{PhaseAccumulator, Phase, detect_phases};
+use crate::phases::{detect_phases, Phase, PhaseAccumulator};
 use crate::raw::{AsymmetricDetector, PerfectDetector, RawDetector};
+use crate::shards::{AccumConfig, FlushTarget, LoopRegistry, ShardSet};
 
 /// Tunables for one profiling run.
 #[derive(Clone, Copy, Debug)]
@@ -28,7 +38,7 @@ pub struct ProfilerConfig {
     /// Number of profiled threads (matrix dimension).
     pub threads: usize,
     /// Attribute dependencies to per-loop matrices (Figures 6–7). Costs one
-    /// hash lookup per *dependence* (not per access).
+    /// registry lookup per *dependence* (not per access).
     pub track_nested: bool,
     /// When `Some(w)`, snapshot the matrix every `w` dependencies for phase
     /// detection (§V-A4).
@@ -46,24 +56,31 @@ impl ProfilerConfig {
     }
 }
 
+/// Counter accumulation: sharded per-thread or legacy shared atomics.
+enum Counters {
+    Sharded(ShardSet),
+    Shared {
+        accesses: AtomicU64,
+        deps: AtomicU64,
+    },
+}
+
 /// The profiler, generic over the signature implementation.
 pub struct CommProfiler<R: ReaderSet, W: WriterMap> {
     detector: RawDetector<R, W>,
     config: ProfilerConfig,
+    accum: AccumConfig,
     global: CommMatrix,
-    nested: RwLock<HashMap<LoopId, Arc<CommMatrix>>>,
-    accesses: AtomicU64,
-    deps: AtomicU64,
+    loops: LoopRegistry,
+    counters: Counters,
     phases: Option<Mutex<PhaseAccumulator>>,
 }
 
 /// The paper's profiler: approximate bounded-memory signatures.
-pub type AsymmetricProfiler =
-    CommProfiler<lc_sigmem::ReadSignature, lc_sigmem::WriteSignature>;
+pub type AsymmetricProfiler = CommProfiler<lc_sigmem::ReadSignature, lc_sigmem::WriteSignature>;
 
 /// The exact baseline profiler (perfect signature, §V-A3).
-pub type PerfectProfiler =
-    CommProfiler<lc_sigmem::PerfectReaderSet, lc_sigmem::PerfectWriterMap>;
+pub type PerfectProfiler = CommProfiler<lc_sigmem::PerfectReaderSet, lc_sigmem::PerfectWriterMap>;
 
 impl AsymmetricProfiler {
     /// Build the signature-memory profiler.
@@ -74,10 +91,7 @@ impl AsymmetricProfiler {
     /// Live signature-health diagnostics: occupancy, estimated footprint
     /// and aliasing risk (was `n_slots` adequate for this program?).
     pub fn signature_health(&self) -> lc_sigmem::SignatureHealth {
-        lc_sigmem::SignatureHealth::inspect(
-            self.detector().read_sig(),
-            self.detector().write_sig(),
-        )
+        lc_sigmem::SignatureHealth::inspect(self.detector().read_sig(), self.detector().write_sig())
     }
 }
 
@@ -89,70 +103,109 @@ impl PerfectProfiler {
 }
 
 impl<R: ReaderSet, W: WriterMap> CommProfiler<R, W> {
-    /// Build from an explicit detector.
+    /// Build from an explicit detector with default (sharded) accumulation.
     pub fn from_detector(detector: RawDetector<R, W>, config: ProfilerConfig) -> Self {
+        Self::from_detector_with(detector, config, AccumConfig::default())
+    }
+
+    /// Build from an explicit detector and accumulation-layer tunables.
+    pub fn from_detector_with(
+        detector: RawDetector<R, W>,
+        config: ProfilerConfig,
+        accum: AccumConfig,
+    ) -> Self {
         assert!(config.threads >= 1);
         let phases = config
             .phase_window
             .map(|w| Mutex::new(PhaseAccumulator::new(config.threads, w)));
+        let counters = if accum.sharded {
+            Counters::Sharded(ShardSet::new(config.threads, accum))
+        } else {
+            Counters::Shared {
+                accesses: AtomicU64::new(0),
+                deps: AtomicU64::new(0),
+            }
+        };
         Self {
             detector,
             config,
+            accum,
             global: CommMatrix::new(config.threads),
-            nested: RwLock::new(HashMap::new()),
-            accesses: AtomicU64::new(0),
-            deps: AtomicU64::new(0),
+            loops: LoopRegistry::new(config.threads, accum.loop_capacity),
+            counters,
             phases,
         }
     }
 
-    fn loop_matrix(&self, id: LoopId) -> Arc<CommMatrix> {
-        if let Some(m) = self.nested.read().get(&id) {
-            return Arc::clone(m);
+    /// The accumulation-layer configuration in effect.
+    pub fn accum_config(&self) -> AccumConfig {
+        self.accum
+    }
+
+    /// Drain every shard's buffered dependence deltas into the shared
+    /// matrices. All read paths call this first; it is also the
+    /// [`AccessSink::flush`] hook, so trace replay and sink pipelines end
+    /// with a fully-merged profiler. Idempotent and safe under concurrent
+    /// `on_access` traffic.
+    pub fn flush_pending(&self) {
+        if let Counters::Sharded(s) = &self.counters {
+            s.flush(self.flush_target());
         }
-        let mut w = self.nested.write();
-        Arc::clone(
-            w.entry(id)
-                .or_insert_with(|| Arc::new(CommMatrix::new(self.config.threads))),
-        )
+    }
+
+    /// The destination buffered deltas drain into.
+    fn flush_target(&self) -> FlushTarget<'_> {
+        FlushTarget {
+            track_nested: self.config.track_nested,
+            global: &self.global,
+            loops: &self.loops,
+        }
     }
 
     /// Number of instrumented accesses observed.
     pub fn accesses(&self) -> u64 {
-        self.accesses.load(Ordering::Relaxed)
+        match &self.counters {
+            Counters::Sharded(s) => s.accesses(),
+            Counters::Shared { accesses, .. } => accesses.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of RAW dependencies recorded.
     pub fn dependencies(&self) -> u64 {
-        self.deps.load(Ordering::Relaxed)
+        match &self.counters {
+            Counters::Sharded(s) => s.deps(),
+            Counters::Shared { deps, .. } => deps.load(Ordering::Relaxed),
+        }
     }
 
     /// Live snapshot of the global communication matrix.
     pub fn global_matrix(&self) -> DenseMatrix {
+        self.flush_pending();
         self.global.snapshot()
     }
 
     /// Live snapshot of one loop's matrix (zero matrix if never touched).
     pub fn loop_matrix_snapshot(&self, id: LoopId) -> DenseMatrix {
-        self.nested
-            .read()
-            .get(&id)
+        self.flush_pending();
+        self.loops
+            .get(id)
             .map(|m| m.snapshot())
             .unwrap_or_else(|| DenseMatrix::zero(self.config.threads))
     }
 
-    /// Current profiler heap footprint: signatures + matrices. The
-    /// signatures dominate and are input-size independent — the Figure 5
-    /// property.
+    /// Current profiler heap footprint: signatures + matrices + the sharded
+    /// accumulation layer. The signatures dominate and are input-size
+    /// independent — the Figure 5 property (the sharding layer adds a small
+    /// bounded term, quantified in DESIGN.md).
     pub fn memory_bytes(&self) -> usize {
-        let matrices: usize = self
-            .nested
-            .read()
-            .values()
-            .map(|m| m.memory_bytes())
-            .sum::<usize>()
-            + self.global.memory_bytes();
-        self.detector.memory_bytes() + matrices
+        let shards = match &self.counters {
+            Counters::Sharded(s) => s.memory_bytes(),
+            Counters::Shared { .. } => 0,
+        };
+        self.detector.memory_bytes()
+            + self.global.memory_bytes()
+            + self.loops.memory_bytes()
+            + shards
     }
 
     /// The underlying detector (diagnostics).
@@ -160,23 +213,13 @@ impl<R: ReaderSet, W: WriterMap> CommProfiler<R, W> {
         &self.detector
     }
 
-    /// Finish profiling and produce the full report.
+    /// Produce the full report. Non-destructive: the profiler keeps all
+    /// accumulated state, so calling `report()` twice (or profiling further
+    /// and reporting again) works and the second report extends the first.
     pub fn report(&self) -> ProfileReport {
-        let per_loop = self
-            .nested
-            .read()
-            .iter()
-            .map(|(id, m)| (*id, m.snapshot()))
-            .collect();
-        let phases = self.phases.as_ref().map(|p| {
-            // Clone-out: accumulate into a fresh accumulator snapshot by
-            // draining windows through detect on the collected windows.
-            let acc = std::mem::replace(
-                &mut *p.lock(),
-                PhaseAccumulator::new(self.config.threads, self.config.phase_window.unwrap()),
-            );
-            acc.finish()
-        });
+        self.flush_pending();
+        let per_loop = self.loops.snapshot_all();
+        let phases = self.phases.as_ref().map(|p| p.lock().clone().finish());
         ProfileReport {
             threads: self.config.threads,
             global: self.global.snapshot(),
@@ -192,20 +235,43 @@ impl<R: ReaderSet, W: WriterMap> CommProfiler<R, W> {
 impl<R: ReaderSet, W: WriterMap> AccessSink for CommProfiler<R, W> {
     #[inline]
     fn on_access(&self, ev: &AccessEvent) {
-        self.accesses.fetch_add(1, Ordering::Relaxed);
-        if let Some(dep) = self
-            .detector
-            .on_access(ev.tid, ev.addr, ev.size, ev.kind)
-        {
-            self.deps.fetch_add(1, Ordering::Relaxed);
-            self.global.add(dep.src, dep.dst, dep.bytes);
-            if self.config.track_nested {
-                self.loop_matrix(ev.loop_id).add(dep.src, dep.dst, dep.bytes);
+        match &self.counters {
+            Counters::Sharded(s) => {
+                s.count_access(ev.tid);
+                if let Some(dep) = self.detector.on_access(ev.tid, ev.addr, ev.size, ev.kind) {
+                    s.record_dep(
+                        ev.tid,
+                        ev.loop_id,
+                        dep.src,
+                        dep.dst,
+                        dep.bytes,
+                        self.flush_target(),
+                    );
+                    if let Some(p) = &self.phases {
+                        p.lock().add(dep.src, dep.dst, dep.bytes);
+                    }
+                }
             }
-            if let Some(p) = &self.phases {
-                p.lock().add(dep.src, dep.dst, dep.bytes);
+            Counters::Shared { accesses, deps } => {
+                accesses.fetch_add(1, Ordering::Relaxed);
+                if let Some(dep) = self.detector.on_access(ev.tid, ev.addr, ev.size, ev.kind) {
+                    deps.fetch_add(1, Ordering::Relaxed);
+                    self.global.add(dep.src, dep.dst, dep.bytes);
+                    if self.config.track_nested {
+                        self.loops
+                            .get_or_insert(ev.loop_id)
+                            .add(dep.src, dep.dst, dep.bytes);
+                    }
+                    if let Some(p) = &self.phases {
+                        p.lock().add(dep.src, dep.dst, dep.bytes);
+                    }
+                }
             }
         }
+    }
+
+    fn flush(&self) {
+        self.flush_pending();
     }
 }
 
@@ -253,6 +319,7 @@ impl ProfileReport {
 mod tests {
     use super::*;
     use lc_trace::{AccessKind, FuncId};
+    use std::sync::Arc;
 
     fn ev(tid: u32, addr: u64, kind: AccessKind, loop_id: LoopId) -> AccessEvent {
         AccessEvent {
@@ -263,7 +330,7 @@ mod tests {
             loop_id,
             parent_loop: LoopId::NONE,
             func: FuncId::NONE,
-                site: 0,
+            site: 0,
         }
     }
 
@@ -327,6 +394,37 @@ mod tests {
     }
 
     #[test]
+    fn report_is_non_destructive() {
+        // Regression test: report() used to mem::replace the phase
+        // accumulator, so a second report lost all phase windows (and any
+        // caller reporting mid-run destroyed the rest of the run's phases).
+        let p = PerfectProfiler::perfect(ProfilerConfig {
+            threads: 2,
+            track_nested: true,
+            phase_window: Some(2),
+        });
+        for i in 0..4u64 {
+            p.on_access(&ev(0, 0x100 + i * 8, AccessKind::Write, LoopId(1)));
+            p.on_access(&ev(1, 0x100 + i * 8, AccessKind::Read, LoopId(1)));
+        }
+        let first = p.report();
+        let second = p.report();
+        assert_eq!(first.global, second.global);
+        assert_eq!(first.per_loop, second.per_loop);
+        assert_eq!(first.accesses, second.accesses);
+        assert_eq!(first.dependencies, second.dependencies);
+        assert_eq!(first.phase_windows, second.phase_windows);
+        assert_eq!(first.phase_windows.as_ref().unwrap().len(), 2);
+
+        // Profiling continues seamlessly after a mid-run report.
+        p.on_access(&ev(0, 0x400, AccessKind::Write, LoopId(1)));
+        p.on_access(&ev(1, 0x400, AccessKind::Read, LoopId(1)));
+        let third = p.report();
+        assert_eq!(third.dependencies, second.dependencies + 1);
+        assert_eq!(third.phase_windows.as_ref().unwrap().len(), 3);
+    }
+
+    #[test]
     fn profiler_is_reusable_from_many_threads() {
         let p = Arc::new(PerfectProfiler::perfect(ProfilerConfig::nested(8)));
         std::thread::scope(|s| {
@@ -336,7 +434,12 @@ mod tests {
                     // Thread 0 wrote these addresses up front... simulate by
                     // each reader thread first writing its own then reading
                     // a shared one written by tid-1 pattern.
-                    p.on_access(&ev(tid, 0x1000 + tid as u64 * 8, AccessKind::Write, LoopId(1)));
+                    p.on_access(&ev(
+                        tid,
+                        0x1000 + tid as u64 * 8,
+                        AccessKind::Write,
+                        LoopId(1),
+                    ));
                 });
             }
         });
@@ -348,6 +451,34 @@ mod tests {
         assert_eq!(r.dependencies, 7);
         let loads = r.global.col_sums();
         assert_eq!(loads[0], 7 * 8); // thread 0 consumed from everyone
+    }
+
+    #[test]
+    fn live_reads_see_buffered_deltas() {
+        // One dependence sits below the flush epoch; every read path must
+        // still observe it.
+        let p = PerfectProfiler::perfect(ProfilerConfig::nested(2));
+        assert!(p.accum_config().sharded);
+        p.on_access(&ev(0, 0x10, AccessKind::Write, LoopId(3)));
+        p.on_access(&ev(1, 0x10, AccessKind::Read, LoopId(3)));
+        assert_eq!(p.global_matrix().get(0, 1), 8);
+        assert_eq!(p.loop_matrix_snapshot(LoopId(3)).get(0, 1), 8);
+        assert_eq!(p.dependencies(), 1);
+    }
+
+    #[test]
+    fn shared_accum_path_still_works() {
+        let p = PerfectProfiler::from_detector_with(
+            PerfectDetector::perfect(),
+            ProfilerConfig::nested(4),
+            AccumConfig::shared(),
+        );
+        p.on_access(&ev(0, 0x10, AccessKind::Write, LoopId(1)));
+        p.on_access(&ev(1, 0x10, AccessKind::Read, LoopId(1)));
+        let r = p.report();
+        assert_eq!(r.dependencies, 1);
+        assert_eq!(r.global.get(0, 1), 8);
+        assert_eq!(r.per_loop[&LoopId(1)].get(0, 1), 8);
     }
 
     #[test]

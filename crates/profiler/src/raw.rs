@@ -103,7 +103,13 @@ impl<R: ReaderSet, W: WriterMap> RawDetector<R, W> {
     /// Process one access in program order; returns the RAW dependence the
     /// access completes, if any. Lock-free when the signatures are.
     #[inline]
-    pub fn on_access(&self, tid: u32, addr: u64, size: u32, kind: AccessKind) -> Option<Dependence> {
+    pub fn on_access(
+        &self,
+        tid: u32,
+        addr: u64,
+        size: u32,
+        kind: AccessKind,
+    ) -> Option<Dependence> {
         match kind {
             AccessKind::Read => {
                 let dep = match self.write_sig.last_writer(addr) {

@@ -66,11 +66,7 @@ pub fn fmt_slowdown(factor: f64) -> String {
 }
 
 /// Write rows as CSV (creating parent directories).
-pub fn write_csv(
-    path: &Path,
-    headers: &[&str],
-    rows: &[Vec<String>],
-) -> std::io::Result<()> {
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
@@ -117,12 +113,7 @@ mod tests {
     fn csv_roundtrip() {
         let dir = std::env::temp_dir().join("lc_report_test");
         let path = dir.join("t.csv");
-        write_csv(
-            &path,
-            &["a", "b"],
-            &[vec!["1".into(), "2".into()]],
-        )
-        .unwrap();
+        write_csv(&path, &["a", "b"], &[vec!["1".into(), "2".into()]]).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         assert_eq!(body, "a,b\n1,2\n");
         std::fs::remove_dir_all(dir).ok();

@@ -108,6 +108,10 @@ impl<S: AccessSink> AccessSink for StrideSampler<S> {
             self.inner.on_access(ev);
         }
     }
+
+    fn flush(&self) {
+        self.inner.flush();
+    }
 }
 
 /// Alternate forwarded bursts with dropped gaps (per profiled thread).
@@ -159,6 +163,10 @@ impl<S: AccessSink> AccessSink for BurstSampler<S> {
             self.ctr.forwarded.fetch_add(1, Ordering::Relaxed);
             self.inner.on_access(ev);
         }
+    }
+
+    fn flush(&self) {
+        self.inner.flush();
     }
 }
 

@@ -1,0 +1,620 @@
+//! Sharded accumulation for the inline profiler hot path.
+//!
+//! Algorithm 1 runs *inline in the application threads* (§IV-D3), so every
+//! cycle `on_access` spends is multiplied across all profiled threads. The
+//! unsharded accumulator bumps one shared `accesses` atomic per access and
+//! contends on shared [`CommMatrix`] cells per dependence — cache-line
+//! ping-pong that grows with thread count. This module removes the shared
+//! state from the per-access path:
+//!
+//! * [`Shard`] — per-thread, cache-line-padded `accesses`/`deps` counters.
+//!   Each application thread only ever touches its own shard's lines;
+//!   totals are merged on read (lossless: relaxed counter addition
+//!   commutes).
+//! * [`DeltaBuffer`] — a small per-shard table aggregating dependence
+//!   deltas keyed by `(loop, src, dst)`. Deltas flush into the shared
+//!   matrices in batches on an *epoch boundary* (every
+//!   [`AccumConfig::flush_epoch`] dependences, or when the buffer fills),
+//!   so a tight producer/consumer loop touches the shared matrix once per
+//!   epoch instead of once per dependence. Matrix cell addition commutes,
+//!   so the fully-flushed result is byte-identical to unsharded
+//!   accumulation of the same dependence stream (enforced by the
+//!   `sharded_equivalence` differential test).
+//! * [`LoopRegistry`] — a lock-free, fixed-capacity, open-addressed table
+//!   of per-loop matrices replacing the `RwLock<HashMap<LoopId, _>>` read
+//!   lock the old path took per dependence. Slots are `AtomicPtr` published
+//!   with a release-CAS, the same pattern `ReadSignature::filter_or_insert`
+//!   uses; lookups are wait-free loads.
+//!
+//! The memory cost over the unsharded path is bounded and small: one
+//! padded shard (two counters + a `delta_slots`-entry buffer) per profiled
+//! thread and `capacity` pointer-sized registry slots — a few KiB at the
+//! paper's scale, keeping the §V-A2 "matrices are negligible next to
+//! signature memory" property (quantified in DESIGN.md).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+use crossbeam::utils::CachePadded;
+use lc_trace::LoopId;
+use parking_lot::Mutex;
+
+use crate::matrix::CommMatrix;
+
+/// Accumulation-layer tunables, separate from the semantic
+/// [`crate::ProfilerConfig`] so existing construction sites keep working.
+#[derive(Clone, Copy, Debug)]
+pub struct AccumConfig {
+    /// Use the sharded path (per-thread counters + delta buffers). `false`
+    /// selects the legacy shared-atomic path, kept as the differential
+    /// baseline.
+    pub sharded: bool,
+    /// Flush a shard's delta buffer after this many buffered dependences.
+    pub flush_epoch: u64,
+    /// Distinct `(loop, src, dst)` keys a shard aggregates between
+    /// flushes; a full buffer forces an early flush.
+    pub delta_slots: usize,
+    /// Capacity of the lock-free loop-matrix registry: the maximum number
+    /// of distinct loops (plus the top-level pseudo-loop) one run may
+    /// touch. Exceeding it panics with a sizing hint.
+    pub loop_capacity: usize,
+}
+
+impl Default for AccumConfig {
+    fn default() -> Self {
+        Self {
+            sharded: true,
+            flush_epoch: 64,
+            delta_slots: 32,
+            loop_capacity: 1024,
+        }
+    }
+}
+
+impl AccumConfig {
+    /// The legacy unsharded path (shared counters, per-dependence matrix
+    /// adds). Kept for differential testing and as the overhead baseline.
+    pub fn shared() -> Self {
+        Self {
+            sharded: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Pack a dependence's aggregation key. `src`/`dst` are dense thread ids
+/// (the matrix dimension caps them at 2^16 threads, far above the paper's
+/// scale); the loop id occupies the high 32 bits.
+#[inline]
+fn pack_key(loop_id: LoopId, src: u32, dst: u32) -> u64 {
+    debug_assert!(src < (1 << 16) && dst < (1 << 16));
+    ((loop_id.0 as u64) << 32) | ((src as u64) << 16) | dst as u64
+}
+
+#[inline]
+fn unpack_key(key: u64) -> (LoopId, u32, u32) {
+    (
+        LoopId((key >> 32) as u32),
+        ((key >> 16) & 0xffff) as u32,
+        (key & 0xffff) as u32,
+    )
+}
+
+/// Per-shard aggregation of dependence deltas since the last flush.
+#[derive(Debug, Default)]
+pub struct DeltaBuffer {
+    /// `(packed key, bytes)`, linearly searched — shards see few distinct
+    /// communication partners per epoch, so a small vec beats a hash map.
+    entries: Vec<(u64, u64)>,
+    /// Dependences buffered since the last flush (epoch progress).
+    pending: u64,
+}
+
+impl DeltaBuffer {
+    /// Aggregate one dependence.
+    #[inline]
+    fn push(&mut self, key: u64, bytes: u64) {
+        self.pending += 1;
+        for e in &mut self.entries {
+            if e.0 == key {
+                e.1 += bytes;
+                return;
+            }
+        }
+        self.entries.push((key, bytes));
+    }
+
+    #[inline]
+    fn needs_flush(&self, cfg: &AccumConfig) -> bool {
+        self.pending >= cfg.flush_epoch || self.entries.len() >= cfg.delta_slots
+    }
+
+    /// Heap footprint of the buffer.
+    fn memory_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(u64, u64)>()
+    }
+}
+
+/// One per-thread accumulation shard. Padded so two shards never share a
+/// cache line; the owning thread's counter bumps therefore stay core-local.
+#[derive(Debug)]
+pub struct Shard {
+    accesses: CachePadded<AtomicU64>,
+    deps: CachePadded<AtomicU64>,
+    buf: Mutex<DeltaBuffer>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            accesses: CachePadded::new(AtomicU64::new(0)),
+            deps: CachePadded::new(AtomicU64::new(0)),
+            buf: Mutex::new(DeltaBuffer::default()),
+        }
+    }
+}
+
+/// Where a shard's buffered deltas land when drained: the shared matrices,
+/// plus whether per-loop attribution is enabled for this run.
+#[derive(Clone, Copy, Debug)]
+pub struct FlushTarget<'a> {
+    /// Attribute flushed deltas to per-loop matrices as well as `global`.
+    pub track_nested: bool,
+    /// The global (whole-program) communication matrix.
+    pub global: &'a CommMatrix,
+    /// The per-loop matrix registry.
+    pub loops: &'a LoopRegistry,
+}
+
+/// The sharded accumulation layer: one [`Shard`] per profiled thread
+/// (indexed by dense tid, masked) in front of the shared matrices.
+#[derive(Debug)]
+pub struct ShardSet {
+    shards: Box<[Shard]>,
+    mask: usize,
+    cfg: AccumConfig,
+}
+
+impl ShardSet {
+    /// One shard per profiled thread, rounded up to a power of two so the
+    /// hot-path index is a mask instead of a modulo.
+    pub fn new(threads: usize, cfg: AccumConfig) -> Self {
+        assert!(threads >= 1);
+        assert!(cfg.flush_epoch >= 1, "flush_epoch must be at least 1");
+        assert!(cfg.delta_slots >= 1, "delta_slots must be at least 1");
+        let n = threads.next_power_of_two();
+        Self {
+            shards: (0..n).map(|_| Shard::new()).collect(),
+            mask: n - 1,
+            cfg,
+        }
+    }
+
+    #[inline]
+    fn shard(&self, tid: u32) -> &Shard {
+        &self.shards[tid as usize & self.mask]
+    }
+
+    /// Count one access on `tid`'s shard.
+    #[inline]
+    pub fn count_access(&self, tid: u32) {
+        self.shard(tid).accesses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count and buffer one dependence on `tid`'s shard, flushing the
+    /// shard's buffer into `target` at epoch boundaries.
+    #[inline]
+    pub fn record_dep(
+        &self,
+        tid: u32,
+        loop_id: LoopId,
+        src: u32,
+        dst: u32,
+        bytes: u64,
+        target: FlushTarget<'_>,
+    ) {
+        let shard = self.shard(tid);
+        shard.deps.fetch_add(1, Ordering::Relaxed);
+        // Without nested tracking every dependence aggregates under one key.
+        let key = pack_key(
+            if target.track_nested {
+                loop_id
+            } else {
+                LoopId::NONE
+            },
+            src,
+            dst,
+        );
+        let mut buf = shard.buf.lock();
+        buf.push(key, bytes);
+        if buf.needs_flush(&self.cfg) {
+            Self::drain(&mut buf, target);
+        }
+    }
+
+    fn drain(buf: &mut DeltaBuffer, target: FlushTarget<'_>) {
+        for (key, bytes) in buf.entries.drain(..) {
+            let (loop_id, src, dst) = unpack_key(key);
+            target.global.add(src, dst, bytes);
+            if target.track_nested {
+                target.loops.get_or_insert(loop_id).add(src, dst, bytes);
+            }
+        }
+        buf.pending = 0;
+    }
+
+    /// Flush every shard's pending deltas. Called before any read of the
+    /// shared matrices so snapshots include all buffered communication.
+    pub fn flush(&self, target: FlushTarget<'_>) {
+        for shard in self.shards.iter() {
+            let mut buf = shard.buf.lock();
+            if buf.pending > 0 {
+                Self::drain(&mut buf, target);
+            }
+        }
+    }
+
+    /// Total accesses across shards (lossless merge of relaxed counters).
+    pub fn accesses(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.accesses.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total dependences across shards.
+    pub fn deps(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.deps.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Heap footprint of the shard layer.
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.len() * std::mem::size_of::<Shard>()
+            + self
+                .shards
+                .iter()
+                .map(|s| s.buf.lock().memory_bytes())
+                .sum::<usize>()
+    }
+}
+
+/// One published registry entry: a loop id and its matrix.
+#[derive(Debug)]
+struct LoopSlot {
+    id: LoopId,
+    matrix: CommMatrix,
+}
+
+/// Lock-free, fixed-capacity, open-addressed map from [`LoopId`] to its
+/// [`CommMatrix`].
+///
+/// Lookups are a hash, a handful of `Acquire` pointer loads, and no writes —
+/// the per-dependence cost the old `RwLock<HashMap>` read lock used to pay
+/// in atomics and contention. Inserts allocate the slot's `LoopSlot` and
+/// publish it with a release-CAS; the loser of a publish race frees its
+/// allocation and uses the winner's (the `ReadSignature::filter_or_insert`
+/// pattern). Entries are never removed, so a published pointer stays valid
+/// until the registry drops.
+#[derive(Debug)]
+pub struct LoopRegistry {
+    slots: Box<[AtomicPtr<LoopSlot>]>,
+    threads: usize,
+    len: AtomicUsize,
+}
+
+impl LoopRegistry {
+    /// Registry with room for `capacity` distinct loops, whose matrices
+    /// have dimension `threads`. Capacity is rounded up to a power of two.
+    pub fn new(threads: usize, capacity: usize) -> Self {
+        assert!(capacity >= 1, "loop registry needs capacity");
+        let n = capacity.next_power_of_two();
+        Self {
+            slots: (0..n)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+            threads,
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// The matrix for `id`, publishing a fresh zero matrix on first use.
+    ///
+    /// # Panics
+    /// When the registry is full — the capacity bound is a deliberate
+    /// design knob (see [`AccumConfig::loop_capacity`]); a run touching
+    /// more distinct loops than provisioned should be re-run with a larger
+    /// capacity rather than silently misattributed.
+    #[inline]
+    pub fn get_or_insert(&self, id: LoopId) -> &CommMatrix {
+        let mask = self.slots.len() - 1;
+        let mut idx = (lc_sigmem::murmur::fmix64(id.0 as u64) as usize) & mask;
+        let mut fresh: *mut LoopSlot = std::ptr::null_mut();
+        for _ in 0..self.slots.len() {
+            let slot = &self.slots[idx];
+            let p = slot.load(Ordering::Acquire);
+            if p.is_null() {
+                if fresh.is_null() {
+                    fresh = Box::into_raw(Box::new(LoopSlot {
+                        id,
+                        matrix: CommMatrix::new(self.threads),
+                    }));
+                }
+                match slot.compare_exchange(
+                    std::ptr::null_mut(),
+                    fresh,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        self.len.fetch_add(1, Ordering::Relaxed);
+                        // Safety: just published; lives until `self` drops.
+                        return unsafe { &(*fresh).matrix };
+                    }
+                    Err(winner) => {
+                        // Safety: `winner` was published by a release-CAS
+                        // after full construction.
+                        if unsafe { &*winner }.id == id {
+                            // Safety: `fresh` never escaped this thread.
+                            drop(unsafe { Box::from_raw(fresh) });
+                            return unsafe { &(*winner).matrix };
+                        }
+                        // Different loop claimed the slot: keep probing and
+                        // reuse `fresh` for the next empty slot.
+                    }
+                }
+            } else {
+                // Safety: published pointers stay valid until drop.
+                if unsafe { &*p }.id == id {
+                    if !fresh.is_null() {
+                        // Safety: `fresh` never escaped this thread.
+                        drop(unsafe { Box::from_raw(fresh) });
+                    }
+                    return unsafe { &(*p).matrix };
+                }
+            }
+            idx = (idx + 1) & mask;
+        }
+        if !fresh.is_null() {
+            // Safety: `fresh` never escaped this thread.
+            drop(unsafe { Box::from_raw(fresh) });
+        }
+        panic!(
+            "loop-matrix registry full: more than {} distinct loops touched; \
+             raise AccumConfig::loop_capacity",
+            self.slots.len()
+        );
+    }
+
+    /// The matrix for `id`, if one was published.
+    pub fn get(&self, id: LoopId) -> Option<&CommMatrix> {
+        let mask = self.slots.len() - 1;
+        let mut idx = (lc_sigmem::murmur::fmix64(id.0 as u64) as usize) & mask;
+        for _ in 0..self.slots.len() {
+            let p = self.slots[idx].load(Ordering::Acquire);
+            if p.is_null() {
+                return None;
+            }
+            // Safety: published pointers stay valid until drop.
+            let slot = unsafe { &*p };
+            if slot.id == id {
+                return Some(&slot.matrix);
+            }
+            idx = (idx + 1) & mask;
+        }
+        None
+    }
+
+    /// Number of published loops.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// True when no loop has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot every published loop matrix.
+    pub fn snapshot_all(&self) -> HashMap<LoopId, crate::matrix::DenseMatrix> {
+        self.iter().map(|(id, m)| (id, m.snapshot())).collect()
+    }
+
+    /// Iterate the published `(id, matrix)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (LoopId, &CommMatrix)> {
+        self.slots.iter().filter_map(|slot| {
+            let p = slot.load(Ordering::Acquire);
+            // Safety: published pointers stay valid until drop.
+            (!p.is_null()).then(|| {
+                let s = unsafe { &*p };
+                (s.id, &s.matrix)
+            })
+        })
+    }
+
+    /// Heap footprint: slot array plus published matrices.
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<AtomicPtr<LoopSlot>>()
+            + self
+                .iter()
+                .map(|(_, m)| m.memory_bytes() + std::mem::size_of::<LoopSlot>())
+                .sum::<usize>()
+    }
+}
+
+impl Drop for LoopRegistry {
+    fn drop(&mut self) {
+        for slot in self.slots.iter() {
+            let p = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            if !p.is_null() {
+                // Safety: sole owner at drop; pointer came from Box::into_raw.
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+}
+
+// Safety: the registry hands out `&CommMatrix` (itself Sync) and publishes
+// heap pointers with release/acquire ordering.
+unsafe impl Send for LoopRegistry {}
+unsafe impl Sync for LoopRegistry {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn key_packing_round_trips() {
+        for (l, s, d) in [(0u32, 0u32, 0u32), (7, 3, 5), (u32::MAX, 65535, 65535)] {
+            assert_eq!(unpack_key(pack_key(LoopId(l), s, d)), (LoopId(l), s, d));
+        }
+    }
+
+    #[test]
+    fn delta_buffer_aggregates_same_key() {
+        let mut b = DeltaBuffer::default();
+        let k = pack_key(LoopId(1), 0, 1);
+        b.push(k, 8);
+        b.push(k, 8);
+        b.push(pack_key(LoopId(2), 0, 1), 4);
+        assert_eq!(b.entries.len(), 2);
+        assert_eq!(b.pending, 3);
+        assert_eq!(b.entries[0], (k, 16));
+    }
+
+    #[test]
+    fn shards_merge_counters_losslessly() {
+        let set = Arc::new(ShardSet::new(8, AccumConfig::default()));
+        std::thread::scope(|s| {
+            for tid in 0..8u32 {
+                let set = Arc::clone(&set);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        set.count_access(tid);
+                    }
+                });
+            }
+        });
+        assert_eq!(set.accesses(), 8000);
+        assert_eq!(set.deps(), 0);
+    }
+
+    #[test]
+    fn epoch_flush_lands_in_matrices() {
+        let cfg = AccumConfig {
+            flush_epoch: 4,
+            ..AccumConfig::default()
+        };
+        let set = ShardSet::new(2, cfg);
+        let global = CommMatrix::new(2);
+        let loops = LoopRegistry::new(2, 16);
+        let tgt = FlushTarget {
+            track_nested: true,
+            global: &global,
+            loops: &loops,
+        };
+        for _ in 0..3 {
+            set.record_dep(1, LoopId(5), 0, 1, 8, tgt);
+        }
+        // Below the epoch: nothing flushed yet.
+        assert_eq!(global.snapshot().total(), 0);
+        set.record_dep(1, LoopId(5), 0, 1, 8, tgt);
+        // Epoch boundary: all four deltas land at once.
+        assert_eq!(global.get(0, 1), 32);
+        assert_eq!(loops.get(LoopId(5)).unwrap().get(0, 1), 32);
+        assert_eq!(set.deps(), 4);
+    }
+
+    #[test]
+    fn explicit_flush_drains_partial_epochs() {
+        let set = ShardSet::new(4, AccumConfig::default());
+        let global = CommMatrix::new(4);
+        let loops = LoopRegistry::new(4, 16);
+        let tgt = FlushTarget {
+            track_nested: true,
+            global: &global,
+            loops: &loops,
+        };
+        set.record_dep(2, LoopId(1), 0, 2, 8, tgt);
+        assert_eq!(global.snapshot().total(), 0);
+        set.flush(tgt);
+        assert_eq!(global.get(0, 2), 8);
+        // Idempotent.
+        set.flush(tgt);
+        assert_eq!(global.get(0, 2), 8);
+    }
+
+    #[test]
+    fn full_delta_buffer_forces_early_flush() {
+        let cfg = AccumConfig {
+            flush_epoch: 1_000_000,
+            delta_slots: 2,
+            ..AccumConfig::default()
+        };
+        let set = ShardSet::new(1, cfg);
+        let global = CommMatrix::new(4);
+        let loops = LoopRegistry::new(4, 16);
+        let tgt = FlushTarget {
+            track_nested: true,
+            global: &global,
+            loops: &loops,
+        };
+        set.record_dep(0, LoopId(1), 0, 1, 8, tgt);
+        set.record_dep(0, LoopId(1), 0, 2, 8, tgt);
+        // Two distinct keys hit `delta_slots`.
+        assert_eq!(global.snapshot().total(), 16);
+    }
+
+    #[test]
+    fn registry_publishes_each_loop_once() {
+        let reg = Arc::new(LoopRegistry::new(4, 64));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let reg = Arc::clone(&reg);
+                s.spawn(move || {
+                    for l in 0..32u32 {
+                        reg.get_or_insert(LoopId(l)).add(0, 1, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.len(), 32);
+        for l in 0..32u32 {
+            assert_eq!(reg.get(LoopId(l)).unwrap().get(0, 1), 8);
+        }
+        assert!(reg.get(LoopId(99)).is_none());
+        assert_eq!(reg.snapshot_all().len(), 32);
+    }
+
+    #[test]
+    fn registry_survives_colliding_probes() {
+        // Capacity 4 with 4 loops: every slot used, probes wrap.
+        let reg = LoopRegistry::new(2, 4);
+        for l in 0..4u32 {
+            reg.get_or_insert(LoopId(l)).add(0, 1, l as u64 + 1);
+        }
+        for l in 0..4u32 {
+            assert_eq!(reg.get(LoopId(l)).unwrap().get(0, 1), l as u64 + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "loop-matrix registry full")]
+    fn registry_overflow_panics_with_hint() {
+        let reg = LoopRegistry::new(2, 2);
+        for l in 0..3u32 {
+            reg.get_or_insert(LoopId(l));
+        }
+    }
+
+    #[test]
+    fn registry_memory_accounts_slots_and_matrices() {
+        let reg = LoopRegistry::new(4, 8);
+        let empty = reg.memory_bytes();
+        reg.get_or_insert(LoopId(1));
+        assert!(reg.memory_bytes() > empty);
+    }
+}

@@ -83,7 +83,12 @@ pub fn svg_thread_load(load: &ThreadLoad, title: &str) -> String {
     let row_h = 16;
     let w = MARGIN + bar_w as usize + 90;
     let h = MARGIN + t * row_h + 10;
-    let max = load.loads.iter().cloned().fold(0.0_f64, f64::max).max(1e-12);
+    let max = load
+        .loads
+        .iter()
+        .cloned()
+        .fold(0.0_f64, f64::max)
+        .max(1e-12);
     let mut s = String::new();
     let _ = write!(
         s,
@@ -116,7 +121,9 @@ pub fn svg_thread_load(load: &ThreadLoad, title: &str) -> String {
 }
 
 fn svg_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

@@ -76,7 +76,10 @@ impl BloomFilter {
 
     /// Create a filter with explicit geometry.
     pub fn with_params(m_bits: usize, k: usize) -> Self {
-        assert!(m_bits >= 64 && m_bits % 64 == 0, "m_bits must be a positive multiple of 64");
+        assert!(
+            m_bits >= 64 && m_bits % 64 == 0,
+            "m_bits must be a positive multiple of 64"
+        );
         assert!(k >= 1);
         Self {
             bits: vec![0u64; m_bits / 64],

@@ -109,8 +109,7 @@ impl ReaderSet for ReadSignature {
 
     #[inline]
     fn contains(&self, addr: u64, tid: u32) -> bool {
-        self.filter(addr)
-            .is_some_and(|f| f.contains(tid as u64))
+        self.filter(addr).is_some_and(|f| f.contains(tid as u64))
     }
 
     #[inline]

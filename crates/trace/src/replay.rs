@@ -59,6 +59,7 @@ impl Trace {
         for e in &self.events {
             sink.on_access(&e.event);
         }
+        sink.flush();
     }
 
     /// Compute summary statistics.

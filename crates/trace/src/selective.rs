@@ -119,6 +119,10 @@ impl<S: AccessSink> AccessSink for SelectiveSink<S> {
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
     }
+
+    fn flush(&self) {
+        self.inner.flush();
+    }
 }
 
 #[cfg(test)]

@@ -20,6 +20,14 @@ use crate::replay::Trace;
 pub trait AccessSink: Send + Sync {
     /// Observe one access. `ev.tid` is the dense id of the calling thread.
     fn on_access(&self, ev: &AccessEvent);
+
+    /// Drain any internally buffered state so subsequent reads observe
+    /// every event delivered so far. Sinks that accumulate in per-thread
+    /// buffers (e.g. the sharded profiler) override this; the default is a
+    /// no-op. Called by [`Trace::replay`] after the last event, and by
+    /// wrapper sinks forwarding a flush downstream. Must be idempotent and
+    /// safe under concurrent `on_access` traffic.
+    fn flush(&self) {}
 }
 
 /// Discards every event. Used to measure native (uninstrumented-analysis)
@@ -99,9 +107,7 @@ impl Default for RecordingSink {
 impl RecordingSink {
     /// New empty recorder.
     pub fn new() -> Self {
-        let shards = (0..RECORD_SHARDS)
-            .map(|_| Mutex::new(Vec::new()))
-            .collect();
+        let shards = (0..RECORD_SHARDS).map(|_| Mutex::new(Vec::new())).collect();
         Self {
             seq: AtomicU64::new(0),
             shards,
@@ -158,6 +164,12 @@ impl AccessSink for ForkSink {
             s.on_access(ev);
         }
     }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -175,7 +187,7 @@ mod tests {
             loop_id: LoopId::NONE,
             parent_loop: LoopId::NONE,
             func: FuncId::NONE,
-                site: 0,
+            site: 0,
         }
     }
 

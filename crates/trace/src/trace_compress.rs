@@ -61,7 +61,10 @@ pub fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
         let mut b = [0u8; 1];
         r.read_exact(&mut b)?;
         if shift >= 64 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "varint overflow"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint overflow",
+            ));
         }
         v |= ((b[0] & 0x7f) as u64) << shift;
         if b[0] & 0x80 == 0 {
@@ -132,7 +135,16 @@ pub fn write_trace_compressed<W: Write>(trace: &Trace, w: W) -> io::Result<()> {
         }
         buf.push(flags);
 
-        buf_varint_if(&mut buf, flags, 5, if i == 0 { e.seq } else { e.seq.wrapping_sub(prev_seq) });
+        buf_varint_if(
+            &mut buf,
+            flags,
+            5,
+            if i == 0 {
+                e.seq
+            } else {
+                e.seq.wrapping_sub(prev_seq)
+            },
+        );
         write_varint(&mut buf, ev.tid as u64);
         write_varint(&mut buf, zigzag(ev.addr as i64 - prev.addr as i64));
         buf_varint_if(&mut buf, flags, 6, ev.size as u64);
@@ -247,9 +259,9 @@ pub fn read_trace_compressed<R: Read>(r: R) -> io::Result<Trace> {
                     site_dict.push(v);
                     v
                 }
-                idx => *site_dict.get(idx as usize - 1).ok_or_else(|| {
-                    io::Error::new(io::ErrorKind::InvalidData, "bad site index")
-                })?,
+                idx => *site_dict
+                    .get(idx as usize - 1)
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad site index"))?,
             }
         };
         let ev = AccessEvent {

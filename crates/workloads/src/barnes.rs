@@ -12,9 +12,7 @@
 
 use std::sync::Arc;
 
-use lc_trace::{
-    enter_func, enter_loop, run_threads, InstrumentedBarrier, TraceCtx, TracedBuffer,
-};
+use lc_trace::{enter_func, enter_loop, run_threads, InstrumentedBarrier, TraceCtx, TracedBuffer};
 
 use crate::rng::Xoshiro256;
 use crate::util::chunk;
@@ -81,7 +79,16 @@ impl Workload for Barnes {
             for step in 0..steps {
                 if tid == 0 {
                     let _mg = enter_loop(l_make);
-                    build_tree(n, max_nodes, &bx, &by, &nodes, &children, &leaf_body, &node_count);
+                    build_tree(
+                        n,
+                        max_nodes,
+                        &bx,
+                        &by,
+                        &nodes,
+                        &children,
+                        &leaf_body,
+                        &node_count,
+                    );
                 }
                 bar.wait();
 

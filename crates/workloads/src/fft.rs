@@ -231,7 +231,8 @@ mod tests {
     fn checksum_is_thread_count_independent() {
         let c = |t| {
             let ctx = TraceCtx::new(Arc::new(NoopSink), t);
-            Fft.run(&ctx, &RunConfig::new(t, InputSize::SimDev, 9)).checksum
+            Fft.run(&ctx, &RunConfig::new(t, InputSize::SimDev, 9))
+                .checksum
         };
         assert!((c(1) - c(4)).abs() < 1e-6);
     }

@@ -15,9 +15,7 @@
 
 use std::sync::Arc;
 
-use lc_trace::{
-    enter_func, enter_loop, run_threads, InstrumentedBarrier, TraceCtx, TracedBuffer,
-};
+use lc_trace::{enter_func, enter_loop, run_threads, InstrumentedBarrier, TraceCtx, TracedBuffer};
 
 use crate::rng::Xoshiro256;
 use crate::util::chunk;
@@ -154,8 +152,11 @@ impl Workload for Fmm {
                                             if other == me {
                                                 continue;
                                             }
-                                            let (gx, gy) =
-                                                accel(1.0, px.load(other) - xi, py.load(other) - yi);
+                                            let (gx, gy) = accel(
+                                                1.0,
+                                                px.load(other) - xi,
+                                                py.load(other) - yi,
+                                            );
                                             sx += gx;
                                             sy += gy;
                                         }
@@ -228,7 +229,8 @@ mod tests {
     fn conserves_mass_and_is_thread_independent() {
         let c = |t| {
             let ctx = TraceCtx::new(Arc::new(NoopSink), t);
-            Fmm.run(&ctx, &RunConfig::new(t, InputSize::SimDev, 19)).checksum
+            Fmm.run(&ctx, &RunConfig::new(t, InputSize::SimDev, 19))
+                .checksum
         };
         assert!((c(1) - c(3)).abs() < 1e-9);
     }

@@ -20,9 +20,7 @@
 
 use std::sync::Arc;
 
-use lc_trace::{
-    enter_func, enter_loop, run_threads, InstrumentedBarrier, TraceCtx, TracedBuffer,
-};
+use lc_trace::{enter_func, enter_loop, run_threads, InstrumentedBarrier, TraceCtx, TracedBuffer};
 
 use crate::rng::Xoshiro256;
 use crate::{RunConfig, Workload, WorkloadResult};
@@ -228,10 +226,7 @@ fn run_lu(ctx: &Arc<TraceCtx>, cfg: &RunConfig, contiguous: bool) -> WorkloadRes
     };
     let mut rng2 = Xoshiro256::seed_from(cfg.seed ^ 0xdead);
     for _ in 0..64 {
-        check(
-            rng2.below(n as u64) as usize,
-            rng2.below(n as u64) as usize,
-        );
+        check(rng2.below(n as u64) as usize, rng2.below(n as u64) as usize);
     }
 
     let checksum = (0..n).map(|i| get(i, i).abs()).sum();
@@ -284,11 +279,14 @@ mod tests {
         // confirm the layouts compute the same factorization.
         let cb = {
             let ctx = TraceCtx::new(Arc::new(NoopSink), 4);
-            LuCb.run(&ctx, &RunConfig::new(4, InputSize::SimDev, 11)).checksum
+            LuCb.run(&ctx, &RunConfig::new(4, InputSize::SimDev, 11))
+                .checksum
         };
         let ncb = {
             let ctx = TraceCtx::new(Arc::new(NoopSink), 4);
-            LuNcb.run(&ctx, &RunConfig::new(4, InputSize::SimDev, 11)).checksum
+            LuNcb
+                .run(&ctx, &RunConfig::new(4, InputSize::SimDev, 11))
+                .checksum
         };
         assert!((cb - ncb).abs() < 1e-9, "{cb} vs {ncb}");
     }
@@ -297,7 +295,9 @@ mod tests {
     fn thread_count_does_not_change_result() {
         let c = |t| {
             let ctx = TraceCtx::new(Arc::new(NoopSink), t);
-            LuNcb.run(&ctx, &RunConfig::new(t, InputSize::SimDev, 3)).checksum
+            LuNcb
+                .run(&ctx, &RunConfig::new(t, InputSize::SimDev, 3))
+                .checksum
         };
         assert!((c(1) - c(6)).abs() < 1e-9);
     }

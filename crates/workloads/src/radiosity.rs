@@ -16,9 +16,7 @@
 
 use std::sync::Arc;
 
-use lc_trace::{
-    enter_func, enter_loop, run_threads, InstrumentedBarrier, TraceCtx, TracedBuffer,
-};
+use lc_trace::{enter_func, enter_loop, run_threads, InstrumentedBarrier, TraceCtx, TracedBuffer};
 
 use crate::rng::Xoshiro256;
 use crate::{RunConfig, Workload, WorkloadResult};
@@ -46,9 +44,7 @@ impl Workload for Radiosity {
         // Geometry-flavoured form factors: patch positions on the unit
         // square, F[i][j] ∝ area_j / d², rows normalized to sum to 1.
         let mut rng = Xoshiro256::seed_from(cfg.seed);
-        let pos: Vec<(f64, f64)> = (0..np)
-            .map(|_| (rng.next_f64(), rng.next_f64()))
-            .collect();
+        let pos: Vec<(f64, f64)> = (0..np).map(|_| (rng.next_f64(), rng.next_f64())).collect();
         let area: Vec<f64> = (0..np).map(|_| rng.range_f64(0.5, 1.5)).collect();
         let mut ff = vec![0.0f64; np * np];
         for i in 0..np {

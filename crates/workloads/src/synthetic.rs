@@ -9,9 +9,7 @@
 
 use std::sync::Arc;
 
-use lc_trace::{
-    enter_func, enter_loop, run_threads, InstrumentedBarrier, TraceCtx, TracedBuffer,
-};
+use lc_trace::{enter_func, enter_loop, run_threads, InstrumentedBarrier, TraceCtx, TracedBuffer};
 
 use crate::{RunConfig, Workload, WorkloadResult};
 
@@ -151,10 +149,8 @@ impl Workload for SyntheticPattern {
         let max_words = edges.iter().map(|e| e.2).max().unwrap_or(1);
 
         // One region per edge; fresh values each round force new RAW edges.
-        let region: Vec<TracedBuffer<u64>> = edges
-            .iter()
-            .map(|_| ctx.alloc::<u64>(max_words))
-            .collect();
+        let region: Vec<TracedBuffer<u64>> =
+            edges.iter().map(|_| ctx.alloc::<u64>(max_words)).collect();
 
         let f = ctx.func(self.topology.name());
         let l_round = ctx.root_loop("exchange_round", f);

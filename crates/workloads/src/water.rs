@@ -19,9 +19,7 @@
 
 use std::sync::Arc;
 
-use lc_trace::{
-    enter_func, enter_loop, run_threads, InstrumentedBarrier, TraceCtx, TracedBuffer,
-};
+use lc_trace::{enter_func, enter_loop, run_threads, InstrumentedBarrier, TraceCtx, TracedBuffer};
 
 use crate::rng::Xoshiro256;
 use crate::util::chunk;
@@ -186,14 +184,8 @@ impl Workload for WaterSpatial {
         for ci in 0..c {
             for cj in 0..c {
                 for s in 0..per_cell {
-                    px.poke(
-                        slot(ci, cj, s),
-                        (cj as f64 + rng.next_f64()) * cell_w,
-                    );
-                    py.poke(
-                        slot(ci, cj, s),
-                        (ci as f64 + rng.next_f64()) * cell_w,
-                    );
+                    px.poke(slot(ci, cj, s), (cj as f64 + rng.next_f64()) * cell_w);
+                    py.poke(slot(ci, cj, s), (ci as f64 + rng.next_f64()) * cell_w);
                 }
             }
         }

@@ -33,10 +33,8 @@ fn main() {
             ProfilerConfig::nested(threads),
         ));
         let ctx = TraceCtx::new(profiler.clone(), threads);
-        SyntheticPattern { topology: topo }.run(
-            &ctx,
-            &RunConfig::new(threads, InputSize::SimSmall, 5),
-        );
+        SyntheticPattern { topology: topo }
+            .run(&ctx, &RunConfig::new(threads, InputSize::SimSmall, 5));
         let matrix = profiler.global_matrix();
         let predicted = model.predict(&matrix);
         let ok = predicted.name() == topo.name();

@@ -23,7 +23,11 @@ fn main() {
         .unwrap_or(16);
 
     let topo = MachineTopology::dual_socket_xeon();
-    assert!(threads <= topo.cores(), "machine model has {} cores", topo.cores());
+    assert!(
+        threads <= topo.cores(),
+        "machine model has {} cores",
+        topo.cores()
+    );
 
     let workload = by_name(&name).expect("unknown workload");
     let profiler = Arc::new(AsymmetricProfiler::asymmetric(
@@ -34,7 +38,10 @@ fn main() {
     workload.run(&ctx, &RunConfig::new(threads, InputSize::SimSmall, 42));
 
     let m = profiler.global_matrix();
-    println!("measured communication matrix of `{name}`:\n{}", m.heatmap());
+    println!(
+        "measured communication matrix of `{name}`:\n{}",
+        m.heatmap()
+    );
 
     let identity = ThreadMapping::identity(threads);
     let scrambled = ThreadMapping::scrambled(threads, 1234);
@@ -44,8 +51,10 @@ fn main() {
     let cs = scrambled.cost(&m, &topo);
     let cg = greedy.cost(&m, &topo);
 
-    println!("machine model: {} sockets x {} cores, inter/intra cost {}:{}\n",
-        topo.sockets, topo.cores_per_socket, topo.inter_socket_cost, topo.intra_socket_cost);
+    println!(
+        "machine model: {} sockets x {} cores, inter/intra cost {}:{}\n",
+        topo.sockets, topo.cores_per_socket, topo.inter_socket_cost, topo.intra_socket_cost
+    );
     println!("placement cost (bytes x hop cost):");
     println!("  identity : {ci}");
     println!("  scrambled: {cs}");

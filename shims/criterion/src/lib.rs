@@ -1,0 +1,307 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The workspace must build without network access, so the external
+//! criterion dependency is satisfied by this shim. It implements the
+//! surface the `crates/bench` benches use — `criterion_group!` /
+//! `criterion_main!`, benchmark groups, `Bencher::iter` /
+//! `Bencher::iter_batched`, `Throughput`, `BenchmarkId`, `BatchSize` — with
+//! a simple calibrated timing loop instead of criterion's statistical
+//! machinery: each benchmark is warmed up, the iteration count is scaled to
+//! a target measurement time, and the mean ns/iter (plus derived
+//! throughput) is printed. Good enough to compare design points offline;
+//! not a substitute for criterion's confidence intervals.
+//!
+//! Set `CRITERION_QUICK=1` (or run under `cargo test`, which passes
+//! `--test`) to run each benchmark once, smoke-test style.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How a benchmark's elements/bytes relate to one iteration, for derived
+/// throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// One iteration processes this many logical elements.
+    Elements(u64),
+    /// One iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim times each
+/// batch individually so the hint only exists for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small setup output; criterion would batch many per measurement.
+    SmallInput,
+    /// Large setup output.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Function name + parameter value, rendered as `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self {
+            name: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Bare parameter id.
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self {
+            name: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the calibrated iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` on inputs produced by `setup`; setup time excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("CRITERION_QUICK").is_some() || std::env::args().any(|a| a == "--test")
+}
+
+fn run_one(
+    group: &str,
+    id: &BenchmarkId,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Filter support: `cargo bench -- <substring>`.
+    let filter: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let full = format!("{group}/{}", id.name);
+    if !filter.is_empty() && !filter.iter().any(|f| full.contains(f.as_str())) {
+        return;
+    }
+
+    if quick_mode() {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("{full}: ok (quick mode, 1 iter)");
+        return;
+    }
+
+    // Calibrate: grow the iteration count until one round takes >= 10 ms,
+    // then measure for ~200 ms worth of rounds.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(10) || iters >= 1 << 30 {
+            let scaled = if b.elapsed.is_zero() {
+                iters
+            } else {
+                ((iters as f64) * 0.2 / b.elapsed.as_secs_f64().max(1e-9)) as u64
+            };
+            iters = scaled.clamp(iters, 1 << 32);
+            break;
+        }
+        iters *= 4;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+        if per_iter > 0.0 {
+            best = best.min(per_iter);
+        }
+    }
+    let ns = best * 1e9;
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / best;
+            println!("{full}: {ns:.1} ns/iter, {:.2} Melem/s", rate / 1e6);
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / best;
+            println!(
+                "{full}: {ns:.1} ns/iter, {:.2} MiB/s",
+                rate / (1024.0 * 1024.0)
+            );
+        }
+        None => println!("{full}: {ns:.1} ns/iter"),
+    }
+}
+
+/// A named set of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count (accepted for API compatibility; the shim's
+    /// calibrated loop ignores it).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&self.name, &id.into(), self.throughput, &mut f);
+        self
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&self.name, &id.into(), self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one("", &BenchmarkId::from(name), None, &mut f);
+        self
+    }
+}
+
+/// Re-export matching criterion's path; prefer `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// Bundle benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        let mut ran = 0;
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        ran += 1;
+        assert_eq!(ran, 1);
+    }
+}

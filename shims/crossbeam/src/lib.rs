@@ -1,0 +1,70 @@
+//! Offline drop-in subset of `crossbeam`: only `utils::CachePadded`, which
+//! is all this workspace uses. See `shims/README.md` for why these exist.
+
+/// Utilities for concurrent programming.
+pub mod utils {
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to the length of a cache line (128 bytes, to
+    /// cover adjacent-line prefetching on modern x86 and the 128-byte lines
+    /// of some AArch64 parts — the same choice the real crate makes).
+    #[derive(Clone, Copy, Default, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Pad `value` to a cache line.
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+
+        /// Return the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("CachePadded")
+                .field("value", &self.value)
+                .finish()
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            Self::new(value)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn padded_to_cache_line() {
+            assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+            assert!(std::mem::size_of::<CachePadded<u64>>() >= 128);
+            let p = CachePadded::new(7u64);
+            assert_eq!(*p, 7);
+            assert_eq!(p.into_inner(), 7);
+        }
+    }
+}

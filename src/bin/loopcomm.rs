@@ -108,9 +108,7 @@ fn profile(
     phase_window: Option<u64>,
 ) -> (Arc<AsymmetricProfiler>, Arc<TraceCtx>) {
     let workload = by_name(name).unwrap_or_else(|| {
-        eprintln!(
-            "unknown workload `{name}` — try `loopcomm list`"
-        );
+        eprintln!("unknown workload `{name}` — try `loopcomm list`");
         std::process::exit(2);
     });
     let profiler = Arc::new(AsymmetricProfiler::asymmetric(
@@ -140,7 +138,11 @@ fn main() {
 
     let Some(name) = args.get(1) else { usage() };
     // `record` takes an extra positional (the output file) before options.
-    let opt_start = if cmd == "record" || cmd == "report" { 3 } else { 2 };
+    let opt_start = if cmd == "record" || cmd == "report" {
+        3
+    } else {
+        2
+    };
     let o = parse_options(&args[opt_start.min(args.len())..]);
 
     match cmd.as_str() {
@@ -252,8 +254,7 @@ fn main() {
         }
         "analyze" => {
             // `name` is the trace path here.
-            let trace =
-                lc_trace::load_trace(std::path::Path::new(name)).expect("read trace");
+            let trace = lc_trace::load_trace(std::path::Path::new(name)).expect("read trace");
             let stats = trace.stats();
             let threads = stats.threads.max(1);
             println!(

@@ -53,7 +53,7 @@ pub use lc_workloads;
 /// Everything needed for typical profiling sessions.
 pub mod prelude {
     pub use lc_profiler::{
-        AsymmetricProfiler, CommProfiler, DenseMatrix, NestedReport, PerfectProfiler,
+        AccumConfig, AsymmetricProfiler, CommProfiler, DenseMatrix, NestedReport, PerfectProfiler,
         ProfileReport, ProfilerConfig, ThreadLoad,
     };
     pub use lc_sigmem::SignatureConfig;

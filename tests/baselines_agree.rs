@@ -101,14 +101,17 @@ fn memory_growth_classes_are_ordered_as_figure5() {
     // The signature fills its lazily-allocated filters toward a fixed
     // ceiling: a 16x input increase may add remaining filters (< 2x) but can
     // never pass the configured bound.
-    let ceiling = lc_sigmem::mem_model::actual_upper_bound_bytes(1 << 14, 4, 0.001)
-        + 2 * 16 * 16 * 8; // + global matrix & slack
+    let ceiling =
+        lc_sigmem::mem_model::actual_upper_bound_bytes(1 << 14, 4, 0.001) + 2 * 16 * 16 * 8; // + global matrix & slack
     assert!(
         (sig_l as f64) < sig_s as f64 * 2.0 && sig_l <= ceiling,
         "signature grew with input: {sig_s} -> {sig_l} (ceiling {ceiling})"
     );
     // Absolute ordering at the large input.
-    assert!(log_l > shadow_l && shadow_l > sig_l, "{log_l} {shadow_l} {sig_l}");
+    assert!(
+        log_l > shadow_l && shadow_l > sig_l,
+        "{log_l} {shadow_l} {sig_l}"
+    );
 }
 
 #[test]

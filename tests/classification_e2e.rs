@@ -15,10 +15,7 @@ fn measured_matrix(topo: Topology, threads: usize) -> lc_profiler::DenseMatrix {
         phase_window: None,
     }));
     let ctx = TraceCtx::new(profiler.clone(), threads);
-    SyntheticPattern { topology: topo }.run(
-        &ctx,
-        &RunConfig::new(threads, InputSize::SimSmall, 5),
-    );
+    SyntheticPattern { topology: topo }.run(&ctx, &RunConfig::new(threads, InputSize::SimSmall, 5));
     profiler.global_matrix()
 }
 
@@ -34,10 +31,7 @@ fn measured_topologies_classify_correctly_at_16_threads() {
             wrong.push((topo.name(), pred.name()));
         }
     }
-    assert!(
-        wrong.len() <= 1,
-        "too many misclassifications: {wrong:?}"
-    );
+    assert!(wrong.len() <= 1, "too many misclassifications: {wrong:?}");
 }
 
 #[test]

@@ -20,7 +20,12 @@ fn flat(threads: usize) -> ProfilerConfig {
 /// Barrier-phased producer/consumer with an exactly computable dependence
 /// count: in each round every thread writes its block, then every thread
 /// reads every *other* thread's block → t·(t−1)·words RAW edges per round.
-fn exact_exchange(profiler: Arc<dyn lc_trace::AccessSink>, threads: usize, rounds: usize, words: usize) {
+fn exact_exchange(
+    profiler: Arc<dyn lc_trace::AccessSink>,
+    threads: usize,
+    rounds: usize,
+    words: usize,
+) {
     let ctx = TraceCtx::new(profiler, threads);
     let f = ctx.func("stress");
     let l = ctx.root_loop("exchange", f);
@@ -127,6 +132,52 @@ fn asymmetric_profiler_survives_heavy_contention() {
         assert_eq!(m.get(i, i), 0, "self-communication fabricated at {i}");
     }
     assert!(m.total() > 0);
+}
+
+#[test]
+fn sharded_accumulation_is_lossless_under_concurrency() {
+    // Stress the sharded path specifically: nested tracking on (so every
+    // flush also races on the lock-free loop registry), many distinct
+    // loops, all threads hammering concurrently. Losslessness here means
+    // the access count is exact and the per-loop matrices still sum to the
+    // global matrix after the final flush.
+    let threads = 12;
+    let loops = 40;
+    let iters = 4_000u64;
+    let p = Arc::new(PerfectProfiler::perfect(ProfilerConfig {
+        threads,
+        track_nested: true,
+        phase_window: None,
+    }));
+    assert!(p.accum_config().sharded);
+    let ctx = TraceCtx::new(p.clone(), threads);
+    let f = ctx.func("stress");
+    let loop_ids: Vec<_> = (0..loops)
+        .map(|i| ctx.root_loop(&format!("l{i}"), f))
+        .collect();
+    let buf: TracedBuffer<u64> = ctx.alloc(64);
+    run_threads(threads, |tid| {
+        for i in 0..iters {
+            let _g = enter_loop(loop_ids[(i % loops as u64) as usize]);
+            let slot = ((i * 7 + tid as u64) % 64) as usize;
+            if (i + tid as u64) % 4 == 0 {
+                buf.store(slot, i);
+            } else {
+                std::hint::black_box(buf.load(slot));
+            }
+        }
+    });
+    let r = p.report();
+    assert_eq!(r.accesses, threads as u64 * iters, "lost accesses");
+    assert!(r.dependencies > 0);
+    assert_eq!(
+        r.per_loop_sum(),
+        r.global,
+        "per-loop flushes diverged from the global matrix"
+    );
+    assert!(r.per_loop.len() <= loops + 1, "fabricated loop entries");
+    // Reading twice is stable once the workload has quiesced.
+    assert_eq!(p.report().global, r.global);
 }
 
 #[test]

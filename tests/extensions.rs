@@ -112,8 +112,7 @@ fn selective_sink_profiles_only_the_chosen_region() {
         .unwrap()
         .run(&ctx, &RunConfig::new(threads, InputSize::SimDev, 9));
     let report = full.report();
-    let nested =
-        lc_profiler::NestedReport::build(ctx.loops(), &report.per_loop, threads);
+    let nested = lc_profiler::NestedReport::build(ctx.loops(), &report.per_loop, threads);
     let bmod_aggregate = nested
         .all_nodes()
         .into_iter()

@@ -5,7 +5,9 @@
 use std::sync::Arc;
 
 use lc_cachesim::{simulate, CacheConfig, SimStats};
-use lc_profiler::{greedy_mapping, MachineTopology, PerfectProfiler, ProfilerConfig, ThreadMapping};
+use lc_profiler::{
+    greedy_mapping, MachineTopology, PerfectProfiler, ProfilerConfig, ThreadMapping,
+};
 use lc_trace::{ForkSink, RecordingSink, Trace};
 use loopcomm::prelude::*;
 

@@ -117,7 +117,12 @@ fn per_loop_matrices_separate_the_phases() {
         .filter(|&(i, j)| j != i + 1 && i != j)
         .map(|(i, j)| ma.get(i, j))
         .sum();
-    assert_eq!(ma_offband, 0, "pipeline loop leaked edges:\n{}", ma.heatmap());
+    assert_eq!(
+        ma_offband,
+        0,
+        "pipeline loop leaked edges:\n{}",
+        ma.heatmap()
+    );
     let mb_nonzero = (0..threads)
         .flat_map(|i| (0..threads).map(move |j| (i, j)))
         .filter(|&(i, j)| i != j && mb.get(i, j) > 0)

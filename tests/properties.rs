@@ -33,7 +33,7 @@ fn script_to_trace(script: &[(u32, u64, bool)]) -> Trace {
                     loop_id: LoopId::NONE,
                     parent_loop: LoopId::NONE,
                     func: FuncId::NONE,
-                site: 0,
+                    site: 0,
                 },
             })
             .collect(),
@@ -383,4 +383,35 @@ proptest! {
         };
         prop_assert_eq!(once, twice);
     }
+}
+
+/// Pinned regression from `tests/properties.proptest-regressions`
+/// (`base_a = 38, stride_a = 9, count_a = 17, base_b = 23, stride_b = 8,
+/// count_b = 12`): the two progressions only meet where
+/// `38 + 9i = 23 + 8j`, and the historical GCD/CRT walk mis-stepped the
+/// first aligned element. Kept as a plain `#[test]` so the exact case runs
+/// on every `cargo test` regardless of proptest seeding (the offline
+/// proptest shim does not read regression files).
+#[test]
+fn sd3_overlap_pinned_regression() {
+    use lc_baselines::StrideRecord;
+    let a = StrideRecord {
+        base: 38,
+        stride: 9,
+        count: 17,
+        size: 8,
+    };
+    let b = StrideRecord {
+        base: 23,
+        stride: 8,
+        count: 12,
+        size: 8,
+    };
+    let set = |r: &StrideRecord| -> std::collections::HashSet<u64> {
+        (0..r.count).map(|k| r.base + r.stride * k).collect()
+    };
+    let expect = set(&a).intersection(&set(&b)).count() as u64;
+    assert_eq!(expect, 1); // both progressions contain exactly {47}
+    assert_eq!(a.overlap_elems(&b), expect);
+    assert_eq!(b.overlap_elems(&a), expect);
 }

@@ -1,0 +1,185 @@
+//! Differential test: the sharded accumulation path must be *lossless*.
+//!
+//! The sharded profiler buffers dependence deltas per thread and flushes
+//! them in epochs; matrix-cell addition commutes, so after a flush the
+//! result must be **byte-identical** to the legacy shared-atomic path fed
+//! the same access stream. These tests record one trace (including
+//! genuinely concurrent recordings), replay it into both configurations,
+//! and require identical `DenseMatrix` snapshots, identical per-loop maps,
+//! and identical access/dependence counts.
+
+use std::sync::Arc;
+
+use lc_profiler::raw::{AsymmetricDetector, PerfectDetector};
+use lc_profiler::{AccumConfig, AsymmetricProfiler, PerfectProfiler, ProfilerConfig};
+use lc_sigmem::SignatureConfig;
+use lc_trace::{run_threads, RecordingSink, Trace, TraceCtx, TracedBuffer};
+use loopcomm::prelude::*;
+
+/// Record a deterministic-by-stamp trace from a concurrent exchange
+/// workload: every thread writes its own block, then reads every other
+/// thread's block, across several loops.
+fn record_exchange(threads: usize, rounds: usize, words: usize, loops: usize) -> Trace {
+    let rec = Arc::new(RecordingSink::new());
+    let ctx = TraceCtx::new(rec.clone(), threads);
+    let f = ctx.func("exchange");
+    let loop_ids: Vec<_> = (0..loops)
+        .map(|i| ctx.root_loop(&format!("l{i}"), f))
+        .collect();
+    let buf: TracedBuffer<u64> = ctx.alloc(threads * words);
+    run_threads(threads, |tid| {
+        for round in 0..rounds {
+            let l = loop_ids[round % loops];
+            let _g = lc_trace::enter_loop(l);
+            for w in 0..words {
+                buf.store(tid * words + w, (round + w) as u64);
+            }
+            for other in 0..threads {
+                if other != tid {
+                    for w in 0..words {
+                        std::hint::black_box(buf.load(other * words + w));
+                    }
+                }
+            }
+        }
+    });
+    rec.finish()
+}
+
+fn config(threads: usize, phase_window: Option<u64>) -> ProfilerConfig {
+    ProfilerConfig {
+        threads,
+        track_nested: true,
+        phase_window,
+    }
+}
+
+fn assert_reports_identical(a: &ProfileReport, b: &ProfileReport) {
+    assert_eq!(a.accesses, b.accesses, "access counts diverge");
+    assert_eq!(a.dependencies, b.dependencies, "dependence counts diverge");
+    assert_eq!(a.global, b.global, "global matrices diverge");
+    assert_eq!(
+        a.per_loop.len(),
+        b.per_loop.len(),
+        "per-loop key sets diverge"
+    );
+    for (id, m) in &a.per_loop {
+        assert_eq!(
+            Some(m),
+            b.per_loop.get(id),
+            "loop {id:?} matrix diverges between sharded and shared paths"
+        );
+    }
+    assert_eq!(a.phase_windows, b.phase_windows, "phase windows diverge");
+}
+
+#[test]
+fn sharded_report_is_byte_identical_to_shared_perfect() {
+    let threads = 6;
+    let trace = record_exchange(threads, 24, 8, 5);
+
+    let sharded = PerfectProfiler::from_detector_with(
+        PerfectDetector::perfect(),
+        config(threads, None),
+        AccumConfig::default(),
+    );
+    let shared = PerfectProfiler::from_detector_with(
+        PerfectDetector::perfect(),
+        config(threads, None),
+        AccumConfig::shared(),
+    );
+    trace.replay(&sharded);
+    trace.replay(&shared);
+
+    assert!(sharded.accum_config().sharded);
+    assert!(!shared.accum_config().sharded);
+    let (a, b) = (sharded.report(), shared.report());
+    assert!(a.dependencies > 0, "workload produced no dependences");
+    assert_reports_identical(&a, &b);
+}
+
+#[test]
+fn sharded_report_is_byte_identical_to_shared_asymmetric() {
+    // Same property through the paper's approximate signatures: on an
+    // identical replayed stream the detector is deterministic, so any
+    // divergence would come from the accumulation layer.
+    let threads = 4;
+    let trace = record_exchange(threads, 16, 16, 3);
+    let sig = SignatureConfig::paper_default(1 << 12, threads);
+
+    let sharded = AsymmetricProfiler::from_detector_with(
+        AsymmetricDetector::asymmetric(sig),
+        config(threads, Some(32)),
+        AccumConfig::default(),
+    );
+    let shared = AsymmetricProfiler::from_detector_with(
+        AsymmetricDetector::asymmetric(sig),
+        config(threads, Some(32)),
+        AccumConfig::shared(),
+    );
+    trace.replay(&sharded);
+    trace.replay(&shared);
+
+    let (a, b) = (sharded.report(), shared.report());
+    assert!(a.dependencies > 0);
+    assert!(a.phase_windows.is_some());
+    assert_reports_identical(&a, &b);
+}
+
+#[test]
+fn equivalence_holds_across_flush_epoch_settings() {
+    // Epoch boundaries change *when* deltas land, never *what* lands.
+    let threads = 4;
+    let trace = record_exchange(threads, 12, 8, 4);
+    let baseline = PerfectProfiler::from_detector_with(
+        PerfectDetector::perfect(),
+        config(threads, None),
+        AccumConfig::shared(),
+    );
+    trace.replay(&baseline);
+    let expected = baseline.report();
+
+    for flush_epoch in [1, 2, 7, 64, 100_000] {
+        for delta_slots in [1, 3, 64] {
+            let p = PerfectProfiler::from_detector_with(
+                PerfectDetector::perfect(),
+                config(threads, None),
+                AccumConfig {
+                    flush_epoch,
+                    delta_slots,
+                    ..AccumConfig::default()
+                },
+            );
+            trace.replay(&p);
+            let got = p.report();
+            assert_eq!(
+                got.global, expected.global,
+                "diverged at flush_epoch={flush_epoch} delta_slots={delta_slots}"
+            );
+            assert_reports_identical(&got, &expected);
+        }
+    }
+}
+
+#[test]
+fn mid_run_snapshots_never_miss_buffered_deltas() {
+    // Interleave replays with live reads: every read flushes first, so the
+    // running totals must match a shared-path profiler at every cut point.
+    let threads = 4;
+    let trace = record_exchange(threads, 8, 4, 2);
+    let sharded = PerfectProfiler::perfect(config(threads, None));
+    let shared = PerfectProfiler::from_detector_with(
+        PerfectDetector::perfect(),
+        config(threads, None),
+        AccumConfig::shared(),
+    );
+    for e in trace.events() {
+        sharded.on_access(&e.event);
+        shared.on_access(&e.event);
+        if e.seq % 97 == 0 {
+            assert_eq!(sharded.global_matrix(), shared.global_matrix());
+            assert_eq!(sharded.dependencies(), shared.dependencies());
+        }
+    }
+    assert_reports_identical(&sharded.report(), &shared.report());
+}

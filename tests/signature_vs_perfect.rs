@@ -31,10 +31,8 @@ fn ample_slots_reproduce_the_exact_matrix() {
         let perfect = PerfectProfiler::perfect(flat(4));
         trace.replay(&perfect);
         // 2^22 slots vs ~10^5 distinct addresses: collisions negligible.
-        let asym = AsymmetricProfiler::asymmetric(
-            SignatureConfig::paper_default(1 << 22, 4),
-            flat(4),
-        );
+        let asym =
+            AsymmetricProfiler::asymmetric(SignatureConfig::paper_default(1 << 22, 4), flat(4));
         trace.replay(&asym);
         let (pm, am) = (perfect.global_matrix(), asym.global_matrix());
         let diff = pm.l1_distance(&am);
@@ -71,7 +69,10 @@ fn false_positive_rate_decreases_with_slots() {
         large <= medium + 0.02 && medium <= small + 0.02,
         "error not monotone: {small} -> {medium} -> {large}"
     );
-    assert!(large < 0.01, "large signature should be near-exact: {large}");
+    assert!(
+        large < 0.01,
+        "large signature should be near-exact: {large}"
+    );
 }
 
 #[test]
@@ -106,7 +107,9 @@ fn perfect_profiler_memory_grows_with_input() {
     let mem_for = |size: InputSize| {
         let p = Arc::new(PerfectProfiler::perfect(flat(4)));
         let ctx = TraceCtx::new(p.clone(), 4);
-        by_name("radix").unwrap().run(&ctx, &RunConfig::new(4, size, 3));
+        by_name("radix")
+            .unwrap()
+            .run(&ctx, &RunConfig::new(4, size, 3));
         p.memory_bytes()
     };
     let dev = mem_for(InputSize::SimDev);
@@ -122,7 +125,9 @@ fn eq2_model_brackets_actual_signature_allocation() {
     let cfg = SignatureConfig::paper_default(1 << 16, 8);
     let asym = Arc::new(AsymmetricProfiler::asymmetric(cfg, flat(8)));
     let ctx = TraceCtx::new(asym.clone(), 8);
-    by_name("fft").unwrap().run(&ctx, &RunConfig::new(8, InputSize::SimDev, 2));
+    by_name("fft")
+        .unwrap()
+        .run(&ctx, &RunConfig::new(8, InputSize::SimDev, 2));
     let actual = asym.detector().memory_bytes() as f64;
     let model = cfg.predicted_bytes();
     let upper =
@@ -132,9 +137,15 @@ fn eq2_model_brackets_actual_signature_allocation() {
     assert!(actual <= upper, "actual {actual} above bound {upper}");
     // At small t the fixed filter header dominates Eq. 2's idealized
     // per-slot bytes; at the paper's t = 32 the bound tracks the model.
-    assert!(upper < model * 6.0, "bound drifted from Eq. 2: {upper} vs {model}");
+    assert!(
+        upper < model * 6.0,
+        "bound drifted from Eq. 2: {upper} vs {model}"
+    );
     let model32 = lc_sigmem::mem_model::paper_sig_mem_bytes(cfg.n_slots, 32, cfg.fp_rate);
     let upper32 =
         lc_sigmem::mem_model::actual_upper_bound_bytes(cfg.n_slots, 32, cfg.fp_rate) as f64;
-    assert!(upper32 < model32 * 2.5, "t=32 bound vs model: {upper32} vs {model32}");
+    assert!(
+        upper32 < model32 * 2.5,
+        "t=32 bound vs model: {upper32} vs {model32}"
+    );
 }

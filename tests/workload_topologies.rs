@@ -40,8 +40,7 @@ fn ocean_cp_is_symmetric_neighbour_exchange() {
 fn ocean_ncp_has_grid_band() {
     let m = measured("ocean_ncp");
     // 2-D tiles on 8 threads (2×4 grid): neighbours at distance 1 and 4.
-    let banded = feature(&m, "neighbor_frac") + feature(&m, "grid_frac")
-        + feature(&m, "pow2_frac");
+    let banded = feature(&m, "neighbor_frac") + feature(&m, "grid_frac") + feature(&m, "pow2_frac");
     assert!(banded > 0.6, "banded mass {banded}\n{}", m.heatmap());
     assert!(feature(&m, "density") < 0.9, "{}", m.heatmap());
 }
