@@ -19,16 +19,20 @@
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
-use lc_bench::{ascii_table, save_csv};
+use lc_bench::{ascii_table, save_csv, save_metrics};
 use lc_profiler::raw::PerfectDetector;
-use lc_profiler::{AccumConfig, PerfectProfiler, ProfilerConfig};
+use lc_profiler::{AccumConfig, PerfectProfiler, ProfilerConfig, TelemetryConfig};
 use lc_trace::{AccessEvent, AccessKind, AccessSink, FuncId, LoopId};
 
 const LOOPS: u32 = 8;
 const WORDS: u64 = 64;
 
-fn make_profiler(threads: usize, accum: AccumConfig) -> PerfectProfiler {
-    PerfectProfiler::from_detector_with(
+fn make_profiler(
+    threads: usize,
+    accum: AccumConfig,
+    telemetry: Option<TelemetryConfig>,
+) -> PerfectProfiler {
+    PerfectProfiler::from_detector_full(
         PerfectDetector::perfect(),
         ProfilerConfig {
             threads,
@@ -36,6 +40,7 @@ fn make_profiler(threads: usize, accum: AccumConfig) -> PerfectProfiler {
             phase_window: None,
         },
         accum,
+        telemetry,
     )
 }
 
@@ -55,7 +60,16 @@ fn ev(tid: u32, addr: u64, kind: AccessKind, loop_id: LoopId) -> AccessEvent {
 /// Drive `events_per_thread` accesses from each of `threads` threads,
 /// timed between two barriers; returns (elapsed seconds, accesses, deps).
 fn measure(threads: usize, events_per_thread: u64, accum: AccumConfig) -> (f64, u64, u64) {
-    let p = Arc::new(make_profiler(threads, accum));
+    measure_on(
+        Arc::new(make_profiler(threads, accum, None)),
+        threads,
+        events_per_thread,
+    )
+}
+
+/// Same drive loop against a caller-supplied profiler (used once more at
+/// the end with telemetry enabled, to emit the machine-readable report).
+fn measure_on(p: Arc<PerfectProfiler>, threads: usize, events_per_thread: u64) -> (f64, u64, u64) {
     let start_bar = Arc::new(Barrier::new(threads + 1));
     let done_bar = Arc::new(Barrier::new(threads + 1));
     let elapsed = std::thread::scope(|s| {
@@ -106,6 +120,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut raw: Vec<(usize, f64, f64)> = Vec::new();
     for &t in &sweep {
         // Warm-up + best-of-3 for each mode to damp scheduler noise.
         let best = |accum: AccumConfig| -> (f64, u64, u64) {
@@ -127,6 +142,7 @@ fn main() {
         // proves losslessness on identical streams.
         assert!(t == 1 || (deps_a > 0 && deps_b > 0), "no cross-thread deps");
         let tput = |secs: f64| acc_a as f64 / secs / 1e6;
+        raw.push((t, tput(shared_s), tput(sharded_s)));
         rows.push(vec![
             t.to_string(),
             format!("{:.2}", tput(shared_s)),
@@ -161,4 +177,35 @@ fn main() {
         ],
         &rows,
     );
+
+    // One extra run at the widest sweep point with telemetry enabled: the
+    // timed sweep above stays telemetry-off (the configuration whose
+    // throughput the acceptance bar protects), and this run feeds the
+    // machine-readable report with hot-path counters and histograms.
+    let t = sweep.iter().copied().max().unwrap_or(1);
+    let p = Arc::new(make_profiler(
+        t,
+        AccumConfig::default(),
+        Some(TelemetryConfig::default()),
+    ));
+    let (instr_s, instr_acc, _) = measure_on(Arc::clone(&p), t, events);
+    let mut reg = p.metrics();
+    for &(t, shared, sharded) in &raw {
+        reg.gauge(
+            &format!("loopcomm_bench_sharding_shared_macc_per_s_t{t}"),
+            "Shared-atomic accumulation throughput, Macc/s (telemetry off)",
+            shared,
+        );
+        reg.gauge(
+            &format!("loopcomm_bench_sharding_sharded_macc_per_s_t{t}"),
+            "Sharded accumulation throughput, Macc/s (telemetry off)",
+            sharded,
+        );
+    }
+    reg.gauge(
+        &format!("loopcomm_bench_sharding_instrumented_macc_per_s_t{t}"),
+        "Sharded accumulation throughput with telemetry enabled, Macc/s",
+        instr_acc as f64 / instr_s / 1e6,
+    );
+    save_metrics("bench_sharding.metrics.json", &reg);
 }

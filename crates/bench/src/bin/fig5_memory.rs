@@ -10,8 +10,8 @@
 use std::sync::Arc;
 
 use lc_baselines::{IpmLogger, ShadowModel, ShadowProfiler};
-use lc_bench::{ascii_table, env_threads, fmt_bytes, run_with_sink, save_csv};
-use lc_profiler::{AsymmetricProfiler, ProfilerConfig};
+use lc_bench::{ascii_table, env_threads, fmt_bytes, run_with_sink, save_csv, save_metrics};
+use lc_profiler::{AsymmetricProfiler, MetricsRegistry, ProfilerConfig};
 use lc_sigmem::SignatureConfig;
 use lc_workloads::{all_workloads, InputSize};
 
@@ -21,6 +21,7 @@ fn main() {
     // that is the point.
     let sig = SignatureConfig::paper_default(1 << 18, threads);
 
+    let mut reg = MetricsRegistry::new();
     for (fig, size) in [("5a", InputSize::SimDev), ("5b", InputSize::SimLarge)] {
         println!(
             "Figure {fig}: profiler memory ({} threads, {})\n",
@@ -28,6 +29,9 @@ fn main() {
             size.name()
         );
         let mut rows = Vec::new();
+        let mut sig_max = 0u64;
+        let mut shadow_max = 0u64;
+        let mut ipm_max = 0u64;
         for w in all_workloads() {
             let asym = Arc::new(AsymmetricProfiler::asymmetric(
                 sig,
@@ -39,6 +43,7 @@ fn main() {
             ));
             run_with_sink(&*w, asym.clone(), threads, size, 1);
 
+            sig_max = sig_max.max(asym.memory_bytes() as u64);
             let mut cells = vec![w.name().to_string(), fmt_bytes(asym.memory_bytes() as u64)];
             for model in [
                 ShadowModel::Memcheck,
@@ -47,10 +52,12 @@ fn main() {
             ] {
                 let shadow = Arc::new(ShadowProfiler::new(threads, model));
                 run_with_sink(&*w, shadow.clone(), threads, size, 1);
+                shadow_max = shadow_max.max(shadow.memory_bytes() as u64);
                 cells.push(fmt_bytes(shadow.memory_bytes() as u64));
             }
             let ipm = Arc::new(IpmLogger::new(threads));
             run_with_sink(&*w, ipm.clone(), threads, size, 1);
+            ipm_max = ipm_max.max(ipm.memory_bytes() as u64);
             cells.push(fmt_bytes(ipm.memory_bytes() as u64));
 
             eprintln!("  measured {} @ {}", w.name(), size.name());
@@ -83,10 +90,22 @@ fn main() {
             &rows,
         );
         println!();
+        for (tool, bytes) in [
+            ("signature", sig_max),
+            ("shadow", shadow_max),
+            ("ipm", ipm_max),
+        ] {
+            reg.gauge(
+                &format!("loopcomm_fig{fig}_{tool}_max_bytes"),
+                "Worst-case profiler memory across apps at this input size",
+                bytes as f64,
+            );
+        }
     }
 
     println!(
         "shape check: the signature column is identical across 5a/5b (fixed),\n\
          the shadow/log columns grow with the input — the paper's claim."
     );
+    save_metrics("fig5_memory.metrics.json", &reg);
 }

@@ -93,6 +93,20 @@ pub fn save_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Write a metrics registry as JSON into the results dir and echo its path.
+/// Every bench binary emits one alongside its CSV so CI (and scripts) can
+/// assert on raw numbers without scraping the ascii tables.
+pub fn save_metrics(name: &str, registry: &lc_profiler::MetricsRegistry) {
+    let path = results_dir().join(name);
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, registry.to_json()) {
+        Ok(()) => println!("[metrics] {}", path.display()),
+        Err(e) => eprintln!("[metrics] failed to write {}: {e}", path.display()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,6 +24,8 @@
 //! * [`sampling`] / [`matrix_sparse`] — the paper's stated future work
 //!   (overhead-reducing access sampling, sparse matrices at high thread
 //!   counts), implemented as extensions.
+//! * [`telemetry`] — zero-cost-when-off self-observability: per-thread
+//!   counter cells, log₂ histograms, Prometheus/JSON expositions.
 //! * [`overhead`] / [`report`] — measurement and rendering support for the
 //!   experiment harness.
 
@@ -44,6 +46,7 @@ pub mod report;
 pub mod report_html;
 pub mod sampling;
 pub mod shards;
+pub mod telemetry;
 pub mod thread_load;
 pub mod viz;
 
@@ -57,9 +60,13 @@ pub use phases::{detect_phases, Phase, PhaseAccumulator};
 pub use profiler::{
     AsymmetricProfiler, CommProfiler, PerfectProfiler, ProfileReport, ProfilerConfig,
 };
-pub use raw::{AsymmetricDetector, Dependence, PerfectDetector, RawDetector};
+pub use raw::{AccessProbe, AsymmetricDetector, Dependence, PerfectDetector, RawDetector};
 pub use report_html::html_report;
 pub use sampling::{BurstSampler, StrideSampler};
-pub use shards::{AccumConfig, FlushTarget, LoopRegistry, ShardSet};
+pub use shards::{AccumConfig, FlushTarget, LoopRegistry, RegistryFull, ShardSet};
+pub use telemetry::{
+    HistId, MergedHist, Metric, MetricValue, MetricsRegistry, Pow2Hist, Stat, Telemetry,
+    TelemetryConfig,
+};
 pub use thread_load::ThreadLoad;
 pub use viz::{svg_heatmap, svg_thread_load};

@@ -30,7 +30,8 @@ use parking_lot::Mutex;
 use crate::matrix::{CommMatrix, DenseMatrix};
 use crate::phases::{detect_phases, Phase, PhaseAccumulator};
 use crate::raw::{AsymmetricDetector, PerfectDetector, RawDetector};
-use crate::shards::{AccumConfig, FlushTarget, LoopRegistry, ShardSet};
+use crate::shards::{AccumConfig, FlushTarget, LoopRegistry, RegistryFull, ShardSet};
+use crate::telemetry::{HistId, MetricsRegistry, Stat, Telemetry, TelemetryConfig};
 
 /// Tunables for one profiling run.
 #[derive(Clone, Copy, Debug)]
@@ -74,6 +75,7 @@ pub struct CommProfiler<R: ReaderSet, W: WriterMap> {
     loops: LoopRegistry,
     counters: Counters,
     phases: Option<Mutex<PhaseAccumulator>>,
+    telemetry: Option<Telemetry>,
 }
 
 /// The paper's profiler: approximate bounded-memory signatures.
@@ -92,6 +94,57 @@ impl AsymmetricProfiler {
     /// and aliasing risk (was `n_slots` adequate for this program?).
     pub fn signature_health(&self) -> lc_sigmem::SignatureHealth {
         lc_sigmem::SignatureHealth::inspect(self.detector().read_sig(), self.detector().write_sig())
+    }
+
+    /// [`CommProfiler::metrics`] plus live signature-health gauges: write
+    /// occupancy and aliasing, the estimated written footprint, and the
+    /// online Bloom saturation / false-positive estimate — the runtime
+    /// counterpart of the `fpr_sweep` ground-truth experiment (see
+    /// EXPERIMENTS.md for how to read the two against each other).
+    pub fn metrics_with_health(&self) -> MetricsRegistry {
+        let mut reg = self.metrics();
+        let h = self.signature_health();
+        reg.gauge(
+            "loopcomm_sig_slots",
+            "First-level signature slots",
+            h.slots as f64,
+        );
+        reg.gauge(
+            "loopcomm_sig_write_occupied",
+            "Occupied write-signature slots",
+            h.write_occupied as f64,
+        );
+        reg.gauge(
+            "loopcomm_sig_read_filters",
+            "Allocated read-signature Bloom filters",
+            h.read_filters as f64,
+        );
+        reg.gauge(
+            "loopcomm_sig_est_written_addresses",
+            "Estimated distinct written addresses (occupancy inversion)",
+            h.est_written_addresses,
+        );
+        reg.gauge(
+            "loopcomm_sig_write_aliasing",
+            "Probability a fresh address aliases an occupied writer slot",
+            h.write_aliasing,
+        );
+        reg.gauge(
+            "loopcomm_sig_bloom_mean_fill",
+            "Mean read-filter Bloom saturation (sampled)",
+            h.read_bloom.mean_fill,
+        );
+        reg.gauge(
+            "loopcomm_sig_bloom_max_fill",
+            "Worst read-filter Bloom saturation (sampled)",
+            h.read_bloom.max_fill,
+        );
+        reg.gauge(
+            "loopcomm_sig_bloom_est_fp_rate",
+            "Estimated live Bloom false-positive rate (fill^k, sampled)",
+            h.read_bloom.est_fp_rate,
+        );
+        reg
     }
 }
 
@@ -114,6 +167,19 @@ impl<R: ReaderSet, W: WriterMap> CommProfiler<R, W> {
         config: ProfilerConfig,
         accum: AccumConfig,
     ) -> Self {
+        Self::from_detector_full(detector, config, accum, None)
+    }
+
+    /// Build with every layer explicit, including the optional telemetry
+    /// layer. `telemetry: None` (what all other constructors pass) keeps the
+    /// hot path identical to a build without this module — see DESIGN.md §8
+    /// for the zero-cost-when-off argument.
+    pub fn from_detector_full(
+        detector: RawDetector<R, W>,
+        config: ProfilerConfig,
+        accum: AccumConfig,
+        telemetry: Option<TelemetryConfig>,
+    ) -> Self {
         assert!(config.threads >= 1);
         let phases = config
             .phase_window
@@ -134,6 +200,7 @@ impl<R: ReaderSet, W: WriterMap> CommProfiler<R, W> {
             loops: LoopRegistry::new(config.threads, accum.loop_capacity),
             counters,
             phases,
+            telemetry: telemetry.map(|t| Telemetry::new(config.threads, t)),
         }
     }
 
@@ -159,7 +226,63 @@ impl<R: ReaderSet, W: WriterMap> CommProfiler<R, W> {
             track_nested: self.config.track_nested,
             global: &self.global,
             loops: &self.loops,
+            telemetry: self.telemetry.as_ref(),
         }
+    }
+
+    /// The telemetry layer, when enabled at construction.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Scrape a metrics registry: run totals, memory, loop registry size
+    /// and — when telemetry is on — the full counter/histogram set.
+    /// Flushes pending deltas first, like every read path.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.flush_pending();
+        let mut reg = MetricsRegistry::new();
+        reg.counter(
+            "loopcomm_accesses_total",
+            "Instrumented accesses observed",
+            self.accesses(),
+        );
+        reg.counter(
+            "loopcomm_dependences_total",
+            "RAW dependences recorded",
+            self.dependencies(),
+        );
+        reg.gauge(
+            "loopcomm_memory_bytes",
+            "Profiler heap footprint (signatures + matrices + shards)",
+            self.memory_bytes() as f64,
+        );
+        reg.gauge(
+            "loopcomm_loops_tracked",
+            "Distinct loops with a published matrix",
+            self.loops.len() as f64,
+        );
+        reg.gauge(
+            "loopcomm_threads",
+            "Matrix dimension (profiled threads)",
+            self.config.threads as f64,
+        );
+        reg.counter(
+            "loopcomm_loops_dropped_deltas_total",
+            "Deltas left unattributed per-loop after a registry overflow",
+            self.loops.dropped_deltas(),
+        );
+        if let Some(t) = &self.telemetry {
+            t.export_into(&mut reg);
+        }
+        reg
+    }
+
+    /// The capacity error latched if this run touched more distinct loops
+    /// than [`AccumConfig::loop_capacity`] provisioned. Per-loop
+    /// attribution degraded for the overflow's victims (the global matrix
+    /// and counters are unaffected); rerun with a larger capacity.
+    pub fn registry_overflow(&self) -> Option<RegistryFull> {
+        self.loops.overflow()
     }
 
     /// Number of instrumented accesses observed.
@@ -232,9 +355,78 @@ impl<R: ReaderSet, W: WriterMap> CommProfiler<R, W> {
     }
 }
 
+impl<R: ReaderSet, W: WriterMap> CommProfiler<R, W> {
+    /// Metrics-on access path: probe the detector, classify the outcome,
+    /// and time the detect/accumulate stages for one access in
+    /// [`TelemetryConfig::sample_every`]. Accumulation is identical to the
+    /// plain path — the `telemetry_differential` test proves the outputs
+    /// are byte-for-byte the same.
+    fn on_access_instrumented(&self, ev: &AccessEvent, t: &Telemetry) {
+        let t0 = t.should_sample(ev.tid).then(std::time::Instant::now);
+        let (dep, probe) = self
+            .detector
+            .on_access_probed(ev.tid, ev.addr, ev.size, ev.kind);
+        let detect_done = t0.map(|s| (s.elapsed(), std::time::Instant::now()));
+        t.record_access(ev.tid, ev.kind, probe, dep.is_some());
+        match &self.counters {
+            Counters::Sharded(s) => {
+                s.count_access(ev.tid);
+                if let Some(dep) = dep {
+                    s.record_dep(
+                        ev.tid,
+                        ev.loop_id,
+                        dep.src,
+                        dep.dst,
+                        dep.bytes,
+                        self.flush_target(),
+                    );
+                    if let Some(p) = &self.phases {
+                        p.lock().add(dep.src, dep.dst, dep.bytes);
+                    }
+                }
+            }
+            Counters::Shared { accesses, deps } => {
+                accesses.fetch_add(1, Ordering::Relaxed);
+                if let Some(dep) = dep {
+                    deps.fetch_add(1, Ordering::Relaxed);
+                    self.global.add(dep.src, dep.dst, dep.bytes);
+                    if self.config.track_nested {
+                        if let Some((m, probe, inserted)) =
+                            self.loops.get_or_insert_lossy(ev.loop_id)
+                        {
+                            t.observe(ev.tid, HistId::RegistryProbeLen, probe as u64);
+                            if inserted {
+                                t.bump(ev.tid, Stat::RegistryInsert);
+                            }
+                            m.add(dep.src, dep.dst, dep.bytes);
+                        }
+                    }
+                    if let Some(p) = &self.phases {
+                        p.lock().add(dep.src, dep.dst, dep.bytes);
+                    }
+                }
+            }
+        }
+        if let Some((detect, accum_start)) = detect_done {
+            t.observe(ev.tid, HistId::DetectNs, detect.as_nanos() as u64);
+            t.observe(
+                ev.tid,
+                HistId::AccumNs,
+                accum_start.elapsed().as_nanos() as u64,
+            );
+        }
+    }
+}
+
 impl<R: ReaderSet, W: WriterMap> AccessSink for CommProfiler<R, W> {
     #[inline]
     fn on_access(&self, ev: &AccessEvent) {
+        // One well-predicted branch when telemetry is off (the default) —
+        // the zero-cost-when-off contract.
+        if let Some(t) = &self.telemetry {
+            self.on_access_instrumented(ev, t);
+            return;
+        }
         match &self.counters {
             Counters::Sharded(s) => {
                 s.count_access(ev.tid);
@@ -258,9 +450,11 @@ impl<R: ReaderSet, W: WriterMap> AccessSink for CommProfiler<R, W> {
                     deps.fetch_add(1, Ordering::Relaxed);
                     self.global.add(dep.src, dep.dst, dep.bytes);
                     if self.config.track_nested {
-                        self.loops
-                            .get_or_insert(ev.loop_id)
-                            .add(dep.src, dep.dst, dep.bytes);
+                        // Degrades (and latches the error) on overflow; see
+                        // `LoopRegistry::get_or_insert_lossy`.
+                        if let Some((m, _, _)) = self.loops.get_or_insert_lossy(ev.loop_id) {
+                            m.add(dep.src, dep.dst, dep.bytes);
+                        }
                     }
                     if let Some(p) = &self.phases {
                         p.lock().add(dep.src, dep.dst, dep.bytes);
@@ -346,6 +540,42 @@ mod tests {
         assert_eq!(r.global.get(0, 1), 8);
         assert_eq!(r.global.get(0, 2), 8);
         assert_eq!(r.global.total(), 16);
+    }
+
+    #[test]
+    fn registry_overflow_degrades_without_panicking() {
+        // One-loop capacity, three distinct loops carrying dependences: the
+        // run completes, the global matrix stays exact, and the latched
+        // overflow (plus a dropped-delta count) is readable afterwards —
+        // both accumulation modes.
+        for accum in [
+            AccumConfig {
+                loop_capacity: 1,
+                flush_epoch: 1, // flush every dependence: overflow mid-run
+                ..AccumConfig::default()
+            },
+            AccumConfig {
+                loop_capacity: 1,
+                ..AccumConfig::shared()
+            },
+        ] {
+            let p = PerfectProfiler::from_detector_with(
+                PerfectDetector::perfect(),
+                ProfilerConfig::nested(4),
+                accum,
+            );
+            for l in 1..=3u32 {
+                p.on_access(&ev(0, 0x10 * l as u64, AccessKind::Write, LoopId(l)));
+                p.on_access(&ev(1, 0x10 * l as u64, AccessKind::Read, LoopId(l)));
+            }
+            let r = p.report();
+            assert_eq!(r.dependencies, 3);
+            assert_eq!(r.global.get(0, 1), 24, "global must stay exact");
+            let e = p.registry_overflow().expect("overflow latched");
+            assert!(e.to_string().contains("loop-matrix registry full"));
+            assert!(p.loops.dropped_deltas() > 0);
+            assert!(r.per_loop.len() <= 1, "capacity bound exceeded");
+        }
     }
 
     #[test]

@@ -42,6 +42,18 @@ pub struct Dependence {
     pub bytes: u64,
 }
 
+/// What one access observed inside Algorithm 1 — the telemetry layer's
+/// view of a [`RawDetector::on_access_probed`] call. For writes both flags
+/// stay `false`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessProbe {
+    /// A read found a recorded last writer in the write signature.
+    pub writer_hit: bool,
+    /// The writer hit did not become a dependence: same thread, or the
+    /// reader was already in the read signature (first-read-only rule).
+    pub suppressed: bool,
+}
+
 /// Algorithm 1 over any read/write signature pair.
 ///
 /// ```
@@ -136,6 +148,49 @@ impl<R: ReaderSet, W: WriterMap> RawDetector<R, W> {
                 self.read_sig.clear_addr(addr);
                 self.write_sig.record(addr, tid);
                 None
+            }
+        }
+    }
+
+    /// [`Self::on_access`] plus a probe describing what the signatures
+    /// observed, for the telemetry layer. Kept as a separate body so the
+    /// metrics-off hot path stays literally untouched (the zero-cost-when-off
+    /// argument in DESIGN.md §8); the `telemetry_differential` test pins the
+    /// two paths to identical dependence streams.
+    #[inline]
+    pub fn on_access_probed(
+        &self,
+        tid: u32,
+        addr: u64,
+        size: u32,
+        kind: AccessKind,
+    ) -> (Option<Dependence>, AccessProbe) {
+        match kind {
+            AccessKind::Read => {
+                let mut probe = AccessProbe::default();
+                let dep = match self.write_sig.last_writer(addr) {
+                    Some(writer) => {
+                        probe.writer_hit = true;
+                        if writer != tid && !self.read_sig.contains(addr, tid) {
+                            Some(Dependence {
+                                src: writer,
+                                dst: tid,
+                                bytes: size as u64,
+                            })
+                        } else {
+                            probe.suppressed = true;
+                            None
+                        }
+                    }
+                    None => None,
+                };
+                self.read_sig.insert(addr, tid);
+                (dep, probe)
+            }
+            AccessKind::Write => {
+                self.read_sig.clear_addr(addr);
+                self.write_sig.record(addr, tid);
+                (None, AccessProbe::default())
             }
         }
     }
@@ -282,6 +337,45 @@ mod tests {
                 dst: 1,
                 bytes: 8
             })
+        );
+    }
+
+    #[test]
+    fn probed_path_matches_plain_path_and_classifies() {
+        // Two detectors fed the same script: the probed body must return the
+        // exact dependences of the plain body, plus sensible probe flags.
+        let plain = perfect();
+        let probed = perfect();
+        let script: Vec<(u32, u64, AccessKind)> = vec![
+            (0, 0x10, Write),
+            (1, 0x10, Read), // writer hit, dep
+            (1, 0x10, Read), // writer hit, suppressed (already read)
+            (0, 0x10, Read), // writer hit, suppressed (self)
+            (2, 0x99, Read), // writer miss
+            (3, 0x10, Write),
+            (1, 0x10, Read), // fresh dep from 3
+        ];
+        let mut probes = Vec::new();
+        for (tid, addr, kind) in script {
+            let (dep, probe) = probed.on_access_probed(tid, addr, 8, kind);
+            assert_eq!(dep, plain.on_access(tid, addr, 8, kind));
+            probes.push(probe);
+        }
+        let hit = |w, s| AccessProbe {
+            writer_hit: w,
+            suppressed: s,
+        };
+        assert_eq!(
+            probes,
+            vec![
+                hit(false, false), // write
+                hit(true, false),
+                hit(true, true),
+                hit(true, true),
+                hit(false, false), // miss
+                hit(false, false), // write
+                hit(true, false),
+            ]
         );
     }
 

@@ -40,6 +40,7 @@ use lc_trace::LoopId;
 use parking_lot::Mutex;
 
 use crate::matrix::CommMatrix;
+use crate::telemetry::{HistId, Stat, Telemetry};
 
 /// Accumulation-layer tunables, separate from the semantic
 /// [`crate::ProfilerConfig`] so existing construction sites keep working.
@@ -164,6 +165,10 @@ pub struct FlushTarget<'a> {
     pub global: &'a CommMatrix,
     /// The per-loop matrix registry.
     pub loops: &'a LoopRegistry,
+    /// Metrics layer, when enabled: flush reasons, drained occupancy and
+    /// registry probe lengths are recorded here. `None` (the default) keeps
+    /// the drain path free of any telemetry branches beyond this check.
+    pub telemetry: Option<&'a Telemetry>,
 }
 
 /// The sharded accumulation layer: one [`Shard`] per profiled thread
@@ -228,16 +233,39 @@ impl ShardSet {
         let mut buf = shard.buf.lock();
         buf.push(key, bytes);
         if buf.needs_flush(&self.cfg) {
-            Self::drain(&mut buf, target);
+            if let Some(t) = target.telemetry {
+                // Epoch takes precedence: a buffer can hit both limits at
+                // once, and the epoch is the *designed* trigger.
+                let reason = if buf.pending >= self.cfg.flush_epoch {
+                    Stat::FlushEpoch
+                } else {
+                    Stat::FlushFull
+                };
+                t.bump(tid, reason);
+                t.observe(tid, HistId::FlushOccupancy, buf.entries.len() as u64);
+            }
+            Self::drain(&mut buf, target, tid);
         }
     }
 
-    fn drain(buf: &mut DeltaBuffer, target: FlushTarget<'_>) {
+    fn drain(buf: &mut DeltaBuffer, target: FlushTarget<'_>, tid: u32) {
         for (key, bytes) in buf.entries.drain(..) {
             let (loop_id, src, dst) = unpack_key(key);
             target.global.add(src, dst, bytes);
             if target.track_nested {
-                target.loops.get_or_insert(loop_id).add(src, dst, bytes);
+                // Lossy on overflow: flushes run on application threads, so
+                // a capacity panic here would strand sibling threads at
+                // their next barrier (the error is latched and surfaced
+                // after the run instead).
+                if let Some((m, probe, inserted)) = target.loops.get_or_insert_lossy(loop_id) {
+                    if let Some(t) = target.telemetry {
+                        t.observe(tid, HistId::RegistryProbeLen, probe as u64);
+                        if inserted {
+                            t.bump(tid, Stat::RegistryInsert);
+                        }
+                    }
+                    m.add(src, dst, bytes);
+                }
             }
         }
         buf.pending = 0;
@@ -246,10 +274,14 @@ impl ShardSet {
     /// Flush every shard's pending deltas. Called before any read of the
     /// shared matrices so snapshots include all buffered communication.
     pub fn flush(&self, target: FlushTarget<'_>) {
-        for shard in self.shards.iter() {
+        for (i, shard) in self.shards.iter().enumerate() {
             let mut buf = shard.buf.lock();
             if buf.pending > 0 {
-                Self::drain(&mut buf, target);
+                if let Some(t) = target.telemetry {
+                    t.bump(i as u32, Stat::FlushExplicit);
+                    t.observe(i as u32, HistId::FlushOccupancy, buf.entries.len() as u64);
+                }
+                Self::drain(&mut buf, target, i as u32);
             }
         }
     }
@@ -288,6 +320,31 @@ struct LoopSlot {
     matrix: CommMatrix,
 }
 
+/// The loop-matrix registry ran out of capacity: the run touched more
+/// distinct loops than [`AccumConfig::loop_capacity`] provisioned.
+///
+/// Its `Display` text is the documented sizing hint — the panicking
+/// registry paths raise it verbatim, so callers match on the stable
+/// `"loop-matrix registry full"` prefix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegistryFull {
+    /// The registry's slot count (capacity rounded up to a power of two).
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for RegistryFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "loop-matrix registry full: more than {} distinct loops touched; \
+             raise AccumConfig::loop_capacity",
+            self.capacity
+        )
+    }
+}
+
+impl std::error::Error for RegistryFull {}
+
 /// Lock-free, fixed-capacity, open-addressed map from [`LoopId`] to its
 /// [`CommMatrix`].
 ///
@@ -303,6 +360,10 @@ pub struct LoopRegistry {
     slots: Box<[AtomicPtr<LoopSlot>]>,
     threads: usize,
     len: AtomicUsize,
+    /// Latched by [`Self::get_or_insert_lossy`] on the first failed insert.
+    overflowed: std::sync::atomic::AtomicBool,
+    /// Deltas dropped (left unattributed per-loop) after the overflow.
+    dropped: AtomicU64,
 }
 
 impl LoopRegistry {
@@ -317,6 +378,8 @@ impl LoopRegistry {
                 .collect(),
             threads,
             len: AtomicUsize::new(0),
+            overflowed: std::sync::atomic::AtomicBool::new(false),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -326,13 +389,82 @@ impl LoopRegistry {
     /// When the registry is full — the capacity bound is a deliberate
     /// design knob (see [`AccumConfig::loop_capacity`]); a run touching
     /// more distinct loops than provisioned should be re-run with a larger
-    /// capacity rather than silently misattributed.
+    /// capacity rather than silently misattributed. Callers that can
+    /// surface a recoverable error use [`Self::try_get_or_insert`]; the
+    /// profiler's flush path uses [`Self::get_or_insert_lossy`] so worker
+    /// threads never unwind mid-run.
     #[inline]
     pub fn get_or_insert(&self, id: LoopId) -> &CommMatrix {
+        match self.find_or_publish(id) {
+            Ok((m, _, _)) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Self::get_or_insert`] returning a clean error instead of
+    /// panicking when the registry is full.
+    #[inline]
+    pub fn try_get_or_insert(&self, id: LoopId) -> Result<&CommMatrix, RegistryFull> {
+        self.find_or_publish(id).map(|(m, _, _)| m)
+    }
+
+    /// [`Self::get_or_insert`] plus the open-addressing probe length this
+    /// lookup walked (0 = direct hit) and whether the loop was newly
+    /// published — the telemetry layer's registry channel.
+    ///
+    /// # Panics
+    /// Like [`Self::get_or_insert`], when the registry is full.
+    #[inline]
+    pub fn get_or_insert_probed(&self, id: LoopId) -> (&CommMatrix, u32, bool) {
+        match self.find_or_publish(id) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The flush-path lookup: on overflow it latches the error (readable
+    /// afterwards via [`Self::overflow`]), counts the dropped delta, and
+    /// returns `None` instead of panicking. Flushes run inline on
+    /// application threads, where a panic would strand the sibling threads
+    /// at their next barrier — the run completes with per-loop attribution
+    /// degraded, and the caller (e.g. the CLI) reports the clean error.
+    #[inline]
+    pub fn get_or_insert_lossy(&self, id: LoopId) -> Option<(&CommMatrix, u32, bool)> {
+        match self.find_or_publish(id) {
+            Ok(r) => Some(r),
+            Err(_) => {
+                self.overflowed
+                    .store(true, std::sync::atomic::Ordering::Relaxed);
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// The capacity error latched by [`Self::get_or_insert_lossy`], if any
+    /// lookup has overflowed the registry.
+    pub fn overflow(&self) -> Option<RegistryFull> {
+        self.overflowed
+            .load(std::sync::atomic::Ordering::Relaxed)
+            .then_some(RegistryFull {
+                capacity: self.slots.len(),
+            })
+    }
+
+    /// Deltas that lost their per-loop attribution to an overflowed
+    /// registry (the global matrix still received them).
+    pub fn dropped_deltas(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Core open-addressed lookup/publish: the matrix, the probe distance
+    /// walked, and whether this call published the slot.
+    #[inline]
+    fn find_or_publish(&self, id: LoopId) -> Result<(&CommMatrix, u32, bool), RegistryFull> {
         let mask = self.slots.len() - 1;
         let mut idx = (lc_sigmem::murmur::fmix64(id.0 as u64) as usize) & mask;
         let mut fresh: *mut LoopSlot = std::ptr::null_mut();
-        for _ in 0..self.slots.len() {
+        for probe in 0..self.slots.len() as u32 {
             let slot = &self.slots[idx];
             let p = slot.load(Ordering::Acquire);
             if p.is_null() {
@@ -351,7 +483,7 @@ impl LoopRegistry {
                     Ok(_) => {
                         self.len.fetch_add(1, Ordering::Relaxed);
                         // Safety: just published; lives until `self` drops.
-                        return unsafe { &(*fresh).matrix };
+                        return Ok((unsafe { &(*fresh).matrix }, probe, true));
                     }
                     Err(winner) => {
                         // Safety: `winner` was published by a release-CAS
@@ -359,7 +491,7 @@ impl LoopRegistry {
                         if unsafe { &*winner }.id == id {
                             // Safety: `fresh` never escaped this thread.
                             drop(unsafe { Box::from_raw(fresh) });
-                            return unsafe { &(*winner).matrix };
+                            return Ok((unsafe { &(*winner).matrix }, probe, false));
                         }
                         // Different loop claimed the slot: keep probing and
                         // reuse `fresh` for the next empty slot.
@@ -372,7 +504,7 @@ impl LoopRegistry {
                         // Safety: `fresh` never escaped this thread.
                         drop(unsafe { Box::from_raw(fresh) });
                     }
-                    return unsafe { &(*p).matrix };
+                    return Ok((unsafe { &(*p).matrix }, probe, false));
                 }
             }
             idx = (idx + 1) & mask;
@@ -381,11 +513,9 @@ impl LoopRegistry {
             // Safety: `fresh` never escaped this thread.
             drop(unsafe { Box::from_raw(fresh) });
         }
-        panic!(
-            "loop-matrix registry full: more than {} distinct loops touched; \
-             raise AccumConfig::loop_capacity",
-            self.slots.len()
-        );
+        Err(RegistryFull {
+            capacity: self.slots.len(),
+        })
     }
 
     /// The matrix for `id`, if one was published.
@@ -515,6 +645,7 @@ mod tests {
             track_nested: true,
             global: &global,
             loops: &loops,
+            telemetry: None,
         };
         for _ in 0..3 {
             set.record_dep(1, LoopId(5), 0, 1, 8, tgt);
@@ -537,6 +668,7 @@ mod tests {
             track_nested: true,
             global: &global,
             loops: &loops,
+            telemetry: None,
         };
         set.record_dep(2, LoopId(1), 0, 2, 8, tgt);
         assert_eq!(global.snapshot().total(), 0);
@@ -561,6 +693,7 @@ mod tests {
             track_nested: true,
             global: &global,
             loops: &loops,
+            telemetry: None,
         };
         set.record_dep(0, LoopId(1), 0, 1, 8, tgt);
         set.record_dep(0, LoopId(1), 0, 2, 8, tgt);
@@ -608,6 +741,85 @@ mod tests {
         for l in 0..3u32 {
             reg.get_or_insert(LoopId(l));
         }
+    }
+
+    #[test]
+    fn lossy_lookup_latches_overflow_and_degrades() {
+        let reg = LoopRegistry::new(2, 2);
+        assert!(reg.overflow().is_none());
+        assert!(reg.get_or_insert_lossy(LoopId(0)).is_some());
+        assert!(reg.get_or_insert_lossy(LoopId(1)).is_some());
+        assert!(reg.get_or_insert_lossy(LoopId(2)).is_none());
+        assert!(reg.get_or_insert_lossy(LoopId(3)).is_none());
+        let e = reg.overflow().expect("overflow latched");
+        assert_eq!(e.capacity, 2);
+        assert_eq!(reg.dropped_deltas(), 2);
+        // Already-published loops still resolve after the overflow.
+        assert!(reg.get_or_insert_lossy(LoopId(1)).is_some());
+    }
+
+    #[test]
+    fn try_get_or_insert_reports_full_cleanly() {
+        let reg = LoopRegistry::new(2, 2);
+        assert!(reg.try_get_or_insert(LoopId(0)).is_ok());
+        assert!(reg.try_get_or_insert(LoopId(1)).is_ok());
+        let err = reg.try_get_or_insert(LoopId(2)).unwrap_err();
+        assert_eq!(err.capacity, 2);
+        let msg = err.to_string();
+        assert!(msg.contains("loop-matrix registry full"), "{msg}");
+        assert!(msg.contains("loop_capacity"), "{msg}");
+        // Existing loops still resolve after a failed insert.
+        assert!(reg.try_get_or_insert(LoopId(1)).is_ok());
+    }
+
+    #[test]
+    fn probed_lookup_reports_probe_length_and_insertion() {
+        let reg = LoopRegistry::new(2, 64);
+        let (_, p0, inserted0) = reg.get_or_insert_probed(LoopId(9));
+        assert!(inserted0);
+        let (_, p1, inserted1) = reg.get_or_insert_probed(LoopId(9));
+        assert!(!inserted1);
+        assert_eq!(p0, p1); // same id walks the same probe path
+    }
+
+    #[test]
+    fn flush_reasons_and_occupancy_reach_telemetry() {
+        use crate::telemetry::{HistId, Stat, Telemetry, TelemetryConfig};
+        let cfg = AccumConfig {
+            flush_epoch: 4,
+            delta_slots: 2,
+            ..AccumConfig::default()
+        };
+        let set = ShardSet::new(2, cfg);
+        let global = CommMatrix::new(4);
+        let loops = LoopRegistry::new(4, 16);
+        let tel = Telemetry::new(2, TelemetryConfig::default());
+        let tgt = FlushTarget {
+            track_nested: true,
+            global: &global,
+            loops: &loops,
+            telemetry: Some(&tel),
+        };
+        // Two distinct keys fill the 2-slot buffer before the epoch: Full.
+        set.record_dep(0, LoopId(1), 0, 1, 8, tgt);
+        set.record_dep(0, LoopId(2), 0, 1, 8, tgt);
+        assert_eq!(tel.counter(Stat::FlushFull), 1);
+        // Four same-key deps hit the epoch: Epoch.
+        for _ in 0..4 {
+            set.record_dep(0, LoopId(1), 0, 1, 8, tgt);
+        }
+        assert_eq!(tel.counter(Stat::FlushEpoch), 1);
+        // A partial buffer drained by an explicit flush: Explicit.
+        set.record_dep(0, LoopId(1), 0, 1, 8, tgt);
+        set.flush(tgt);
+        assert_eq!(tel.counter(Stat::FlushExplicit), 1);
+        // Occupancy observed once per flush; registry inserts counted once
+        // per distinct loop.
+        assert_eq!(tel.hist(HistId::FlushOccupancy).count, 3);
+        assert_eq!(tel.counter(Stat::RegistryInsert), 2);
+        assert!(tel.hist(HistId::RegistryProbeLen).count > 0);
+        // And the matrices saw every delta despite the instrumentation.
+        assert_eq!(global.snapshot().total(), 7 * 8);
     }
 
     #[test]

@@ -88,6 +88,22 @@ impl ConcurrentBloom {
     pub fn ones(&self) -> usize {
         self.bits.count_ones()
     }
+
+    /// Fraction of bits set — the filter's *saturation* in `[0, 1]`.
+    ///
+    /// O(m/64) popcount; a scrape-time diagnostic, not a hot-path call.
+    pub fn fill(&self) -> f64 {
+        self.ones() as f64 / self.geometry.m_bits as f64
+    }
+
+    /// Estimated live false-positive probability from the observed
+    /// saturation: a query tests `k` independent bits, so
+    /// `P(false hit) ≈ fill^k`. This is the online counterpart of
+    /// [`crate::bloom::theoretical_fp_rate`], driven by the actual bit
+    /// state instead of the insertion count.
+    pub fn est_fp_rate(&self) -> f64 {
+        self.fill().powi(self.geometry.k as i32)
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +160,26 @@ mod tests {
         for tid in 0..16u64 {
             assert!(f.contains(tid));
         }
+    }
+
+    #[test]
+    fn fill_and_est_fp_track_saturation() {
+        let f = ConcurrentBloom::new(geom());
+        assert_eq!(f.fill(), 0.0);
+        assert_eq!(f.est_fp_rate(), 0.0);
+        for tid in 0..32u64 {
+            f.insert(tid);
+        }
+        let fill = f.fill();
+        assert!(fill > 0.0 && fill < 1.0);
+        assert_eq!(
+            f.ones(),
+            (fill * f.geometry().m_bits as f64).round() as usize
+        );
+        // Sized for 32 members at 0.001: the live estimate should sit near
+        // the design point (same formula, observed bits).
+        let est = f.est_fp_rate();
+        assert!(est > 0.0 && est < 0.01, "est {est}");
     }
 
     #[test]

@@ -37,6 +37,26 @@ pub fn aliasing_probability(occupied: usize, slots: usize) -> f64 {
     occupied as f64 / slots as f64
 }
 
+/// Online summary of second-level Bloom saturation across a sample of a
+/// read signature's allocated filters — the live counterpart of the §V-A3
+/// sweep's offline FPR measurement.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BloomSaturation {
+    /// How many allocated filters were popcounted.
+    pub filters_sampled: usize,
+    /// Mean fraction of set bits across sampled filters.
+    pub mean_fill: f64,
+    /// Worst (largest) fill seen in the sample.
+    pub max_fill: f64,
+    /// Mean estimated false-positive probability (`fill^k` per filter).
+    pub est_fp_rate: f64,
+}
+
+/// How many filters [`SignatureHealth::inspect`] popcounts per scrape.
+/// Bounds scrape cost on huge signatures while keeping the sample
+/// statistically meaningful.
+pub const BLOOM_SAMPLE_CAP: usize = 256;
+
 /// A point-in-time health report for one signature pair.
 #[derive(Clone, Copy, Debug)]
 pub struct SignatureHealth {
@@ -50,6 +70,8 @@ pub struct SignatureHealth {
     pub est_written_addresses: f64,
     /// Probability the next fresh address aliases an existing writer slot.
     pub write_aliasing: f64,
+    /// Online Bloom saturation sampled from the read signature.
+    pub read_bloom: BloomSaturation,
 }
 
 impl SignatureHealth {
@@ -63,6 +85,7 @@ impl SignatureHealth {
             read_filters: read.allocated_filters(),
             est_written_addresses: estimate_distinct_items(write_occupied, slots),
             write_aliasing: aliasing_probability(write_occupied, slots),
+            read_bloom: read.bloom_saturation(BLOOM_SAMPLE_CAP),
         }
     }
 
@@ -131,6 +154,25 @@ mod tests {
         );
         // 300/4096 ≈ 7% occupancy: comfortably under the warn threshold.
         assert!(!h.needs_more_slots(), "aliasing {}", h.write_aliasing);
+        // One reader per filter: every sampled filter is lightly filled.
+        assert!(h.read_bloom.filters_sampled > 0);
+        assert!(h.read_bloom.mean_fill > 0.0 && h.read_bloom.mean_fill < 0.5);
+        assert!(h.read_bloom.max_fill >= h.read_bloom.mean_fill);
+        assert!(h.read_bloom.est_fp_rate < 0.01);
+    }
+
+    #[test]
+    fn bloom_saturation_sample_cap_is_respected() {
+        let read = ReadSignature::new(1 << 12, 8, 0.001);
+        for a in 0..4000u64 {
+            read.insert(a * 64, (a % 8) as u32);
+        }
+        let sat = read.bloom_saturation(16);
+        assert_eq!(sat.filters_sampled, 16);
+        let empty = ReadSignature::new(64, 8, 0.001).bloom_saturation(16);
+        assert_eq!(empty.filters_sampled, 0);
+        assert_eq!(empty.mean_fill, 0.0);
+        assert_eq!(empty.est_fp_rate, 0.0);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod traits;
 pub mod write_signature;
 
 pub use concurrent_bloom::{BloomGeometry, ConcurrentBloom};
-pub use diagnostics::SignatureHealth;
+pub use diagnostics::{BloomSaturation, SignatureHealth};
 pub use perfect::{PerfectReaderSet, PerfectWriterMap};
 pub use read_signature::ReadSignature;
 pub use traits::{ReaderSet, WriterMap};

@@ -99,6 +99,48 @@ impl ReadSignature {
     pub fn allocated_filters(&self) -> usize {
         self.allocated.load(Ordering::Relaxed)
     }
+
+    /// Online per-slot Bloom saturation: popcount up to `max_filters`
+    /// allocated filters (front-to-back over the slot array — murmur
+    /// spreads occupancy uniformly, so a prefix is an unbiased sample) and
+    /// summarize their fill and live false-positive estimate. Scrape-time
+    /// cost only; never called on the access path.
+    pub fn bloom_saturation(&self, max_filters: usize) -> crate::diagnostics::BloomSaturation {
+        let mut sampled = 0usize;
+        let mut fill_sum = 0.0f64;
+        let mut fp_sum = 0.0f64;
+        let mut max_fill = 0.0f64;
+        for slot in self.slots.iter() {
+            if sampled >= max_filters {
+                break;
+            }
+            let p = slot.load(Ordering::Acquire);
+            if p.is_null() {
+                continue;
+            }
+            // Safety: published pointers stay valid until `self` drops.
+            let f = unsafe { &*p };
+            let fill = f.fill();
+            fill_sum += fill;
+            fp_sum += f.est_fp_rate();
+            max_fill = max_fill.max(fill);
+            sampled += 1;
+        }
+        crate::diagnostics::BloomSaturation {
+            filters_sampled: sampled,
+            mean_fill: if sampled == 0 {
+                0.0
+            } else {
+                fill_sum / sampled as f64
+            },
+            max_fill,
+            est_fp_rate: if sampled == 0 {
+                0.0
+            } else {
+                fp_sum / sampled as f64
+            },
+        }
+    }
 }
 
 impl ReaderSet for ReadSignature {

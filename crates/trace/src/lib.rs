@@ -44,7 +44,10 @@ pub use registry::{current_tid, try_current_tid, ThreadGuard};
 pub use replay::{Trace, TraceStats};
 pub use runtime::{run_threads, InstrumentedBarrier};
 pub use selective::{RegionFilter, SelectiveSink};
-pub use sink::{AccessSink, CountingSink, ForkSink, NoopSink, RecordingSink};
+pub use sink::{
+    AccessSink, CountingSink, ForkSink, LatencySamplingSink, LatencySnapshot, NoopSink,
+    RecordingSink,
+};
 pub use sites::{site_location, SiteCounter, SiteTraffic};
 pub use trace_compress::{load_trace_compressed, save_trace_compressed};
 pub use trace_io::{load_trace, read_trace, save_trace, write_trace};

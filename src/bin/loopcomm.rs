@@ -28,6 +28,8 @@ struct Options {
     slots: usize,
     window: u64,
     seed: u64,
+    loop_capacity: usize,
+    metrics: Option<String>,
 }
 
 fn usage() -> ! {
@@ -54,7 +56,10 @@ fn usage() -> ! {
          \x20 --size S         simdev | simsmall | simlarge (default simsmall)\n\
          \x20 --slots K        signature slots (default 1048576)\n\
          \x20 --window W       phase window in dependencies (default 2000)\n\
-         \x20 --seed S         workload RNG seed (default 42)"
+         \x20 --seed S         workload RNG seed (default 42)\n\
+         \x20 --loop-capacity K  loop-matrix registry capacity (default 1024)\n\
+         \x20 --metrics PATH   (profile) write run telemetry; `.json` gets\n\
+         \x20                  JSON, anything else Prometheus text"
     );
     std::process::exit(2);
 }
@@ -66,6 +71,8 @@ fn parse_options(args: &[String]) -> Options {
         slots: 1 << 20,
         window: 2000,
         seed: 42,
+        loop_capacity: 1024,
+        metrics: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -82,6 +89,8 @@ fn parse_options(args: &[String]) -> Options {
             "--slots" => o.slots = val().parse().expect("--slots K"),
             "--window" => o.window = val().parse().expect("--window W"),
             "--seed" => o.seed = val().parse().expect("--seed S"),
+            "--loop-capacity" => o.loop_capacity = val().parse().expect("--loop-capacity K"),
+            "--metrics" => o.metrics = Some(val()),
             "--size" => {
                 o.size = match val().as_str() {
                     "simdev" => InputSize::SimDev,
@@ -111,17 +120,61 @@ fn profile(
         eprintln!("unknown workload `{name}` — try `loopcomm list`");
         std::process::exit(2);
     });
-    let profiler = Arc::new(AsymmetricProfiler::asymmetric(
-        SignatureConfig::paper_default(o.slots, o.threads),
+    let profiler = Arc::new(AsymmetricProfiler::from_detector_full(
+        lc_profiler::AsymmetricDetector::asymmetric(SignatureConfig::paper_default(
+            o.slots, o.threads,
+        )),
         lc_profiler::ProfilerConfig {
             threads: o.threads,
             track_nested: true,
             phase_window,
         },
+        lc_profiler::AccumConfig {
+            loop_capacity: o.loop_capacity,
+            ..lc_profiler::AccumConfig::default()
+        },
+        // Telemetry only when the run will export it: the default path
+        // stays zero-cost.
+        o.metrics
+            .as_ref()
+            .map(|_| lc_profiler::TelemetryConfig::default()),
     ));
     let ctx = TraceCtx::new(profiler.clone(), o.threads);
     workload.run(&ctx, &RunConfig::new(o.threads, o.size, o.seed));
+    if let Some(e) = profiler.registry_overflow() {
+        registry_full_error(e, o.loop_capacity);
+    }
     (profiler, ctx)
+}
+
+/// Report a loop-registry overflow as a clean actionable error. The
+/// profiler degrades per-loop attribution rather than panicking mid-run
+/// (a worker panic would strand sibling threads at their next barrier), so
+/// by the time this runs the workload has completed and the latched error
+/// is the only thing left to surface.
+fn registry_full_error(e: lc_profiler::RegistryFull, current: usize) -> ! {
+    eprintln!("error: {e}");
+    eprintln!(
+        "hint: rerun with --loop-capacity {} or higher (current {})",
+        current.saturating_mul(4),
+        current
+    );
+    std::process::exit(1);
+}
+
+/// Write a metrics registry to `path`: `.json` selects the JSON exposition,
+/// anything else the Prometheus text form.
+fn write_metrics(path: &str, reg: &lc_profiler::MetricsRegistry) {
+    let body = if path.ends_with(".json") {
+        reg.to_json()
+    } else {
+        reg.to_prometheus()
+    };
+    std::fs::write(path, body).unwrap_or_else(|e| {
+        eprintln!("cannot write metrics to `{path}`: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote metrics       : {path}");
 }
 
 fn main() {
@@ -144,10 +197,13 @@ fn main() {
         2
     };
     let o = parse_options(&args[opt_start.min(args.len())..]);
+    run(cmd, name, &args, &o)
+}
 
-    match cmd.as_str() {
+fn run(cmd: &str, name: &str, args: &[String], o: &Options) {
+    match cmd {
         "profile" => {
-            let (p, _ctx) = profile(name, &o, None);
+            let (p, _ctx) = profile(name, o, None);
             let r = p.report();
             println!("workload            : {name}");
             println!("threads             : {}", o.threads);
@@ -170,9 +226,12 @@ fn main() {
                 );
             }
             println!("\ncommunication matrix (bytes):\n{}", r.global.heatmap());
+            if let Some(path) = &o.metrics {
+                write_metrics(path, &p.metrics_with_health());
+            }
         }
         "nested" => {
-            let (p, ctx) = profile(name, &o, None);
+            let (p, ctx) = profile(name, o, None);
             let r = p.report();
             let nested = NestedReport::build(ctx.loops(), &r.per_loop, o.threads);
             println!("{}", nested.render(4));
@@ -180,7 +239,7 @@ fn main() {
             assert!(bad.is_empty(), "sum invariant violated: {bad:?}");
         }
         "load" => {
-            let (p, ctx) = profile(name, &o, None);
+            let (p, ctx) = profile(name, o, None);
             let r = p.report();
             let nested = NestedReport::build(ctx.loops(), &r.per_loop, o.threads);
             for (node, total) in nested.hotspots().into_iter().take(3) {
@@ -199,7 +258,7 @@ fn main() {
             }
         }
         "classify" => {
-            let (p, _ctx) = profile(name, &o, None);
+            let (p, _ctx) = profile(name, o, None);
             let train = synthetic_dataset(o.threads.max(8), 30, &[0.0, 0.05, 0.1], 1);
             let model = NearestCentroid::train(&train);
             println!(
@@ -208,7 +267,7 @@ fn main() {
             );
         }
         "map" => {
-            let (p, _ctx) = profile(name, &o, None);
+            let (p, _ctx) = profile(name, o, None);
             let topo = MachineTopology::dual_socket_xeon();
             if o.threads > topo.cores() {
                 eprintln!("machine model has only {} cores", topo.cores());
@@ -225,7 +284,7 @@ fn main() {
         }
         "report" => {
             let Some(path) = args.get(2) else { usage() };
-            let (p, ctx) = profile(name, &o, Some(o.window));
+            let (p, ctx) = profile(name, o, Some(o.window));
             let html =
                 lc_profiler::html_report(&format!("loopcomm: {name}"), &p.report(), ctx.loops());
             std::fs::write(path, html).expect("write report");
@@ -263,15 +322,24 @@ fn main() {
                 stats.distinct_addrs,
                 stats.threads
             );
-            let profiler = AsymmetricProfiler::asymmetric(
-                SignatureConfig::paper_default(o.slots, threads),
+            let profiler = AsymmetricProfiler::from_detector_with(
+                lc_profiler::AsymmetricDetector::asymmetric(SignatureConfig::paper_default(
+                    o.slots, threads,
+                )),
                 lc_profiler::ProfilerConfig {
                     threads,
                     track_nested: true,
                     phase_window: None,
                 },
+                lc_profiler::AccumConfig {
+                    loop_capacity: o.loop_capacity,
+                    ..lc_profiler::AccumConfig::default()
+                },
             );
             trace.replay(&profiler);
+            if let Some(e) = profiler.registry_overflow() {
+                registry_full_error(e, o.loop_capacity);
+            }
             let r = profiler.report();
             println!(
                 "RAW dependencies: {}  profiler memory: {}",
@@ -368,7 +436,7 @@ fn main() {
             }
         }
         "phases" => {
-            let (p, _ctx) = profile(name, &o, Some(o.window));
+            let (p, _ctx) = profile(name, o, Some(o.window));
             let r = p.report();
             let phases = r.phases(0.5).expect("phase tracking enabled");
             println!(

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use lc_profiler::{AsymmetricProfiler, PerfectProfiler, ProfilerConfig};
-use lc_sigmem::SignatureConfig;
+use lc_sigmem::{ReaderSet, SignatureConfig, WriterMap};
 use lc_trace::{enter_loop, run_threads, InstrumentedBarrier, TracedBuffer};
 use loopcomm::prelude::*;
 
@@ -201,4 +201,124 @@ fn memory_stays_bounded_through_sustained_load() {
 fn exact_exchange_again(p: &Arc<AsymmetricProfiler>, threads: usize) {
     // Second, bigger wave through the same profiler instance.
     exact_exchange(p.clone(), threads, 40, 64);
+}
+
+#[test]
+fn concurrent_bloom_has_no_false_negatives_under_parallel_insert_query() {
+    use lc_sigmem::{BloomGeometry, ConcurrentBloom};
+    // Bloom filters admit false *positives* only; an item a thread inserted
+    // must be reported present — during the storm (each thread re-queries
+    // its own inserts while the others hammer neighbouring bits) and after
+    // it (exact membership oracle = the union of every thread's items).
+    let threads = 10u32;
+    let per_thread = 2_000u64;
+    // Geometry sized well above the insert count so the assertion is not
+    // trivially satisfied by saturation.
+    let bloom = Arc::new(ConcurrentBloom::new(BloomGeometry::for_threads(
+        (threads as u64 * per_thread) as usize * 4,
+        0.001,
+    )));
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let bloom = Arc::clone(&bloom);
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    let item = (tid as u64) << 32 | i;
+                    bloom.insert(item);
+                    // Own insert must be visible to own query immediately.
+                    assert!(bloom.contains(item), "lost own insert {item:#x}");
+                    if i > 0 {
+                        let earlier = (tid as u64) << 32 | (i / 2);
+                        assert!(bloom.contains(earlier), "lost earlier insert");
+                    }
+                }
+            });
+        }
+    });
+    // Post-quiescence oracle sweep across every thread's items.
+    for tid in 0..threads {
+        for i in 0..per_thread {
+            assert!(
+                bloom.contains((tid as u64) << 32 | i),
+                "false negative for tid {tid} item {i}"
+            );
+        }
+    }
+    assert!(bloom.fill() < 0.9, "filter saturated; test lost its teeth");
+}
+
+#[test]
+fn read_signature_has_no_false_negatives_under_parallel_insert_query() {
+    // 12 threads insert disjoint (addr, tid) streams through the two-level
+    // signature — racing on lazy slot allocation — while re-querying their
+    // own history. The exact oracle is every pair ever inserted: `contains`
+    // may err positive (aliasing) but never negative.
+    let threads = 12u32;
+    let per_thread = 3_000u64;
+    let sig = Arc::new(lc_sigmem::ReadSignature::new(
+        1 << 10,
+        threads as usize,
+        0.001,
+    ));
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let sig = Arc::clone(&sig);
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    // Overlapping address ranges force slot-publish races.
+                    let addr = 0x4000 + (i * 8) % 0x2000 + (tid as u64 % 3);
+                    sig.insert(addr, tid);
+                    assert!(sig.contains(addr, tid), "lost own ({addr:#x},{tid})");
+                }
+            });
+        }
+    });
+    for tid in 0..threads {
+        for i in 0..per_thread {
+            let addr = 0x4000 + (i * 8) % 0x2000 + (tid as u64 % 3);
+            assert!(
+                sig.contains(addr, tid),
+                "false negative for ({addr:#x}, {tid})"
+            );
+        }
+    }
+}
+
+#[test]
+fn write_signature_keeps_last_writer_semantics_under_interleaving() {
+    // Phase 1: all threads race writes over a shared address range. Any
+    // concurrent or subsequent read must yield a tid that actually wrote
+    // (aliasing may substitute threads, never fabricate ids). Phase 2: one
+    // thread overwrites every address after the storm has quiesced; it must
+    // then be the unique visible writer everywhere — last write wins.
+    let threads = 8u32;
+    let addrs = 1_024u64;
+    let sig = Arc::new(lc_sigmem::WriteSignature::new(4_096));
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let sig = Arc::clone(&sig);
+            s.spawn(move || {
+                for round in 0..20u64 {
+                    for a in 0..addrs {
+                        sig.record(0x8000 + a * 8, tid);
+                        if (a + round) % 7 == 0 {
+                            let w = sig.last_writer(0x8000 + a * 8).expect("mid-storm read");
+                            assert!(w < threads, "fabricated writer id {w}");
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let marker = threads; // a tid no storm thread used
+    for a in 0..addrs {
+        sig.record(0x8000 + a * 8, marker);
+    }
+    for a in 0..addrs {
+        assert_eq!(
+            sig.last_writer(0x8000 + a * 8),
+            Some(marker),
+            "stale writer surfaced at {a} after quiescence"
+        );
+    }
 }

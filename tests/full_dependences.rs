@@ -4,36 +4,42 @@
 use std::sync::Arc;
 
 use lc_profiler::{DepConfig, DepKind, FullDetector, PerfectProfiler, ProfilerConfig};
+use lc_trace::{RecordingSink, Trace};
 use loopcomm::prelude::*;
 
-fn run_full(name: &str, threads: usize, config: DepConfig) -> Arc<FullDetector> {
-    let det = Arc::new(FullDetector::new(threads, config));
-    let ctx = TraceCtx::new(det.clone(), threads);
+/// Record one execution of `name`, then replay it in stamp order. Feeding
+/// detectors live from the worker threads makes every exact-count
+/// assertion schedule-dependent (two sinks behind a fork can observe
+/// different interleavings); a replayed trace gives both detectors the
+/// same temporal order, every run.
+fn record(name: &str, threads: usize) -> Trace {
+    let rec = Arc::new(RecordingSink::new());
+    let ctx = TraceCtx::new(rec.clone(), threads);
     by_name(name)
         .unwrap()
         .run(&ctx, &RunConfig::new(threads, InputSize::SimDev, 41));
+    rec.finish()
+}
+
+fn replay_full(trace: &Trace, threads: usize, config: DepConfig) -> FullDetector {
+    let det = FullDetector::new(threads, config);
+    trace.replay(&det);
     det
 }
 
 #[test]
 fn raw_plane_matches_the_communication_profiler_on_workloads() {
     for name in ["radix", "ocean_cp", "water_spatial"] {
-        // Run both detectors over the same deterministic single-thread
-        // execution so temporal order is identical.
-        let full = Arc::new(FullDetector::new(4, DepConfig::all()));
-        let comm = Arc::new(PerfectProfiler::perfect(ProfilerConfig {
+        // Replay one recorded execution into both detectors so temporal
+        // order is identical.
+        let trace = record(name, 4);
+        let full = replay_full(&trace, 4, DepConfig::all());
+        let comm = PerfectProfiler::perfect(ProfilerConfig {
             threads: 4,
             track_nested: false,
             phase_window: None,
-        }));
-        let fork = Arc::new(lc_trace::ForkSink::new(vec![
-            full.clone() as Arc<dyn lc_trace::AccessSink>,
-            comm.clone(),
-        ]));
-        let ctx = TraceCtx::new(fork, 4);
-        by_name(name)
-            .unwrap()
-            .run(&ctx, &RunConfig::new(4, InputSize::SimDev, 41));
+        });
+        trace.replay(&comm);
         assert_eq!(
             full.matrix(DepKind::Raw),
             comm.global_matrix(),
@@ -46,7 +52,7 @@ fn raw_plane_matches_the_communication_profiler_on_workloads() {
 fn ping_pong_buffers_generate_waw_and_war() {
     // Jacobi ping-pong (ocean_ncp) re-writes each cell every other
     // iteration after neighbours read it: WAR and WAW must both appear.
-    let det = run_full("ocean_ncp", 4, DepConfig::all());
+    let det = replay_full(&record("ocean_ncp", 4), 4, DepConfig::all());
     assert!(det.total(DepKind::Raw) > 0);
     assert!(
         det.total(DepKind::War) > 0,
@@ -61,7 +67,7 @@ fn ping_pong_buffers_generate_waw_and_war() {
 #[test]
 fn read_shared_tables_generate_rar() {
     // Radiosity: every thread reads every patch each round — massive RAR.
-    let det = run_full("radiosity", 4, DepConfig::all());
+    let det = replay_full(&record("radiosity", 4), 4, DepConfig::all());
     assert!(
         det.total(DepKind::Rar) > det.total(DepKind::Raw),
         "RAR {} should dwarf RAW {} for a gather-everything kernel",
@@ -72,8 +78,11 @@ fn read_shared_tables_generate_rar() {
 
 #[test]
 fn ordering_only_config_suppresses_rar_volume() {
-    let all = run_full("radiosity", 4, DepConfig::all());
-    let ordering = run_full("radiosity", 4, DepConfig::ordering_only());
+    // Same recorded trace through both configs: RAW totals must agree
+    // exactly, which only holds when both observe one temporal order.
+    let trace = record("radiosity", 4);
+    let all = replay_full(&trace, 4, DepConfig::all());
+    let ordering = replay_full(&trace, 4, DepConfig::ordering_only());
     assert!(all.total(DepKind::Rar) > 0);
     assert_eq!(ordering.total(DepKind::Rar), 0);
     assert_eq!(all.total(DepKind::Raw), ordering.total(DepKind::Raw));

@@ -247,6 +247,69 @@ proptest! {
     }
 
     #[test]
+    fn compressed_trace_roundtrips_extreme_streams(
+        script in prop::collection::vec(
+            (any::<u64>(), 0u32..16, 0u32..6, any::<u64>(), 0u32..3, any::<u64>()),
+            0..300,
+        ),
+    ) {
+        use lc_trace::trace_compress::{read_trace_compressed, write_trace_compressed};
+        // Hostile inputs for the delta codec: arbitrary (non-monotonic,
+        // possibly duplicated) stamps, addresses at both ends of the u64
+        // range (deltas overflow i64 and must wrap), zero-size accesses,
+        // and arbitrary 64-bit site ids. The selector keeps extremes
+        // frequent instead of vanishingly rare.
+        let addr_of = |sel: u32, raw: u64| match sel {
+            0 => 0u64,
+            1 => u64::MAX,
+            2 => 1u64 << 63,
+            3 => (1u64 << 63) - 1,
+            4 => raw,
+            _ => raw & 0xFFFF, // clustered low addresses: small deltas
+        };
+        let trace = Trace::new(
+            script
+                .iter()
+                .map(|&(seq, tid, sel, raw, size, site)| StampedEvent {
+                    seq,
+                    event: AccessEvent {
+                        tid,
+                        addr: addr_of(sel, raw),
+                        size,
+                        kind: if raw % 2 == 0 { AccessKind::Write } else { AccessKind::Read },
+                        loop_id: LoopId(tid),
+                        parent_loop: LoopId::NONE,
+                        func: FuncId::NONE,
+                        site,
+                    },
+                })
+                .collect(),
+        );
+        let mut buf = Vec::new();
+        write_trace_compressed(&trace, &mut buf).unwrap();
+        let back = read_trace_compressed(&buf[..]).unwrap();
+        prop_assert_eq!(back.len(), trace.len());
+        // `Trace::new` sorts unstably by stamp, so events sharing a stamp
+        // have no defined relative order; compare as multisets under a
+        // total key instead of positionally.
+        let key = |e: &StampedEvent| {
+            (
+                e.seq,
+                e.event.tid,
+                e.event.addr,
+                e.event.size,
+                matches!(e.event.kind, AccessKind::Write),
+                e.event.site,
+            )
+        };
+        let mut a: Vec<_> = trace.events().iter().map(key).collect();
+        let mut b: Vec<_> = back.events().iter().map(key).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
     fn trace_io_roundtrips_arbitrary_traces(
         script in prop::collection::vec(
             (0u32..16, 0u64..1_000_000, any::<bool>(), 1u32..64, 0u32..9, 0u64..4096),

@@ -1,0 +1,57 @@
+//! Loop-registry overflow must surface as a clean, actionable CLI error —
+//! not a worker-thread panic (which would strand sibling threads at their
+//! next barrier) and not a backtrace.
+
+use std::process::Command;
+
+fn loopcomm() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_loopcomm"))
+}
+
+#[test]
+fn cli_reports_registry_overflow_cleanly() {
+    // radix touches several distinct loops; capacity 1 must overflow.
+    let out = loopcomm()
+        .args([
+            "profile",
+            "radix",
+            "--threads",
+            "2",
+            "--size",
+            "simdev",
+            "--loop-capacity",
+            "1",
+        ])
+        .output()
+        .expect("spawn loopcomm");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr: {stderr}");
+    assert!(
+        stderr.contains("loop-matrix registry full"),
+        "missing clean error: {stderr}"
+    );
+    assert!(
+        stderr.contains("hint: rerun with --loop-capacity"),
+        "missing sizing hint: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "panic leaked to the user: {stderr}"
+    );
+}
+
+#[test]
+fn cli_succeeds_with_adequate_capacity() {
+    // The same run with the default capacity completes and reports.
+    let out = loopcomm()
+        .args(["profile", "radix", "--threads", "2", "--size", "simdev"])
+        .output()
+        .expect("spawn loopcomm");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("RAW dependencies"), "stdout: {stdout}");
+}
