@@ -58,12 +58,13 @@ pub use matrix_sparse::SparseCommMatrix;
 pub use nested::{verify_sum_invariant, NestedNode, NestedReport};
 pub use phases::{detect_phases, Phase, PhaseAccumulator};
 pub use profiler::{
-    AsymmetricProfiler, CommProfiler, PerfectProfiler, ProfileReport, ProfilerConfig,
+    AsymmetricProfiler, CommProfiler, FlushHealthSnapshot, PerfectProfiler, ProfileReport,
+    ProfilerConfig,
 };
 pub use raw::{AccessProbe, AsymmetricDetector, Dependence, PerfectDetector, RawDetector};
 pub use report_html::html_report;
 pub use sampling::{BurstSampler, StrideSampler};
-pub use shards::{AccumConfig, FlushTarget, LoopRegistry, RegistryFull, ShardSet};
+pub use shards::{AccumConfig, FlushHealth, FlushTarget, LoopRegistry, RegistryFull, ShardSet};
 pub use telemetry::{
     HistId, MergedHist, Metric, MetricValue, MetricsRegistry, Pow2Hist, Stat, Telemetry,
     TelemetryConfig,

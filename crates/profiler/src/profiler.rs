@@ -23,6 +23,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use lc_faults::{FaultInjector, FaultSite};
 use lc_sigmem::{ReaderSet, SignatureConfig, WriterMap};
 use lc_trace::{AccessEvent, AccessSink, LoopId};
 use parking_lot::Mutex;
@@ -76,6 +77,22 @@ pub struct CommProfiler<R: ReaderSet, W: WriterMap> {
     counters: Counters,
     phases: Option<Mutex<PhaseAccumulator>>,
     telemetry: Option<Telemetry>,
+    faults: Option<std::sync::Arc<FaultInjector>>,
+}
+
+/// A point-in-time copy of the flush watchdog's degradation accounting —
+/// what [`CommProfiler::flush_health`] returns (all zeros for the legacy
+/// shared-atomic accumulation path, which has no flush stage to degrade).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlushHealthSnapshot {
+    /// True once any flush path hit a caught panic or watchdog timeout.
+    pub degraded: bool,
+    /// Aggregated delta entries destroyed by caught panics.
+    pub lost_deltas: u64,
+    /// Panics caught on flush paths.
+    pub flush_panics: u64,
+    /// Shards skipped by the explicit-flush watchdog.
+    pub watchdog_timeouts: u64,
 }
 
 /// The paper's profiler: approximate bounded-memory signatures.
@@ -201,7 +218,21 @@ impl<R: ReaderSet, W: WriterMap> CommProfiler<R, W> {
             counters,
             phases,
             telemetry: telemetry.map(|t| Telemetry::new(config.threads, t)),
+            faults: None,
         }
+    }
+
+    /// Arm a fault injector on this profiler's flush seams
+    /// ([`FaultSite::SinkFlush`] here, [`FaultSite::EpochBarrier`] and
+    /// [`FaultSite::RegistryInsert`] in the shard layer). Test-only by
+    /// intent; a disarmed or absent injector leaves the pipeline
+    /// byte-identical (the `fault_matrix` differential test's claim).
+    pub fn with_faults(mut self, faults: std::sync::Arc<FaultInjector>) -> Self {
+        if let Counters::Sharded(s) = &mut self.counters {
+            s.set_faults(std::sync::Arc::clone(&faults));
+        }
+        self.faults = Some(faults);
+        self
     }
 
     /// The accumulation-layer configuration in effect.
@@ -214,10 +245,52 @@ impl<R: ReaderSet, W: WriterMap> CommProfiler<R, W> {
     /// [`AccessSink::flush`] hook, so trace replay and sink pipelines end
     /// with a fully-merged profiler. Idempotent and safe under concurrent
     /// `on_access` traffic.
+    ///
+    /// Runs under the flush watchdog: a panic on this path (injectable at
+    /// [`FaultSite::SinkFlush`]) is caught and latched as degraded rather
+    /// than unwinding into whatever read path asked for the flush, and a
+    /// shard whose lock is stuck is skipped after
+    /// [`AccumConfig::flush_timeout_ms`].
     pub fn flush_pending(&self) {
         if let Counters::Sharded(s) = &self.counters {
-            s.flush(self.flush_target());
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some(f) = &self.faults {
+                    f.trip(FaultSite::SinkFlush);
+                }
+                s.flush(self.flush_target());
+            }));
+            if result.is_err() {
+                // The flush never started (the trip panicked before any
+                // drain) or the shard layer already accounted its own
+                // losses — either way no deltas are lost here, they stay
+                // buffered for the next flush.
+                s.health().note_panic(0);
+            }
         }
+    }
+
+    /// Snapshot of the flush watchdog's degradation accounting. All-zero
+    /// for a healthy run (and always for the legacy shared path).
+    pub fn flush_health(&self) -> FlushHealthSnapshot {
+        match &self.counters {
+            Counters::Sharded(s) => {
+                let h = s.health();
+                FlushHealthSnapshot {
+                    degraded: h.degraded(),
+                    lost_deltas: h.lost_deltas(),
+                    flush_panics: h.flush_panics(),
+                    watchdog_timeouts: h.watchdog_timeouts(),
+                }
+            }
+            Counters::Shared { .. } => FlushHealthSnapshot::default(),
+        }
+    }
+
+    /// True once any flush path degraded (caught panic or watchdog
+    /// timeout). The run's matrices remain exact for everything that
+    /// drained; [`FlushHealthSnapshot::lost_deltas`] bounds what did not.
+    pub fn degraded(&self) -> bool {
+        self.flush_health().degraded
     }
 
     /// The destination buffered deltas drain into.
@@ -270,6 +343,27 @@ impl<R: ReaderSet, W: WriterMap> CommProfiler<R, W> {
             "loopcomm_loops_dropped_deltas_total",
             "Deltas left unattributed per-loop after a registry overflow",
             self.loops.dropped_deltas(),
+        );
+        let health = self.flush_health();
+        reg.counter(
+            "loopcomm_flush_lost_deltas_total",
+            "Aggregated delta entries destroyed by caught flush panics",
+            health.lost_deltas,
+        );
+        reg.counter(
+            "loopcomm_flush_panics_total",
+            "Panics caught on flush paths",
+            health.flush_panics,
+        );
+        reg.counter(
+            "loopcomm_watchdog_timeouts_total",
+            "Shards skipped by the explicit-flush watchdog",
+            health.watchdog_timeouts,
+        );
+        reg.gauge(
+            "loopcomm_degraded",
+            "1 once any flush path degraded (caught panic or watchdog timeout)",
+            if health.degraded { 1.0 } else { 0.0 },
         );
         if let Some(t) = &self.telemetry {
             t.export_into(&mut reg);

@@ -33,9 +33,12 @@
 //! signature memory" property (quantified in DESIGN.md).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crossbeam::utils::CachePadded;
+use lc_faults::{FaultInjector, FaultSite};
 use lc_trace::LoopId;
 use parking_lot::Mutex;
 
@@ -59,6 +62,11 @@ pub struct AccumConfig {
     /// of distinct loops (plus the top-level pseudo-loop) one run may
     /// touch. Exceeding it panics with a sizing hint.
     pub loop_capacity: usize,
+    /// Watchdog bound on an explicit flush waiting for a shard's buffer
+    /// lock. A sibling thread stalled (or dead) while holding the lock
+    /// cannot block a reader forever: after this many milliseconds the
+    /// flush skips the shard, latches degraded mode, and moves on.
+    pub flush_timeout_ms: u64,
 }
 
 impl Default for AccumConfig {
@@ -68,6 +76,7 @@ impl Default for AccumConfig {
             flush_epoch: 64,
             delta_slots: 32,
             loop_capacity: 1024,
+            flush_timeout_ms: 2000,
         }
     }
 }
@@ -155,6 +164,62 @@ impl Shard {
     }
 }
 
+/// Degraded-mode accounting for the flush paths.
+///
+/// The flush watchdog's contract (DESIGN.md §9): a worker panicking or
+/// stalling mid-flush must not take the run down with it — survivors
+/// complete, the global matrix stays exact *for every delta that was
+/// drained*, and every delta that was not is **counted** here rather than
+/// silently lost. `degraded()` is the single latch callers check to know
+/// whether this run's numbers carry an asterisk.
+#[derive(Debug, Default)]
+pub struct FlushHealth {
+    degraded: AtomicBool,
+    lost_deltas: AtomicU64,
+    flush_panics: AtomicU64,
+    watchdog_timeouts: AtomicU64,
+}
+
+impl FlushHealth {
+    /// Record a caught panic on a flush path that lost `lost` buffered
+    /// delta entries (0 when the panic fired before any entry drained away
+    /// for good — those deltas stay buffered and flush later).
+    pub fn note_panic(&self, lost: u64) {
+        self.flush_panics.fetch_add(1, Ordering::Relaxed);
+        self.lost_deltas.fetch_add(lost, Ordering::Relaxed);
+        self.degraded.store(true, Ordering::Relaxed);
+    }
+
+    /// Record an explicit flush abandoning a shard after the watchdog
+    /// timeout (the shard's deltas are delayed, not destroyed — they drain
+    /// whenever the stuck holder releases the lock).
+    pub fn note_timeout(&self) {
+        self.watchdog_timeouts.fetch_add(1, Ordering::Relaxed);
+        self.degraded.store(true, Ordering::Relaxed);
+    }
+
+    /// True once any flush path hit a panic or watchdog timeout.
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Buffered delta entries destroyed by caught panics (each entry is an
+    /// aggregated `(loop, src, dst)` byte count, not a single dependence).
+    pub fn lost_deltas(&self) -> u64 {
+        self.lost_deltas.load(Ordering::Relaxed)
+    }
+
+    /// Panics caught on flush paths.
+    pub fn flush_panics(&self) -> u64 {
+        self.flush_panics.load(Ordering::Relaxed)
+    }
+
+    /// Shards skipped by the explicit-flush watchdog.
+    pub fn watchdog_timeouts(&self) -> u64 {
+        self.watchdog_timeouts.load(Ordering::Relaxed)
+    }
+}
+
 /// Where a shard's buffered deltas land when drained: the shared matrices,
 /// plus whether per-loop attribution is enabled for this run.
 #[derive(Clone, Copy, Debug)]
@@ -178,6 +243,10 @@ pub struct ShardSet {
     shards: Box<[Shard]>,
     mask: usize,
     cfg: AccumConfig,
+    health: FlushHealth,
+    /// Fault-injection hook for the epoch/registry seams. `None` (the
+    /// production default) is one never-taken branch per flush.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl ShardSet {
@@ -187,12 +256,25 @@ impl ShardSet {
         assert!(threads >= 1);
         assert!(cfg.flush_epoch >= 1, "flush_epoch must be at least 1");
         assert!(cfg.delta_slots >= 1, "delta_slots must be at least 1");
+        assert!(cfg.flush_timeout_ms >= 1, "flush_timeout_ms must be >= 1");
         let n = threads.next_power_of_two();
         Self {
             shards: (0..n).map(|_| Shard::new()).collect(),
             mask: n - 1,
             cfg,
+            health: FlushHealth::default(),
+            faults: None,
         }
+    }
+
+    /// Arm a fault injector on the epoch-barrier and registry-insert seams.
+    pub fn set_faults(&mut self, faults: Arc<FaultInjector>) {
+        self.faults = Some(faults);
+    }
+
+    /// Degraded-mode accounting for this shard set's flush paths.
+    pub fn health(&self) -> &FlushHealth {
+        &self.health
     }
 
     #[inline]
@@ -244,15 +326,50 @@ impl ShardSet {
                 t.bump(tid, reason);
                 t.observe(tid, HistId::FlushOccupancy, buf.entries.len() as u64);
             }
-            Self::drain(&mut buf, target, tid);
+            self.guarded_drain(&mut buf, target, tid);
         }
     }
 
-    fn drain(buf: &mut DeltaBuffer, target: FlushTarget<'_>, tid: u32) {
-        for (key, bytes) in buf.entries.drain(..) {
+    /// Drain `buf` into the shared matrices under the watchdog contract: a
+    /// panic anywhere inside the drain (including an injected
+    /// [`FaultSite::EpochBarrier`] fault — the PR 2 livelock scenario made
+    /// schedulable) is caught, the shard is left consistent, and every
+    /// entry that had not yet reached the matrices is counted as lost
+    /// instead of vanishing. The calling application thread survives.
+    fn guarded_drain(&self, buf: &mut DeltaBuffer, target: FlushTarget<'_>, tid: u32) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(f) = &self.faults {
+                f.trip(FaultSite::EpochBarrier);
+            }
+            self.drain(buf, target, tid);
+        }));
+        if result.is_err() {
+            // Entries still buffered never reached the matrices; entries
+            // already popped did (matrix adds commute, so partial drains
+            // keep the global matrix exact for what landed). Count the
+            // remainder and reset, so the shard stays usable.
+            let lost = buf.entries.len() as u64;
+            buf.entries.clear();
+            buf.pending = 0;
+            self.health.note_panic(lost);
+            if let Some(t) = target.telemetry {
+                t.bump(tid, Stat::FlushPanic);
+            }
+        }
+    }
+
+    /// Pop-at-a-time so a panic mid-drain (caught by
+    /// [`Self::guarded_drain`]) leaves exactly the un-drained entries in
+    /// the buffer for loss accounting. Drain order is irrelevant: matrix
+    /// cell addition commutes.
+    fn drain(&self, buf: &mut DeltaBuffer, target: FlushTarget<'_>, tid: u32) {
+        while let Some((key, bytes)) = buf.entries.pop() {
             let (loop_id, src, dst) = unpack_key(key);
             target.global.add(src, dst, bytes);
             if target.track_nested {
+                if let Some(f) = &self.faults {
+                    f.trip(FaultSite::RegistryInsert);
+                }
                 // Lossy on overflow: flushes run on application threads, so
                 // a capacity panic here would strand sibling threads at
                 // their next barrier (the error is latched and surfaced
@@ -271,17 +388,60 @@ impl ShardSet {
         buf.pending = 0;
     }
 
+    /// Acquire a shard's buffer lock under the watchdog: immediate
+    /// `try_lock`, then exponential backoff (50µs doubling, 10ms cap) until
+    /// [`AccumConfig::flush_timeout_ms`] expires. `None` means the holder
+    /// is stuck or dead — the caller skips the shard instead of joining it
+    /// in whatever stranded it.
+    fn lock_with_watchdog<'m>(
+        &self,
+        m: &'m Mutex<DeltaBuffer>,
+    ) -> Option<parking_lot::MutexGuard<'m, DeltaBuffer>> {
+        if let Some(g) = m.try_lock() {
+            return Some(g);
+        }
+        let deadline = Instant::now() + Duration::from_millis(self.cfg.flush_timeout_ms);
+        let mut backoff = Duration::from_micros(50);
+        loop {
+            std::thread::sleep(backoff);
+            if let Some(g) = m.try_lock() {
+                return Some(g);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            backoff = (backoff * 2).min(Duration::from_millis(10));
+        }
+    }
+
     /// Flush every shard's pending deltas. Called before any read of the
     /// shared matrices so snapshots include all buffered communication.
+    ///
+    /// Bounded: a shard whose lock cannot be won within
+    /// [`AccumConfig::flush_timeout_ms`] (its owner is stalled mid-epoch,
+    /// or died without the no-poisoning lock ever noticing) is skipped and
+    /// counted — the remaining shards still drain, so one stuck worker
+    /// degrades the snapshot instead of deadlocking the reader. This is
+    /// PR 2's livelock fix generalized into policy.
     pub fn flush(&self, target: FlushTarget<'_>) {
         for (i, shard) in self.shards.iter().enumerate() {
-            let mut buf = shard.buf.lock();
-            if buf.pending > 0 {
-                if let Some(t) = target.telemetry {
-                    t.bump(i as u32, Stat::FlushExplicit);
-                    t.observe(i as u32, HistId::FlushOccupancy, buf.entries.len() as u64);
+            let tid = i as u32;
+            match self.lock_with_watchdog(&shard.buf) {
+                Some(mut buf) => {
+                    if buf.pending > 0 {
+                        if let Some(t) = target.telemetry {
+                            t.bump(tid, Stat::FlushExplicit);
+                            t.observe(tid, HistId::FlushOccupancy, buf.entries.len() as u64);
+                        }
+                        self.guarded_drain(&mut buf, target, tid);
+                    }
                 }
-                Self::drain(&mut buf, target, i as u32);
+                None => {
+                    self.health.note_timeout();
+                    if let Some(t) = target.telemetry {
+                        t.bump(tid, Stat::WatchdogTimeout);
+                    }
+                }
             }
         }
     }
@@ -828,5 +988,97 @@ mod tests {
         let empty = reg.memory_bytes();
         reg.get_or_insert(LoopId(1));
         assert!(reg.memory_bytes() > empty);
+    }
+
+    #[test]
+    fn injected_epoch_panic_is_caught_and_losses_are_counted() {
+        use lc_faults::{FaultAction, FaultPlan, FaultRule};
+        let cfg = AccumConfig {
+            flush_epoch: 4,
+            ..AccumConfig::default()
+        };
+        let mut set = ShardSet::new(1, cfg);
+        set.set_faults(Arc::new(FaultInjector::new(FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule::once(
+                FaultSite::EpochBarrier,
+                FaultAction::Panic,
+                0,
+            )],
+        })));
+        let global = CommMatrix::new(2);
+        let loops = LoopRegistry::new(2, 16);
+        let tgt = FlushTarget {
+            track_nested: true,
+            global: &global,
+            loops: &loops,
+            telemetry: None,
+        };
+        // First epoch boundary trips the injected panic; the recording
+        // thread (this one) survives and the buffered entry is counted.
+        for _ in 0..4 {
+            set.record_dep(0, LoopId(1), 0, 1, 8, tgt);
+        }
+        assert!(set.health().degraded());
+        assert_eq!(set.health().flush_panics(), 1);
+        assert_eq!(set.health().lost_deltas(), 1);
+        assert_eq!(
+            global.snapshot().total(),
+            0,
+            "nothing drained before the panic"
+        );
+        // The shard stays usable: the next epoch drains cleanly.
+        for _ in 0..4 {
+            set.record_dep(0, LoopId(1), 0, 1, 8, tgt);
+        }
+        assert_eq!(global.get(0, 1), 32);
+        assert_eq!(set.health().flush_panics(), 1);
+    }
+
+    #[test]
+    fn explicit_flush_skips_a_stuck_shard_within_the_timeout() {
+        let cfg = AccumConfig {
+            flush_timeout_ms: 50,
+            ..AccumConfig::default()
+        };
+        let set = Arc::new(ShardSet::new(2, cfg));
+        let global = CommMatrix::new(2);
+        let loops = LoopRegistry::new(2, 16);
+        let tgt = FlushTarget {
+            track_nested: false,
+            global: &global,
+            loops: &loops,
+            telemetry: None,
+        };
+        set.record_dep(0, LoopId::NONE, 0, 1, 8, tgt);
+        set.record_dep(1, LoopId::NONE, 1, 0, 4, tgt);
+        // Wedge shard 1's buffer lock from another thread, as a worker
+        // stalled mid-epoch would.
+        let held = Arc::clone(&set);
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let (locked_tx, locked_rx) = std::sync::mpsc::channel::<()>();
+        let holder = std::thread::spawn(move || {
+            let _guard = held.shards[1].buf.lock();
+            locked_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        });
+        locked_rx.recv().unwrap();
+        let start = std::time::Instant::now();
+        set.flush(tgt);
+        assert!(
+            start.elapsed() >= Duration::from_millis(50),
+            "waited out the watchdog"
+        );
+        // Shard 0 drained; shard 1 was skipped and counted, not deadlocked.
+        assert_eq!(global.get(0, 1), 8);
+        assert_eq!(global.get(1, 0), 0);
+        assert!(set.health().degraded());
+        assert_eq!(set.health().watchdog_timeouts(), 1);
+        assert_eq!(set.health().lost_deltas(), 0, "delayed, not destroyed");
+        release_tx.send(()).unwrap();
+        holder.join().unwrap();
+        // Once the holder releases, the delayed deltas drain.
+        set.flush(tgt);
+        assert_eq!(global.get(1, 0), 4);
     }
 }

@@ -61,11 +61,15 @@ pub enum Stat {
     FlushExplicit,
     /// New loop matrices published into the registry.
     RegistryInsert,
+    /// Delta-buffer drains aborted by a caught panic (degraded mode).
+    FlushPanic,
+    /// Shards the explicit-flush watchdog skipped after a lock timeout.
+    WatchdogTimeout,
 }
 
 impl Stat {
     /// Number of counters.
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 13;
 
     /// Every counter, in declaration (= exposition) order.
     pub const ALL: [Stat; Self::COUNT] = [
@@ -80,6 +84,8 @@ impl Stat {
         Stat::FlushFull,
         Stat::FlushExplicit,
         Stat::RegistryInsert,
+        Stat::FlushPanic,
+        Stat::WatchdogTimeout,
     ];
 
     /// Exposition name and help text.
@@ -125,6 +131,14 @@ impl Stat {
             Stat::RegistryInsert => (
                 "loopcomm_registry_insert_total",
                 "Loop matrices published into the registry",
+            ),
+            Stat::FlushPanic => (
+                "loopcomm_flush_panic_total",
+                "Delta-buffer drains aborted by a caught panic",
+            ),
+            Stat::WatchdogTimeout => (
+                "loopcomm_watchdog_timeout_total",
+                "Shards skipped by the explicit-flush watchdog",
             ),
         }
     }

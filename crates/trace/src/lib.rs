@@ -33,6 +33,7 @@ pub mod runtime;
 pub mod selective;
 pub mod sink;
 pub mod sites;
+pub mod spool;
 pub mod trace_compress;
 pub mod trace_io;
 
@@ -49,5 +50,9 @@ pub use sink::{
     RecordingSink,
 };
 pub use sites::{site_location, SiteCounter, SiteTraffic};
+pub use spool::{
+    salvage_trace, write_trace_spool, SalvageReport, SpoolError, SpoolSink, SpoolStats,
+    SpoolWriter, DEFAULT_FRAME_EVENTS,
+};
 pub use trace_compress::{load_trace_compressed, save_trace_compressed};
 pub use trace_io::{load_trace, read_trace, save_trace, write_trace};

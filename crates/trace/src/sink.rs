@@ -324,7 +324,16 @@ mod tests {
             }));
         }
         for h in handles {
-            h.join().unwrap();
+            // A panicked recorder thread is a test failure with its own
+            // message, not an opaque `unwrap` on the join result.
+            if let Err(p) = h.join() {
+                let msg = p
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                panic!("recorder thread panicked: {msg}");
+            }
         }
         let trace = s.finish();
         assert_eq!(trace.len(), 2000);

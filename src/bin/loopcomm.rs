@@ -30,6 +30,13 @@ struct Options {
     seed: u64,
     loop_capacity: usize,
     metrics: Option<String>,
+    spool: bool,
+    salvage: bool,
+    /// Hidden test hook: a fault-plan file armed on the profiler's flush
+    /// seams and the spool writer (see `lc_faults`). Deliberately absent
+    /// from the usage text — it exists for the fault-matrix tests and for
+    /// reproducing failures, not for routine profiling.
+    fault_plan: Option<String>,
 }
 
 fn usage() -> ! {
@@ -59,7 +66,11 @@ fn usage() -> ! {
          \x20 --seed S         workload RNG seed (default 42)\n\
          \x20 --loop-capacity K  loop-matrix registry capacity (default 1024)\n\
          \x20 --metrics PATH   (profile) write run telemetry; `.json` gets\n\
-         \x20                  JSON, anything else Prometheus text"
+         \x20                  JSON, anything else Prometheus text\n\
+         \x20 --spool          (record) write the crash-tolerant framed v2\n\
+         \x20                  format: every flushed frame survives a crash\n\
+         \x20 --salvage        (analyze) recover the longest valid prefix of\n\
+         \x20                  a truncated or corrupted trace instead of failing"
     );
     std::process::exit(2);
 }
@@ -73,6 +84,9 @@ fn parse_options(args: &[String]) -> Options {
         seed: 42,
         loop_capacity: 1024,
         metrics: None,
+        spool: false,
+        salvage: false,
+        fault_plan: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -91,6 +105,9 @@ fn parse_options(args: &[String]) -> Options {
             "--seed" => o.seed = val().parse().expect("--seed S"),
             "--loop-capacity" => o.loop_capacity = val().parse().expect("--loop-capacity K"),
             "--metrics" => o.metrics = Some(val()),
+            "--spool" => o.spool = true,
+            "--salvage" => o.salvage = true,
+            "--fault-plan" => o.fault_plan = Some(val()),
             "--size" => {
                 o.size = match val().as_str() {
                     "simdev" => InputSize::SimDev,
@@ -111,6 +128,37 @@ fn parse_options(args: &[String]) -> Options {
     o
 }
 
+/// Arm the hidden `--fault-plan` file, if one was given. Parse errors and
+/// unreadable files are usage errors (exit 2), not degraded runs.
+fn fault_injector(o: &Options) -> Option<Arc<lc_faults::FaultInjector>> {
+    o.fault_plan.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read fault plan `{path}`: {e}");
+            std::process::exit(2);
+        });
+        let plan = lc_faults::FaultPlan::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        Arc::new(lc_faults::FaultInjector::new(plan))
+    })
+}
+
+/// Surface a degraded run on stderr. The run still exits 0: the global
+/// matrix is exact for every drained delta and the loss is bounded and
+/// counted — the watchdog's whole point is that one faulty worker does not
+/// cost the run (DESIGN.md §9).
+fn warn_if_degraded(p: &AsymmetricProfiler) {
+    let h = p.flush_health();
+    if h.degraded {
+        eprintln!(
+            "warning: degraded run: {} caught flush panic(s), {} watchdog timeout(s), \
+             {} lost delta entr(ies); global matrix exact for all drained deltas",
+            h.flush_panics, h.watchdog_timeouts, h.lost_deltas
+        );
+    }
+}
+
 fn profile(
     name: &str,
     o: &Options,
@@ -120,7 +168,7 @@ fn profile(
         eprintln!("unknown workload `{name}` — try `loopcomm list`");
         std::process::exit(2);
     });
-    let profiler = Arc::new(AsymmetricProfiler::from_detector_full(
+    let mut profiler = AsymmetricProfiler::from_detector_full(
         lc_profiler::AsymmetricDetector::asymmetric(SignatureConfig::paper_default(
             o.slots, o.threads,
         )),
@@ -138,12 +186,21 @@ fn profile(
         o.metrics
             .as_ref()
             .map(|_| lc_profiler::TelemetryConfig::default()),
-    ));
+    );
+    if let Some(f) = fault_injector(o) {
+        profiler = profiler.with_faults(f);
+    }
+    let profiler = Arc::new(profiler);
     let ctx = TraceCtx::new(profiler.clone(), o.threads);
     workload.run(&ctx, &RunConfig::new(o.threads, o.size, o.seed));
     if let Some(e) = profiler.registry_overflow() {
         registry_full_error(e, o.loop_capacity);
     }
+    // Drain every shard before assessing health, so a fault scripted on
+    // the final flush itself still latches before the warning is (not)
+    // printed.
+    profiler.flush_pending();
+    warn_if_degraded(&profiler);
     (profiler, ctx)
 }
 
@@ -296,6 +353,39 @@ fn run(cmd: &str, name: &str, args: &[String], o: &Options) {
                 eprintln!("unknown workload `{name}`");
                 std::process::exit(2);
             });
+            if o.spool {
+                // Crash-tolerant v2: frames hit disk as the run progresses,
+                // so a crash (or an injected I/O fault) loses at most the
+                // unframed tail — everything else stays salvageable.
+                let sink = Arc::new(
+                    lc_trace::SpoolSink::create_with(
+                        std::path::Path::new(path),
+                        lc_trace::DEFAULT_FRAME_EVENTS,
+                        fault_injector(o),
+                    )
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot create spool `{path}`: {e}");
+                        std::process::exit(1);
+                    }),
+                );
+                let ctx = TraceCtx::new(sink.clone(), o.threads);
+                workload.run(&ctx, &RunConfig::new(o.threads, o.size, o.seed));
+                match sink.finish() {
+                    Ok(stats) => println!(
+                        "spooled {} events in {} frames ({} bytes, format v2) -> {path}",
+                        stats.events, stats.frames, stats.bytes
+                    ),
+                    Err(e) => {
+                        eprintln!("error: trace spool failed: {e}");
+                        eprintln!(
+                            "hint: completed frames survive — \
+                             `loopcomm analyze {path} --salvage`"
+                        );
+                        std::process::exit(1);
+                    }
+                }
+                return;
+            }
             let rec = Arc::new(lc_trace::RecordingSink::new());
             let ctx = TraceCtx::new(rec.clone(), o.threads);
             workload.run(&ctx, &RunConfig::new(o.threads, o.size, o.seed));
@@ -313,7 +403,24 @@ fn run(cmd: &str, name: &str, args: &[String], o: &Options) {
         }
         "analyze" => {
             // `name` is the trace path here.
-            let trace = lc_trace::load_trace(std::path::Path::new(name)).expect("read trace");
+            let trace = if o.salvage {
+                let (trace, rep) = lc_trace::salvage_trace(std::path::Path::new(name))
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot salvage `{name}`: {e}");
+                        std::process::exit(1);
+                    });
+                println!(
+                    "salvage: format v{}, {} frame(s), {} event(s) recovered, {} byte(s) dropped",
+                    rep.version, rep.frames, rep.events, rep.bytes_dropped
+                );
+                trace
+            } else {
+                lc_trace::load_trace(std::path::Path::new(name)).unwrap_or_else(|e| {
+                    eprintln!("cannot read `{name}`: {e}");
+                    eprintln!("hint: `loopcomm analyze {name} --salvage` recovers what is intact");
+                    std::process::exit(1);
+                })
+            };
             let stats = trace.stats();
             let threads = stats.threads.max(1);
             println!(

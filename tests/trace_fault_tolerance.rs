@@ -1,0 +1,198 @@
+//! Fault tolerance of the trace readers: `read_trace` must never panic on
+//! hostile bytes, and v2 salvage must recover *exactly* the frames that
+//! were durable before an injected truncation or bit flip — no more (no
+//! fabricated events) and no less (no valid frame abandoned).
+
+use lc_trace::event::{AccessEvent, AccessKind, FuncId, LoopId, StampedEvent};
+use lc_trace::{read_trace, salvage_trace, write_trace, write_trace_spool, Trace};
+use proptest::prelude::*;
+
+/// v1 prelude: magic + version + count. v2 prelude: magic + version.
+const V1_HEADER: usize = 16;
+const V2_HEADER: usize = 8;
+/// One encoded event record (fixed-width in both formats).
+const RECORD: usize = 41;
+/// v2 frame header: marker + payload_len + crc32.
+const FRAME_HEADER: usize = 12;
+
+fn ev(i: u64) -> StampedEvent {
+    StampedEvent {
+        seq: i,
+        event: AccessEvent {
+            tid: (i % 4) as u32,
+            addr: 0x4000 + (i % 128) * 8,
+            size: 8,
+            kind: if i % 3 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+            loop_id: LoopId((i % 5) as u32),
+            parent_loop: LoopId::NONE,
+            func: FuncId(1),
+            site: i % 7,
+        },
+    }
+}
+
+fn sample(n: u64) -> Trace {
+    Trace::new((0..n).map(ev).collect())
+}
+
+/// A per-case scratch file that cleans up after itself.
+struct ScratchFile(std::path::PathBuf);
+
+impl ScratchFile {
+    fn new(tag: &str, case: u64) -> Self {
+        let dir = std::env::temp_dir().join("lc_trace_fault_tolerance");
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        Self(dir.join(format!("{tag}_{}_{case}.lctrace", std::process::id())))
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for ScratchFile {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.0).ok();
+    }
+}
+
+proptest! {
+    #[test]
+    fn read_trace_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..2048usize)
+    ) {
+        // Err or Ok are both acceptable; a panic or an absurd allocation
+        // is not. (The count-header validation and prealloc cap make a
+        // hostile 2^64 event count a clean error, not an OOM.)
+        let _ = read_trace(&bytes[..]);
+    }
+
+    #[test]
+    fn read_trace_never_panics_behind_a_valid_prelude(
+        version in 0u32..4,
+        body in prop::collection::vec(any::<u8>(), 0..1024usize)
+    ) {
+        // Hostile bytes that DO pass the magic/version gate must still be
+        // handled: v1 bodies of non-record granularity, v2 bodies full of
+        // garbage frame headers, unknown versions.
+        let mut bytes = Vec::with_capacity(V2_HEADER + body.len());
+        bytes.extend_from_slice(b"LCTR");
+        bytes.extend_from_slice(&version.to_le_bytes());
+        bytes.extend_from_slice(&body);
+        let _ = read_trace(&bytes[..]);
+    }
+
+    #[test]
+    fn v2_truncation_salvages_exactly_the_complete_frames(
+        per_frame in 1u64..12,
+        frames in 1u64..7,
+        cut_seed in any::<u64>()
+    ) {
+        let total = per_frame * frames;
+        let t = sample(total);
+        let mut buf = Vec::new();
+        write_trace_spool(&t, &mut buf, per_frame as usize).expect("spool");
+        let frame_bytes = FRAME_HEADER + per_frame as usize * RECORD;
+        prop_assert_eq!(buf.len(), V2_HEADER + frames as usize * frame_bytes);
+
+        // Cut anywhere at or after the prelude.
+        let cut = V2_HEADER + (cut_seed % (buf.len() - V2_HEADER + 1) as u64) as usize;
+        let file = ScratchFile::new("trunc", cut_seed);
+        std::fs::write(file.path(), &buf[..cut]).expect("write");
+
+        let whole_frames = (cut - V2_HEADER) / frame_bytes;
+        let (salvaged, report) = salvage_trace(file.path()).expect("salvage");
+        prop_assert_eq!(report.frames as usize, whole_frames);
+        prop_assert_eq!(salvaged.len() as u64, whole_frames as u64 * per_frame);
+        prop_assert_eq!(
+            report.bytes_dropped as usize,
+            cut - V2_HEADER - whole_frames * frame_bytes
+        );
+        // The recovered prefix is byte-exact, not merely the right length.
+        for (a, b) in t.events().iter().zip(salvaged.events()) {
+            prop_assert_eq!(a, b);
+        }
+        // Strict reads agree with salvage about intact files and reject
+        // torn ones.
+        if cut == buf.len() {
+            prop_assert!(report.intact());
+            prop_assert!(read_trace(&buf[..cut]).is_ok());
+        } else {
+            prop_assert!(read_trace(&buf[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn v2_bit_flip_is_detected_and_salvage_stops_at_the_damaged_frame(
+        per_frame in 1u64..10,
+        frames in 1u64..6,
+        flip_seed in any::<u64>(),
+        bit in 0u8..8
+    ) {
+        let t = sample(per_frame * frames);
+        let mut buf = Vec::new();
+        write_trace_spool(&t, &mut buf, per_frame as usize).expect("spool");
+        let frame_bytes = FRAME_HEADER + per_frame as usize * RECORD;
+
+        // Flip one bit anywhere after the prelude: every such byte belongs
+        // to some frame's header or CRC-covered payload, so that frame —
+        // and only the file from that frame on — must be rejected.
+        let off = V2_HEADER + (flip_seed % (buf.len() - V2_HEADER) as u64) as usize;
+        buf[off] ^= 1 << bit;
+        let damaged_frame = (off - V2_HEADER) / frame_bytes;
+
+        prop_assert!(read_trace(&buf[..]).is_err(), "strict read must reject");
+        let file = ScratchFile::new("flip", flip_seed ^ u64::from(bit) << 32);
+        std::fs::write(file.path(), &buf).expect("write");
+        let (salvaged, report) = salvage_trace(file.path()).expect("salvage");
+        prop_assert_eq!(report.frames as usize, damaged_frame);
+        prop_assert_eq!(salvaged.len() as u64, damaged_frame as u64 * per_frame);
+        prop_assert!(report.bytes_dropped > 0);
+        for (a, b) in t.events().iter().zip(salvaged.events()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn v1_truncation_salvages_whole_records(
+        events in 1u64..200,
+        cut_seed in any::<u64>()
+    ) {
+        let t = sample(events);
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).expect("write v1");
+        let cut = V1_HEADER + (cut_seed % (buf.len() - V1_HEADER + 1) as u64) as usize;
+        let file = ScratchFile::new("v1", cut_seed);
+        std::fs::write(file.path(), &buf[..cut]).expect("write");
+
+        let whole = (cut - V1_HEADER) / RECORD;
+        let (salvaged, report) = salvage_trace(file.path()).expect("salvage");
+        prop_assert_eq!(report.version, 1);
+        prop_assert_eq!(salvaged.len(), whole);
+        prop_assert_eq!(report.bytes_dropped as usize, cut - V1_HEADER - whole * RECORD);
+        for (a, b) in t.events().iter().zip(salvaged.events()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+#[test]
+fn v2_and_v1_round_trip_identically() {
+    // The two formats are different containers for the same records: a
+    // trace written both ways reads back to the same event sequence.
+    let t = sample(500);
+    let mut v1 = Vec::new();
+    write_trace(&t, &mut v1).unwrap();
+    let mut v2 = Vec::new();
+    write_trace_spool(&t, &mut v2, 64).unwrap();
+    let a = read_trace(&v1[..]).unwrap();
+    let b = read_trace(&v2[..]).unwrap();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.events().iter().zip(b.events()) {
+        assert_eq!(x, y);
+    }
+}
