@@ -1,0 +1,256 @@
+//! Offline replay scaling: slot-sharded parallel analysis throughput.
+//!
+//! Sweeps worker count × batch size over one recorded trace and reports
+//! events/second for
+//!
+//! * the historical **per-event** sequential path (`on_access` loop) — the
+//!   baseline the batched path must not regress;
+//! * the **batched** sequential path (`Trace::replay`, `on_batch` blocks);
+//! * the **slot-sharded** parallel path (`analyze_trace_asymmetric`) with
+//!   coalescing on and off.
+//!
+//! Every mode must report the identical dependence count — the benchmark
+//! asserts it, so a run doubles as a coarse equivalence check (the precise
+//! one lives in `tests/parallel_replay_equivalence.rs`).
+//!
+//! Environment knobs: `BENCH_EVENTS` (trace length, default 400000),
+//! `BENCH_JOBS` (comma-separated sweep, default `1,2,4`), `BENCH_BATCH`
+//! (batch-size sweep, default `256,1024,4096`).
+
+use std::time::Instant;
+
+use lc_bench::{ascii_table, results_dir, save_csv, save_metrics};
+use lc_profiler::raw::AsymmetricDetector;
+use lc_profiler::{
+    analyze_trace_asymmetric, AccumConfig, AsymmetricProfiler, MetricsRegistry, ParReplayConfig,
+    ProfilerConfig,
+};
+use lc_sigmem::SignatureConfig;
+use lc_trace::{AccessEvent, AccessKind, AccessSink, FuncId, LoopId, StampedEvent, Trace};
+
+const THREADS: usize = 8;
+const SLOTS: usize = 1 << 16;
+const LOOPS: u32 = 8;
+const WORDS: u64 = 64;
+
+/// Producer/consumer trace with run structure: each thread writes a block
+/// of words, then sweeps its ring-neighbour's block — so runs of
+/// same-thread same-kind accesses exist for coalescing to fold, and a
+/// fixed fraction of reads carry a cross-thread RAW.
+fn synth_trace(events: u64) -> Trace {
+    let mut evs = Vec::with_capacity(events as usize);
+    let mut seq = 0u64;
+    while seq < events {
+        let round = seq / (2 * WORDS * THREADS as u64);
+        for tid in 0..THREADS as u32 {
+            let me = tid as u64 * WORDS;
+            let neighbour = ((tid as usize + 1) % THREADS) as u64 * WORDS;
+            let l = LoopId(1 + (round as u32 % LOOPS));
+            for w in 0..WORDS {
+                for (base, kind) in [(me, AccessKind::Write), (neighbour, AccessKind::Read)] {
+                    if seq >= events {
+                        break;
+                    }
+                    evs.push(StampedEvent {
+                        seq,
+                        event: AccessEvent {
+                            tid,
+                            addr: 0x1000 + (base + w) * 8,
+                            size: 8,
+                            kind,
+                            loop_id: l,
+                            parent_loop: LoopId::NONE,
+                            func: FuncId::NONE,
+                            site: 0,
+                        },
+                    });
+                    seq += 1;
+                }
+            }
+        }
+    }
+    Trace::new(evs)
+}
+
+fn make_profiler() -> AsymmetricProfiler {
+    AsymmetricProfiler::from_detector_with(
+        AsymmetricDetector::asymmetric(SignatureConfig::paper_default(SLOTS, THREADS)),
+        ProfilerConfig::nested(THREADS),
+        AccumConfig::default(),
+    )
+}
+
+/// Best-of-3 wall time; the measured closure returns the dependence count
+/// so every mode's result can be cross-checked.
+fn best_of_3(mut run: impl FnMut() -> (f64, u64)) -> (f64, u64) {
+    let mut best: Option<(f64, u64)> = None;
+    for _ in 0..3 {
+        let r = run();
+        if let Some(b) = best {
+            assert_eq!(b.1, r.1, "repeat runs saw different dependence counts");
+        }
+        if best.is_none_or(|b| r.0 < b.0) {
+            best = Some(r);
+        }
+    }
+    best.unwrap()
+}
+
+fn main() {
+    let events: u64 = std::env::var("BENCH_EVENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400_000);
+    let jobs_sweep: Vec<usize> = std::env::var("BENCH_JOBS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    let batch_sweep: Vec<usize> = std::env::var("BENCH_BATCH")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.parse().ok()).collect())
+        .unwrap_or_else(|| vec![256, 1024, 4096]);
+
+    let trace = synth_trace(events);
+    println!(
+        "\nOffline replay scaling: {} events, {} threads in trace \
+         (host has {} CPU(s) — above that, workers time-share)\n",
+        trace.len(),
+        THREADS,
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    // Baseline: the historical per-event sequential loop.
+    let (per_event_s, base_deps) = best_of_3(|| {
+        let p = make_profiler();
+        let t0 = Instant::now();
+        for ev in trace.access_events() {
+            p.on_access(ev);
+        }
+        p.flush();
+        (t0.elapsed().as_secs_f64(), p.dependencies())
+    });
+    let tput = |secs: f64| events as f64 / secs / 1e6;
+
+    // Batched sequential (`Trace::replay`): same stream, block delivery.
+    let (batched_s, batched_deps) = best_of_3(|| {
+        let p = make_profiler();
+        let t0 = Instant::now();
+        trace.replay(&p);
+        (t0.elapsed().as_secs_f64(), p.dependencies())
+    });
+    assert_eq!(base_deps, batched_deps, "batching changed detection");
+
+    let mut rows = vec![
+        vec![
+            "per-event".into(),
+            "1".into(),
+            "-".into(),
+            "off".into(),
+            format!("{:.2}", tput(per_event_s)),
+            base_deps.to_string(),
+        ],
+        vec![
+            "batched".into(),
+            "1".into(),
+            "1024".into(),
+            "off".into(),
+            format!("{:.2}", tput(batched_s)),
+            batched_deps.to_string(),
+        ],
+    ];
+
+    let mut reg = MetricsRegistry::new();
+    reg.gauge(
+        "loopcomm_bench_replay_events",
+        "Trace length used for the replay-scaling sweep",
+        events as f64,
+    );
+    reg.gauge(
+        "loopcomm_bench_replay_per_event_mev_s",
+        "Sequential per-event replay throughput, Mevents/s",
+        tput(per_event_s),
+    );
+    reg.gauge(
+        "loopcomm_bench_replay_batched_mev_s",
+        "Sequential batched replay throughput, Mevents/s",
+        tput(batched_s),
+    );
+
+    for &jobs in &jobs_sweep {
+        for &batch in &batch_sweep {
+            for coalesce in [false, true] {
+                let (secs, deps) = best_of_3(|| {
+                    let t0 = Instant::now();
+                    let a = analyze_trace_asymmetric(
+                        &trace,
+                        SignatureConfig::paper_default(SLOTS, THREADS),
+                        ProfilerConfig::nested(THREADS),
+                        AccumConfig::default(),
+                        &ParReplayConfig {
+                            jobs,
+                            coalesce,
+                            batch_events: batch,
+                        },
+                    );
+                    (t0.elapsed().as_secs_f64(), a.report.dependencies)
+                });
+                assert_eq!(base_deps, deps, "sharded replay changed detection");
+                rows.push(vec![
+                    "sharded".into(),
+                    jobs.to_string(),
+                    batch.to_string(),
+                    if coalesce { "on" } else { "off" }.into(),
+                    format!("{:.2}", tput(secs)),
+                    deps.to_string(),
+                ]);
+                reg.gauge(
+                    &format!(
+                        "loopcomm_bench_replay_sharded_mev_s_j{jobs}_b{batch}_c{}",
+                        u8::from(coalesce)
+                    ),
+                    "Slot-sharded replay throughput, Mevents/s",
+                    tput(secs),
+                );
+            }
+        }
+        eprintln!("  swept jobs={jobs}");
+    }
+
+    println!(
+        "{}",
+        ascii_table(
+            &["mode", "jobs", "batch", "coalesce", "Mev/s", "deps"],
+            &rows,
+        )
+    );
+    save_csv(
+        "replay_scaling.csv",
+        &["mode", "jobs", "batch", "coalesce", "mev_s", "deps"],
+        &rows,
+    );
+    save_metrics("replay_scaling.metrics.json", &reg);
+
+    // Baseline snapshot for regression tracking: the two headline numbers
+    // plus the acceptance ratio (batched sequential vs per-event — the
+    // "batching must not regress on one core" bar).
+    let ratio = per_event_s / batched_s;
+    let baseline = format!(
+        "{{\n  \"bench\": \"replay_scaling\",\n  \"events\": {events},\n  \
+         \"per_event_mev_s\": {:.4},\n  \"batched_mev_s\": {:.4},\n  \
+         \"batched_over_per_event\": {ratio:.4},\n  \"deps\": {base_deps}\n}}\n",
+        tput(per_event_s),
+        tput(batched_s),
+    );
+    let path = results_dir().join("BENCH_replay.json");
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, baseline) {
+        Ok(()) => println!("[baseline] {}", path.display()),
+        Err(e) => eprintln!("[baseline] failed to write {}: {e}", path.display()),
+    }
+    println!(
+        "\nbatched/per-event speed ratio: {ratio:.3}x \
+         (>= 0.95 keeps the single-core acceptance bar)"
+    );
+}

@@ -12,6 +12,8 @@
 //! * [`shards`] — the sharded accumulation layer the hot path runs
 //!   through: per-thread counters, epoch-flushed dependence delta buffers,
 //!   and the lock-free per-loop matrix registry.
+//! * [`parallel`] — partition-aware offline analysis: slot-sharded
+//!   parallel trace replay with exact merged results.
 //! * [`nested`] — the loop-tree report of Figures 6–7 with the Σ-children
 //!   invariant.
 //! * [`thread_load`] — the Eq. 1 quantitative metric of Figure 8.
@@ -39,6 +41,7 @@ pub mod matrix;
 pub mod matrix_sparse;
 pub mod nested;
 pub mod overhead;
+pub mod parallel;
 pub mod phases;
 pub mod profiler;
 pub mod raw;
@@ -56,6 +59,7 @@ pub use mapping::{greedy_mapping, MachineTopology, ThreadMapping};
 pub use matrix::{CommMatrix, DenseMatrix};
 pub use matrix_sparse::SparseCommMatrix;
 pub use nested::{verify_sum_invariant, NestedNode, NestedReport};
+pub use parallel::{analyze_trace_asymmetric, analyze_trace_perfect, ParAnalysis, ParReplayConfig};
 pub use phases::{detect_phases, Phase, PhaseAccumulator};
 pub use profiler::{
     AsymmetricProfiler, CommProfiler, FlushHealthSnapshot, PerfectProfiler, ProfileReport,

@@ -288,6 +288,13 @@ impl ShardSet {
         self.shard(tid).accesses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count `n` accesses on `tid`'s shard in one atomic add — the batched
+    /// sink path folds a same-thread run into a single counter update.
+    #[inline]
+    pub fn count_accesses(&self, tid: u32, n: u64) {
+        self.shard(tid).accesses.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Count and buffer one dependence on `tid`'s shard, flushing the
     /// shard's buffer into `target` at epoch boundaries.
     #[inline]

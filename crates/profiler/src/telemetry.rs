@@ -65,11 +65,13 @@ pub enum Stat {
     FlushPanic,
     /// Shards the explicit-flush watchdog skipped after a lock timeout.
     WatchdogTimeout,
+    /// Batched sink deliveries ([`lc_trace::AccessSink::on_batch`] calls).
+    SinkBatch,
 }
 
 impl Stat {
     /// Number of counters.
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 14;
 
     /// Every counter, in declaration (= exposition) order.
     pub const ALL: [Stat; Self::COUNT] = [
@@ -86,6 +88,7 @@ impl Stat {
         Stat::RegistryInsert,
         Stat::FlushPanic,
         Stat::WatchdogTimeout,
+        Stat::SinkBatch,
     ];
 
     /// Exposition name and help text.
@@ -139,6 +142,10 @@ impl Stat {
             Stat::WatchdogTimeout => (
                 "loopcomm_watchdog_timeout_total",
                 "Shards skipped by the explicit-flush watchdog",
+            ),
+            Stat::SinkBatch => (
+                "loopcomm_sink_batch_total",
+                "Batched sink deliveries (on_batch calls)",
             ),
         }
     }

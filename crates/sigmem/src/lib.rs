@@ -26,6 +26,7 @@ pub mod mem_model;
 pub mod murmur;
 pub mod perfect;
 pub mod read_signature;
+pub mod slot;
 pub mod traits;
 pub mod write_signature;
 
@@ -33,6 +34,7 @@ pub use concurrent_bloom::{BloomGeometry, ConcurrentBloom};
 pub use diagnostics::{BloomSaturation, SignatureHealth};
 pub use perfect::{PerfectReaderSet, PerfectWriterMap};
 pub use read_signature::ReadSignature;
+pub use slot::{slot_index, SlotRouter};
 pub use traits::{ReaderSet, WriterMap};
 pub use write_signature::WriteSignature;
 

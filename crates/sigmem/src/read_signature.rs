@@ -14,7 +14,6 @@
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 
 use crate::concurrent_bloom::{BloomGeometry, ConcurrentBloom};
-use crate::murmur::fmix64;
 use crate::traits::ReaderSet;
 
 /// The two-level concurrent read signature.
@@ -40,10 +39,11 @@ impl ReadSignature {
         }
     }
 
-    /// First-level slot index for an address.
+    /// First-level slot index for an address (the shared routing of
+    /// [`crate::slot`], so the replay partitioner can never disagree).
     #[inline]
     fn slot_index(&self, addr: u64) -> usize {
-        (fmix64(addr) % self.slots.len() as u64) as usize
+        crate::slot::slot_index(addr, self.slots.len())
     }
 
     /// Get the filter for `addr`, allocating (and racing to publish) it if

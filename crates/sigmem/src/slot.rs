@@ -1,0 +1,110 @@
+//! Hash-once slot routing — the single definition of "which signature slot
+//! does this address live in".
+//!
+//! Both signature halves index their first-level slot arrays with
+//! `fmix64(addr) % n_slots` (§IV-D2's MurmurHash indexing). The parallel
+//! replay partitioner must agree with that mapping *exactly*: slot-sharded
+//! replay is lossless only because every event that can touch a given slot
+//! is routed to the same worker (DESIGN.md §10). Centralizing the mapping
+//! here makes divergence a compile-time impossibility rather than a test
+//! failure, and lets callers that need both the slot and the worker derive
+//! them from one `fmix64` evaluation instead of two.
+
+use crate::murmur::fmix64;
+
+/// The slot an address maps to in an `n_slots`-entry signature.
+///
+/// This is the indexing function of both [`crate::ReadSignature`] and
+/// [`crate::WriteSignature`]; they call it rather than re-deriving it.
+#[inline]
+pub fn slot_index(addr: u64, n_slots: usize) -> usize {
+    debug_assert!(n_slots >= 1);
+    (fmix64(addr) % n_slots as u64) as usize
+}
+
+/// Hash-once router from addresses to signature slots and replay workers.
+///
+/// ```
+/// use lc_sigmem::SlotRouter;
+///
+/// let router = SlotRouter::new(1 << 12);
+/// let (slot, worker) = router.route(0xdead_beef, 4);
+/// assert_eq!(slot, router.slot(0xdead_beef));
+/// assert_eq!(worker, slot % 4);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotRouter {
+    n_slots: usize,
+}
+
+impl SlotRouter {
+    /// Router for an `n_slots`-entry signature pair.
+    pub fn new(n_slots: usize) -> Self {
+        assert!(n_slots >= 1);
+        Self { n_slots }
+    }
+
+    /// First-level slot count.
+    pub fn n_slots(&self) -> usize {
+        self.n_slots
+    }
+
+    /// The signature slot `addr` maps to.
+    #[inline]
+    pub fn slot(&self, addr: u64) -> usize {
+        slot_index(addr, self.n_slots)
+    }
+
+    /// The replay worker (of `jobs`) that owns `addr`'s slot. Workers own
+    /// the residue classes `slot ≡ w (mod jobs)`, so all traffic to one
+    /// slot lands on one worker.
+    #[inline]
+    pub fn worker(&self, addr: u64, jobs: usize) -> usize {
+        debug_assert!(jobs >= 1);
+        self.slot(addr) % jobs
+    }
+
+    /// Slot and worker from a single hash evaluation.
+    #[inline]
+    pub fn route(&self, addr: u64, jobs: usize) -> (usize, usize) {
+        let slot = self.slot(addr);
+        (slot, slot % jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_index_matches_signature_indexing() {
+        // The canonical mapping, spelled out: any drift here breaks the
+        // slot-sharded replay correctness argument.
+        for addr in [0u64, 1, 0x1000, u64::MAX, 0xdead_beef] {
+            assert_eq!(slot_index(addr, 1024), (fmix64(addr) % 1024) as usize);
+        }
+    }
+
+    #[test]
+    fn router_agrees_with_slot_index() {
+        let r = SlotRouter::new(1 << 10);
+        for addr in (0..1000u64).map(|i| i * 8 + 0x1000) {
+            assert_eq!(r.slot(addr), slot_index(addr, 1 << 10));
+            for jobs in 1..=8 {
+                let (slot, worker) = r.route(addr, jobs);
+                assert_eq!(slot, r.slot(addr));
+                assert_eq!(worker, slot % jobs);
+                assert_eq!(worker, r.worker(addr, jobs));
+                assert!(worker < jobs);
+            }
+        }
+    }
+
+    #[test]
+    fn one_job_routes_everything_to_worker_zero() {
+        let r = SlotRouter::new(64);
+        for addr in 0..100u64 {
+            assert_eq!(r.worker(addr, 1), 0);
+        }
+    }
+}

@@ -8,7 +8,6 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use crate::murmur::fmix64;
 use crate::traits::WriterMap;
 
 /// Sentinel meaning "no writer recorded"; thread ids are stored as `tid+1`.
@@ -29,9 +28,11 @@ impl WriteSignature {
         Self { slots }
     }
 
+    /// Slot index for an address (the shared routing of [`crate::slot`],
+    /// so the replay partitioner can never disagree).
     #[inline]
     fn slot_index(&self, addr: u64) -> usize {
-        (fmix64(addr) % self.slots.len() as u64) as usize
+        crate::slot::slot_index(addr, self.slots.len())
     }
 
     /// Number of slots.

@@ -42,7 +42,10 @@ pub use event::{AccessEvent, AccessKind, FuncId, LoopId, StampedEvent};
 pub use loops::{enter_func, enter_loop, FuncGuard, LoopGuard, LoopTable};
 pub use memory::{AddressSpace, TracedBuffer, Word};
 pub use registry::{current_tid, try_current_tid, ThreadGuard};
-pub use replay::{Trace, TraceStats};
+pub use replay::{
+    coalesce_events, CoalesceStats, ParReplayOptions, ParReplayStats, Trace, TraceStats,
+    REPLAY_BATCH_EVENTS,
+};
 pub use runtime::{run_threads, InstrumentedBarrier};
 pub use selective::{RegionFilter, SelectiveSink};
 pub use sink::{

@@ -120,6 +120,30 @@ impl<S: AccessSink> AccessSink for SelectiveSink<S> {
         }
     }
 
+    /// Forward maximal admitted runs as sub-blocks, so the inner sink keeps
+    /// its batch amortization even through the filter.
+    fn on_batch(&self, evs: &[AccessEvent]) {
+        let mut i = 0;
+        while i < evs.len() {
+            if self.filter.admits(&evs[i]) {
+                let mut j = i + 1;
+                while j < evs.len() && self.filter.admits(&evs[j]) {
+                    j += 1;
+                }
+                self.admitted.fetch_add((j - i) as u64, Ordering::Relaxed);
+                self.inner.on_batch(&evs[i..j]);
+                i = j;
+            } else {
+                let mut j = i + 1;
+                while j < evs.len() && !self.filter.admits(&evs[j]) {
+                    j += 1;
+                }
+                self.dropped.fetch_add((j - i) as u64, Ordering::Relaxed);
+                i = j;
+            }
+        }
+    }
+
     fn flush(&self) {
         self.inner.flush();
     }

@@ -239,7 +239,10 @@ fn read_up_to<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
 /// Core v2 frame reader. In salvage mode a damaged frame ends the read
 /// and the remaining bytes are counted; in strict mode it is an error.
 fn read_frames_inner<R: Read>(r: &mut R, salvage: bool) -> io::Result<(Trace, SalvageReport)> {
-    let mut events = Vec::new();
+    // Most spools hold at least one full frame; each subsequent frame's
+    // validated header reserves its exact event count below, so growth is
+    // one `reserve` per frame rather than a push-by-push cascade.
+    let mut events = Vec::with_capacity(DEFAULT_FRAME_EVENTS);
     let mut report = SalvageReport {
         version: VERSION_SPOOL,
         ..SalvageReport::default()
@@ -543,6 +546,33 @@ impl AccessSink for SpoolSink {
         };
         if let Some(batch) = full {
             self.send(batch);
+        }
+    }
+
+    /// Stamp the whole block with one atomic add and take the buffer lock
+    /// once, shipping any filled frames to the writer thread.
+    fn on_batch(&self, evs: &[AccessEvent]) {
+        if evs.is_empty() {
+            return;
+        }
+        let mut seq = self.seq.fetch_add(evs.len() as u64, Ordering::Relaxed);
+        let mut full = Vec::new();
+        {
+            let mut batch = self.batch.lock();
+            batch.reserve(evs.len().min(self.batch_events));
+            for ev in evs {
+                batch.push(StampedEvent { seq, event: *ev });
+                seq += 1;
+                if batch.len() >= self.batch_events {
+                    full.push(std::mem::replace(
+                        &mut *batch,
+                        Vec::with_capacity(self.batch_events),
+                    ));
+                }
+            }
+        }
+        for frame in full {
+            self.send(frame);
         }
     }
 

@@ -31,9 +31,12 @@ pub(crate) const VERSION: u32 = 1;
 pub(crate) const VERSION_SPOOL: u32 = 2;
 /// Bytes per serialized event.
 pub(crate) const RECORD_BYTES: usize = 41;
-/// Cap on the event `Vec` reserved up front from an untrusted count
-/// header (64 Ki events ≈ 2.6 MiB). Larger traces grow organically, so a
-/// corrupt count can no longer drive a huge preallocation.
+/// Cap on the event `Vec` reserved up front from an *untrusted* count
+/// header (64 Ki events ≈ 2.6 MiB). When the count has been validated
+/// against the stream length the reader reserves it exactly instead —
+/// one allocation, no growth cascade; this cap only bounds readers with
+/// no length to validate against (pipes, salvage), where a corrupt count
+/// must not drive a huge preallocation.
 const MAX_PREALLOC_EVENTS: usize = 1 << 16;
 
 /// Serialize one event as the 41-byte v1/v2 record.
@@ -160,7 +163,14 @@ fn read_v1_body<R: Read>(r: &mut R, stream_len: Option<u64>) -> io::Result<Trace
         }
     }
     let count = count as usize;
-    let mut events = Vec::with_capacity(count.min(MAX_PREALLOC_EVENTS));
+    // A count the stream length vouches for is reserved exactly; an
+    // unvalidated one stays capped.
+    let cap = if stream_len.is_some() {
+        count
+    } else {
+        count.min(MAX_PREALLOC_EVENTS)
+    };
+    let mut events = Vec::with_capacity(cap);
     let mut rec = [0u8; RECORD_BYTES];
     for _ in 0..count {
         r.read_exact(&mut rec)?;

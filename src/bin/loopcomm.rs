@@ -10,7 +10,7 @@
 //! loopcomm phases   <workload> [--threads N] [--size ...] [--window W]
 //! loopcomm report   <workload> <out.html> [--threads N] [--size ...]
 //! loopcomm record   <workload> <file.lctrace> [--threads N] [--size ...]
-//! loopcomm analyze  <file.lctrace> [--threads N] [--slots 2^k]
+//! loopcomm analyze  <file.lctrace> [--slots 2^k] [--jobs N] [--no-coalesce] [--perfect]
 //! loopcomm simulate <workload> [--threads N] [--size ...]
 //! loopcomm hotsites <workload> [--threads N] [--size ...]
 //! loopcomm deps     <workload> [--threads N] [--size ...]
@@ -32,6 +32,9 @@ struct Options {
     metrics: Option<String>,
     spool: bool,
     salvage: bool,
+    jobs: usize,
+    no_coalesce: bool,
+    perfect: bool,
     /// Hidden test hook: a fault-plan file armed on the profiler's flush
     /// seams and the spool writer (see `lc_faults`). Deliberately absent
     /// from the usage text — it exists for the fault-matrix tests and for
@@ -70,7 +73,12 @@ fn usage() -> ! {
          \x20 --spool          (record) write the crash-tolerant framed v2\n\
          \x20                  format: every flushed frame survives a crash\n\
          \x20 --salvage        (analyze) recover the longest valid prefix of\n\
-         \x20                  a truncated or corrupted trace instead of failing"
+         \x20                  a truncated or corrupted trace instead of failing\n\
+         \x20 --jobs N         (analyze) worker threads for slot-sharded\n\
+         \x20                  parallel replay (default 1; results identical)\n\
+         \x20 --no-coalesce    (analyze) disable the run-coalescing pre-pass\n\
+         \x20 --perfect        (analyze) exact perfect-signature baseline\n\
+         \x20                  detector instead of the asymmetric signatures"
     );
     std::process::exit(2);
 }
@@ -86,6 +94,9 @@ fn parse_options(args: &[String]) -> Options {
         metrics: None,
         spool: false,
         salvage: false,
+        jobs: 1,
+        no_coalesce: false,
+        perfect: false,
         fault_plan: None,
     };
     let mut it = args.iter();
@@ -107,6 +118,9 @@ fn parse_options(args: &[String]) -> Options {
             "--metrics" => o.metrics = Some(val()),
             "--spool" => o.spool = true,
             "--salvage" => o.salvage = true,
+            "--jobs" => o.jobs = val().parse().expect("--jobs N"),
+            "--no-coalesce" => o.no_coalesce = true,
+            "--perfect" => o.perfect = true,
             "--fault-plan" => o.fault_plan = Some(val()),
             "--size" => {
                 o.size = match val().as_str() {
@@ -429,31 +443,73 @@ fn run(cmd: &str, name: &str, args: &[String], o: &Options) {
                 stats.distinct_addrs,
                 stats.threads
             );
-            let profiler = AsymmetricProfiler::from_detector_with(
-                lc_profiler::AsymmetricDetector::asymmetric(SignatureConfig::paper_default(
-                    o.slots, threads,
-                )),
-                lc_profiler::ProfilerConfig {
-                    threads,
-                    track_nested: true,
-                    phase_window: None,
-                },
-                lc_profiler::AccumConfig {
-                    loop_capacity: o.loop_capacity,
-                    ..lc_profiler::AccumConfig::default()
-                },
+            println!(
+                "trace: {} reads, {} writes, {} bytes touched",
+                stats.reads, stats.writes, stats.bytes
             );
-            trace.replay(&profiler);
-            if let Some(e) = profiler.registry_overflow() {
+            let prof_cfg = lc_profiler::ProfilerConfig {
+                threads,
+                track_nested: true,
+                phase_window: None,
+            };
+            let accum = lc_profiler::AccumConfig {
+                loop_capacity: o.loop_capacity,
+                ..lc_profiler::AccumConfig::default()
+            };
+            let par = lc_profiler::ParReplayConfig {
+                jobs: o.jobs.max(1),
+                coalesce: !o.no_coalesce,
+                batch_events: lc_trace::REPLAY_BATCH_EVENTS,
+            };
+            let analysis = if o.perfect {
+                lc_profiler::analyze_trace_perfect(&trace, prof_cfg, accum, &par)
+            } else {
+                lc_profiler::analyze_trace_asymmetric(
+                    &trace,
+                    SignatureConfig::paper_default(o.slots, threads),
+                    prof_cfg,
+                    accum,
+                    &par,
+                )
+            };
+            if let Some(e) = analysis.overflow {
                 registry_full_error(e, o.loop_capacity);
             }
-            let r = profiler.report();
+            if analysis.degraded {
+                eprintln!("warning: degraded run (caught flush panic or watchdog timeout)");
+            }
+            let rep = &analysis.replay;
+            println!(
+                "replay: {} job(s), {} batch(es), {} event(s) analyzed \
+                 ({} folded away in {} coalesced run(s))",
+                rep.jobs,
+                rep.batches,
+                rep.replayed_events,
+                rep.coalesce.events_folded,
+                rep.coalesce.runs_folded
+            );
+            let r = &analysis.report;
             println!(
                 "RAW dependencies: {}  profiler memory: {}",
                 r.dependencies,
                 lc_profiler::report::fmt_bytes(r.memory_bytes as u64)
             );
             println!("\ncommunication matrix:\n{}", r.global.heatmap());
+            if let Some(path) = &o.metrics {
+                let mut reg = lc_profiler::MetricsRegistry::new();
+                reg.counter(
+                    "loopcomm_accesses_total",
+                    "Events the detectors processed",
+                    r.accesses,
+                );
+                reg.counter(
+                    "loopcomm_dependences_total",
+                    "RAW dependences recorded",
+                    r.dependencies,
+                );
+                analysis.export_into(&mut reg);
+                write_metrics(path, &reg);
+            }
         }
         "simulate" => {
             let topo = MachineTopology::dual_socket_xeon();

@@ -1,0 +1,227 @@
+//! Differential test: slot-sharded parallel replay is **byte-identical**
+//! to sequential replay.
+//!
+//! The partition argument (DESIGN.md §10): detector state couples only
+//! within an address class — the signature slot for the asymmetric
+//! detector, the exact address for the perfect baseline — so splitting a
+//! trace into per-class worker streams (each preserving temporal order)
+//! and summing the per-worker matrices must reproduce the sequential
+//! result exactly, for any worker count and with or without the
+//! run-coalescing pre-pass. These tests check that claim on recorded
+//! SPLASH-style workload traces and on adversarial random traces.
+
+use std::sync::Arc;
+
+use lc_profiler::{
+    analyze_trace_asymmetric, analyze_trace_perfect, AccumConfig, ParAnalysis, ParReplayConfig,
+    ProfilerConfig,
+};
+use lc_sigmem::SignatureConfig;
+use lc_trace::{
+    AccessEvent, AccessKind, FuncId, LoopId, RecordingSink, StampedEvent, Trace, TraceCtx,
+};
+use loopcomm::prelude::*;
+use proptest::prelude::*;
+
+const JOBS: [usize; 4] = [1, 2, 4, 8];
+
+fn record_workload(name: &str, threads: usize, seed: u64) -> Trace {
+    let rec = Arc::new(RecordingSink::new());
+    let ctx = TraceCtx::new(rec.clone(), threads);
+    by_name(name)
+        .expect("workload exists")
+        .run(&ctx, &RunConfig::new(threads, InputSize::SimDev, seed));
+    rec.finish()
+}
+
+/// Byte-identical matrices and dependence counts. Access counts are only
+/// comparable when neither side coalesced (coalescing changes how many
+/// events the detectors *see*, never what they detect).
+fn assert_same_profile(seq: &ParAnalysis, par: &ParAnalysis, what: &str) {
+    assert_eq!(
+        seq.report.global, par.report.global,
+        "{what}: global matrices diverge"
+    );
+    assert_eq!(
+        seq.report.dependencies, par.report.dependencies,
+        "{what}: dependence counts diverge"
+    );
+    assert_eq!(
+        seq.report.per_loop.len(),
+        par.report.per_loop.len(),
+        "{what}: per-loop key sets diverge"
+    );
+    for (id, m) in &seq.report.per_loop {
+        assert_eq!(
+            Some(m),
+            par.report.per_loop.get(id),
+            "{what}: loop {id:?} matrix diverges"
+        );
+    }
+}
+
+fn sweep_asymmetric(trace: &Trace, threads: usize, slots: usize) {
+    let sig = SignatureConfig::paper_default(slots, threads);
+    let prof = ProfilerConfig::nested(threads);
+    let seq = analyze_trace_asymmetric(
+        trace,
+        sig,
+        prof,
+        AccumConfig::default(),
+        &ParReplayConfig::sequential(),
+    );
+    for jobs in JOBS {
+        for coalesce in [false, true] {
+            let par = analyze_trace_asymmetric(
+                trace,
+                sig,
+                prof,
+                AccumConfig::default(),
+                &ParReplayConfig {
+                    jobs,
+                    coalesce,
+                    batch_events: 256,
+                },
+            );
+            let what = format!("asymmetric jobs={jobs} coalesce={coalesce}");
+            assert_same_profile(&seq, &par, &what);
+            if !coalesce {
+                assert_eq!(seq.report.accesses, par.report.accesses, "{what}");
+            } else {
+                assert_eq!(
+                    par.report.accesses + par.replay.coalesce.events_folded,
+                    seq.report.accesses,
+                    "{what}: folded events unaccounted"
+                );
+            }
+        }
+    }
+}
+
+fn sweep_perfect(trace: &Trace, threads: usize) {
+    let prof = ProfilerConfig::nested(threads);
+    let seq = analyze_trace_perfect(
+        trace,
+        prof,
+        AccumConfig::default(),
+        &ParReplayConfig::sequential(),
+    );
+    for jobs in JOBS {
+        for coalesce in [false, true] {
+            let par = analyze_trace_perfect(
+                trace,
+                prof,
+                AccumConfig::default(),
+                &ParReplayConfig {
+                    jobs,
+                    coalesce,
+                    batch_events: 256,
+                },
+            );
+            let what = format!("perfect jobs={jobs} coalesce={coalesce}");
+            assert_same_profile(&seq, &par, &what);
+        }
+    }
+}
+
+#[test]
+fn parallel_replay_matches_sequential_on_radix() {
+    let threads = 4;
+    let trace = record_workload("radix", threads, 7);
+    assert!(!trace.is_empty());
+    sweep_asymmetric(&trace, threads, 1 << 12);
+    sweep_perfect(&trace, threads);
+}
+
+#[test]
+fn parallel_replay_matches_sequential_on_fft() {
+    let threads = 4;
+    let trace = record_workload("fft", threads, 11);
+    sweep_asymmetric(&trace, threads, 1 << 12);
+    sweep_perfect(&trace, threads);
+}
+
+#[test]
+fn parallel_replay_matches_sequential_on_lu() {
+    let threads = 8;
+    let trace = record_workload("lu_cb", threads, 3);
+    sweep_asymmetric(&trace, threads, 1 << 10);
+    sweep_perfect(&trace, threads);
+}
+
+#[test]
+fn parallel_replay_matches_under_tiny_signature_aliasing() {
+    // A deliberately undersized signature maximizes slot sharing (heavy
+    // aliasing): partitioning must still be exact, because aliased
+    // addresses land in the *same* slot and therefore the same worker.
+    let threads = 4;
+    let trace = record_workload("radix", threads, 13);
+    sweep_asymmetric(&trace, threads, 1 << 6);
+}
+
+// ---- adversarial random traces ------------------------------------------
+
+const THREADS: u32 = 6;
+
+/// (tid, addr slot, is_write, loop tag) over a deliberately tiny address
+/// pool, so writer/reader interleavings and slot collisions are dense.
+fn arb_event() -> impl Strategy<Value = (u32, u64, bool, u32)> {
+    (0..THREADS, 0u64..24, any::<bool>(), 0..4u32)
+}
+
+fn script_to_trace(script: &[(u32, u64, bool, u32)]) -> Trace {
+    Trace::new(
+        script
+            .iter()
+            .enumerate()
+            .map(|(i, &(tid, slot, is_write, lp))| StampedEvent {
+                seq: i as u64,
+                event: AccessEvent {
+                    tid,
+                    addr: 0x1000 + slot * 8,
+                    size: 8,
+                    kind: if is_write {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    },
+                    loop_id: if lp == 0 { LoopId::NONE } else { LoopId(lp) },
+                    parent_loop: LoopId::NONE,
+                    func: FuncId::NONE,
+                    site: 0,
+                },
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    // Case count follows PROPTEST_CASES (shim default 128); each case
+    // sweeps 4 job counts × 2 coalescing modes × 2 detectors.
+    #[test]
+    fn random_traces_agree_under_any_partitioning(
+        script in prop::collection::vec(arb_event(), 1..300),
+    ) {
+        let trace = script_to_trace(&script);
+        let threads = THREADS as usize;
+        let prof = ProfilerConfig::nested(threads);
+        let sig = SignatureConfig::paper_default(1 << 8, threads);
+        let seq_p = analyze_trace_perfect(
+            &trace, prof, AccumConfig::default(), &ParReplayConfig::sequential());
+        let seq_a = analyze_trace_asymmetric(
+            &trace, sig, prof, AccumConfig::default(), &ParReplayConfig::sequential());
+        for jobs in JOBS {
+            for coalesce in [false, true] {
+                let cfg = ParReplayConfig { jobs, coalesce, batch_events: 64 };
+                let par_p = analyze_trace_perfect(
+                    &trace, prof, AccumConfig::default(), &cfg);
+                prop_assert_eq!(&seq_p.report.global, &par_p.report.global);
+                prop_assert_eq!(seq_p.report.dependencies, par_p.report.dependencies);
+                let par_a = analyze_trace_asymmetric(
+                    &trace, sig, prof, AccumConfig::default(), &cfg);
+                prop_assert_eq!(&seq_a.report.global, &par_a.report.global);
+                prop_assert_eq!(seq_a.report.dependencies, par_a.report.dependencies);
+            }
+        }
+    }
+}
