@@ -1,0 +1,37 @@
+//! Monotonic clock facade for the flush watchdog.
+//!
+//! The watchdog's deadline arithmetic runs on this clock instead of
+//! `std::time::Instant` directly so that, inside an `lc-sched` simulation,
+//! timeouts elapse in *virtual* time: a wedged lock holder costs zero
+//! wall-clock seconds to time out against, and the schedule (hence the
+//! outcome) is deterministic. Outside a simulation — or without the
+//! `sched` feature — this is a process-relative `Instant` and a real
+//! `thread::sleep`, exactly the previous behavior.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+fn real_now_micros() -> u64 {
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// Microseconds since an arbitrary process-relative origin (or the
+/// simulation's virtual clock when one is active on this thread).
+pub fn now_micros() -> u64 {
+    #[cfg(feature = "sched")]
+    if let Some(t) = lc_sched::virtual_now_us() {
+        return t;
+    }
+    real_now_micros()
+}
+
+/// Sleep for `us` microseconds — virtually (no wall-clock cost) inside a
+/// simulation, really otherwise.
+pub fn sleep_micros(us: u64) {
+    #[cfg(feature = "sched")]
+    if lc_sched::virtual_sleep_us(us) {
+        return;
+    }
+    std::thread::sleep(Duration::from_micros(us));
+}

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod classify;
+pub mod clock;
 pub mod deps;
 pub mod energy;
 pub mod mapping;
@@ -49,6 +50,7 @@ pub mod report;
 pub mod report_html;
 pub mod sampling;
 pub mod shards;
+pub mod sync;
 pub mod telemetry;
 pub mod thread_load;
 pub mod viz;

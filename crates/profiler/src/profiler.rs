@@ -60,7 +60,7 @@ impl ProfilerConfig {
 
 /// Counter accumulation: sharded per-thread or legacy shared atomics.
 enum Counters {
-    Sharded(ShardSet),
+    Sharded(Box<ShardSet>),
     Shared {
         accesses: AtomicU64,
         deps: AtomicU64,
@@ -202,7 +202,7 @@ impl<R: ReaderSet, W: WriterMap> CommProfiler<R, W> {
             .phase_window
             .map(|w| Mutex::new(PhaseAccumulator::new(config.threads, w)));
         let counters = if accum.sharded {
-            Counters::Sharded(ShardSet::new(config.threads, accum))
+            Counters::Sharded(Box::new(ShardSet::new(config.threads, accum)))
         } else {
             Counters::Shared {
                 accesses: AtomicU64::new(0),

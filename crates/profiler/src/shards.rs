@@ -33,16 +33,15 @@
 //! signature memory" property (quantified in DESIGN.md).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
 use crossbeam::utils::CachePadded;
 use lc_faults::{FaultInjector, FaultSite};
 use lc_trace::LoopId;
-use parking_lot::Mutex;
 
+use crate::clock;
 use crate::matrix::CommMatrix;
+use crate::sync::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Mutex, MutexGuard, Ordering};
 use crate::telemetry::{HistId, Stat, Telemetry};
 
 /// Accumulation-layer tunables, separate from the semantic
@@ -319,6 +318,21 @@ impl ShardSet {
             src,
             dst,
         );
+        // Fault mutant for the model checker: trade the blocking lock for
+        // a try_lock and silently drop the delta when the shard buffer is
+        // contended (e.g. by a concurrent explicit flush). The lossless
+        // flush oracle catches the missing bytes (DESIGN.md §11).
+        #[cfg(feature = "sched")]
+        if lc_sched::mutant_active("shards-drop-contended-delta") {
+            let Some(mut buf) = shard.buf.try_lock() else {
+                return;
+            };
+            buf.push(key, bytes);
+            if buf.needs_flush(&self.cfg) {
+                self.guarded_drain(&mut buf, target, tid);
+            }
+            return;
+        }
         let mut buf = shard.buf.lock();
         buf.push(key, bytes);
         if buf.needs_flush(&self.cfg) {
@@ -403,21 +417,24 @@ impl ShardSet {
     fn lock_with_watchdog<'m>(
         &self,
         m: &'m Mutex<DeltaBuffer>,
-    ) -> Option<parking_lot::MutexGuard<'m, DeltaBuffer>> {
+    ) -> Option<MutexGuard<'m, DeltaBuffer>> {
         if let Some(g) = m.try_lock() {
             return Some(g);
         }
-        let deadline = Instant::now() + Duration::from_millis(self.cfg.flush_timeout_ms);
-        let mut backoff = Duration::from_micros(50);
+        // The clock facade makes the deadline virtual inside an lc-sched
+        // simulation: a wedged holder times out deterministically and for
+        // free in wall-clock terms.
+        let deadline = clock::now_micros() + self.cfg.flush_timeout_ms * 1000;
+        let mut backoff_us = 50u64;
         loop {
-            std::thread::sleep(backoff);
+            clock::sleep_micros(backoff_us);
             if let Some(g) = m.try_lock() {
                 return Some(g);
             }
-            if Instant::now() >= deadline {
+            if clock::now_micros() >= deadline {
                 return None;
             }
-            backoff = (backoff * 2).min(Duration::from_millis(10));
+            backoff_us = (backoff_us * 2).min(10_000);
         }
     }
 
@@ -528,7 +545,7 @@ pub struct LoopRegistry {
     threads: usize,
     len: AtomicUsize,
     /// Latched by [`Self::get_or_insert_lossy`] on the first failed insert.
-    overflowed: std::sync::atomic::AtomicBool,
+    overflowed: AtomicBool,
     /// Deltas dropped (left unattributed per-loop) after the overflow.
     dropped: AtomicU64,
 }
@@ -545,7 +562,7 @@ impl LoopRegistry {
                 .collect(),
             threads,
             len: AtomicUsize::new(0),
-            overflowed: std::sync::atomic::AtomicBool::new(false),
+            overflowed: AtomicBool::new(false),
             dropped: AtomicU64::new(0),
         }
     }
@@ -600,8 +617,7 @@ impl LoopRegistry {
         match self.find_or_publish(id) {
             Ok(r) => Some(r),
             Err(_) => {
-                self.overflowed
-                    .store(true, std::sync::atomic::Ordering::Relaxed);
+                self.overflowed.store(true, Ordering::Relaxed);
                 self.dropped.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -612,7 +628,7 @@ impl LoopRegistry {
     /// lookup has overflowed the registry.
     pub fn overflow(&self) -> Option<RegistryFull> {
         self.overflowed
-            .load(std::sync::atomic::Ordering::Relaxed)
+            .load(Ordering::Relaxed)
             .then_some(RegistryFull {
                 capacity: self.slots.len(),
             })
@@ -733,7 +749,10 @@ impl LoopRegistry {
 
     /// Heap footprint: slot array plus published matrices.
     pub fn memory_bytes(&self) -> usize {
-        self.slots.len() * std::mem::size_of::<AtomicPtr<LoopSlot>>()
+        // 8 = the production size of one slot pointer, kept literal so the
+        // figure is unchanged when the `sched` feature swaps in the
+        // (physically larger) instrumented shim atomics.
+        self.slots.len() * 8
             + self
                 .iter()
                 .map(|(_, m)| m.memory_bytes() + std::mem::size_of::<LoopSlot>())
@@ -1073,7 +1092,7 @@ mod tests {
         let start = std::time::Instant::now();
         set.flush(tgt);
         assert!(
-            start.elapsed() >= Duration::from_millis(50),
+            start.elapsed() >= std::time::Duration::from_millis(50),
             "waited out the watchdog"
         );
         // Shard 0 drained; shard 1 was skipped and counted, not deadlocked.

@@ -1,0 +1,17 @@
+//! Sync-primitive facade for the shard flush path.
+//!
+//! With the `sched` feature the accumulation layer's atomics and the
+//! per-shard buffer mutex come from [`lc_sched::sync`], whose operations
+//! are scheduler decision points inside a deterministic simulation and
+//! delegate to the real primitives otherwise. Without the feature this is
+//! exactly the std atomics + `parking_lot::Mutex` the code always used.
+
+#[cfg(feature = "sched")]
+pub use lc_sched::sync::{
+    AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Mutex, MutexGuard, Ordering,
+};
+
+#[cfg(not(feature = "sched"))]
+pub use parking_lot::{Mutex, MutexGuard};
+#[cfg(not(feature = "sched"))]
+pub use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};

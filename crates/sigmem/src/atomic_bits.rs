@@ -8,9 +8,12 @@
 //! Memory-ordering note: all operations use `Relaxed`. The signature memory
 //! is an *approximate* set — a racy read that misses a concurrent insert is
 //! indistinguishable from the benign reordering the paper's design already
-//! tolerates, and no other memory is published through these bits.
+//! tolerates, and no other memory is published through these bits. What is
+//! NOT optional is the atomicity of `fetch_or` itself: a load+store split
+//! loses concurrent inserts, which the `bitvec-lost-update` mutant below
+//! demonstrates under the model checker (DESIGN.md §11).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 
 /// A fixed-size concurrent bit vector.
 #[derive(Debug)]
@@ -43,6 +46,15 @@ impl AtomicBitVec {
     pub fn set(&self, i: usize) -> bool {
         debug_assert!(i < self.n_bits);
         let mask = 1u64 << (i % 64);
+        // Fault mutant for the model checker: replace the atomic RMW with
+        // a load+store pair, losing concurrent inserts. Only reachable
+        // inside a simulation that asked for it; dead code otherwise.
+        #[cfg(feature = "sched")]
+        if lc_sched::mutant_active("bitvec-lost-update") {
+            let prev = self.words[i / 64].load(Ordering::Relaxed);
+            self.words[i / 64].store(prev | mask, Ordering::Relaxed);
+            return prev & mask != 0;
+        }
         let prev = self.words[i / 64].fetch_or(mask, Ordering::Relaxed);
         prev & mask != 0
     }

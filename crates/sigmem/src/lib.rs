@@ -27,6 +27,7 @@ pub mod murmur;
 pub mod perfect;
 pub mod read_signature;
 pub mod slot;
+pub mod sync;
 pub mod traits;
 pub mod write_signature;
 

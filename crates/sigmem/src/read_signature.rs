@@ -11,9 +11,8 @@
 //! so the footprint never depends on the profiled program's input size —
 //! the property Figures 5a/5b demonstrate.
 
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
-
 use crate::concurrent_bloom::{BloomGeometry, ConcurrentBloom};
+use crate::sync::{AtomicPtr, AtomicUsize, Ordering};
 use crate::traits::ReaderSet;
 
 /// The two-level concurrent read signature.
@@ -50,6 +49,38 @@ impl ReadSignature {
     /// absent. The losing allocation of a publish race is freed immediately.
     fn filter_or_insert(&self, addr: u64) -> &ConcurrentBloom {
         let slot = &self.slots[self.slot_index(addr)];
+        // Fault mutant for the model checker: publish and consume the
+        // filter pointer with `Relaxed` instead of release/acquire. Under
+        // real hardware a consumer could then observe the pointer before
+        // the filter's contents; the scheduler's vector-clock birth check
+        // reports exactly that missing happens-before edge (DESIGN.md §11).
+        #[cfg(feature = "sched")]
+        if lc_sched::mutant_active("readsig-relaxed-publish") {
+            let p = slot.load(Ordering::Relaxed);
+            if !p.is_null() {
+                // Safety: mutant mirrors the correct path's lifetime rules.
+                return unsafe { &*p };
+            }
+            let fresh = Box::into_raw(Box::new(ConcurrentBloom::new(self.geometry)));
+            return match slot.compare_exchange(
+                std::ptr::null_mut(),
+                fresh,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.allocated.fetch_add(1, Ordering::Relaxed);
+                    // Safety: we just published `fresh`.
+                    unsafe { &*fresh }
+                }
+                Err(winner) => {
+                    // Safety: `fresh` was never shared; reclaim it.
+                    drop(unsafe { Box::from_raw(fresh) });
+                    // Safety: `winner` is the published pointer.
+                    unsafe { &*winner }
+                }
+            };
+        }
         let p = slot.load(Ordering::Acquire);
         if !p.is_null() {
             // Safety: a non-null pointer was published by a release-CAS after
@@ -162,7 +193,10 @@ impl ReaderSet for ReadSignature {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.slots.len() * std::mem::size_of::<AtomicPtr<ConcurrentBloom>>()
+        // 8 = the production size of one slot pointer. Kept literal so the
+        // figure matches Eq. 2 even when the `sched` feature swaps in the
+        // (physically larger) instrumented shim atomics.
+        self.slots.len() * 8
             + self.allocated_filters()
                 * (self.geometry.bytes_per_filter() + std::mem::size_of::<ConcurrentBloom>())
     }

@@ -1,0 +1,14 @@
+//! Sync-primitive facade for the concurrency core.
+//!
+//! With the `sched` feature the signature memory's atomics come from
+//! [`lc_sched::sync`], whose operations are scheduler decision points
+//! inside a deterministic simulation and plain std atomics otherwise.
+//! Without the feature this module IS `std::sync::atomic` — zero cost,
+//! zero behavior change. Mirrors how `shims/` stands in for crossbeam
+//! and parking_lot: swap the provider, keep the call sites.
+
+#[cfg(feature = "sched")]
+pub use lc_sched::sync::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+#[cfg(not(feature = "sched"))]
+pub use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};

@@ -6,8 +6,7 @@
 //! alias each other — this is the controlled false-positive source whose
 //! rate §V-A3 sweeps against signature size.
 
-use std::sync::atomic::{AtomicU32, Ordering};
-
+use crate::sync::{AtomicU32, Ordering};
 use crate::traits::WriterMap;
 
 /// Sentinel meaning "no writer recorded"; thread ids are stored as `tid+1`.

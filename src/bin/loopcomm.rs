@@ -14,6 +14,9 @@
 //! loopcomm simulate <workload> [--threads N] [--size ...]
 //! loopcomm hotsites <workload> [--threads N] [--size ...]
 //! loopcomm deps     <workload> [--threads N] [--size ...]
+//! loopcomm simtest  <scenario|all|list> [--explore N] [--seed S]
+//!                   [--max-preemptions N|none] [--max-schedules N]
+//!                   [--mutant NAME] [--trace-out PATH]
 //! ```
 
 use std::sync::Arc;
@@ -40,6 +43,29 @@ struct Options {
     /// from the usage text — it exists for the fault-matrix tests and for
     /// reproducing failures, not for routine profiling.
     fault_plan: Option<String>,
+    #[cfg(feature = "sched")]
+    sim: SimtestOptions,
+}
+
+/// Options specific to `loopcomm simtest` (the model-checking harness).
+#[cfg(feature = "sched")]
+#[derive(Default)]
+struct SimtestOptions {
+    /// `--explore N`: run N seeded random schedules instead of the
+    /// default bounded-exhaustive DFS.
+    explore: Option<u64>,
+    /// `--max-preemptions N|none`: override the scenario's suggested
+    /// preemption bound. Outer `None` = use the scenario default;
+    /// `Some(None)` = unbounded.
+    preemptions: Option<Option<usize>>,
+    /// `--max-schedules N`: exhaustive-exploration safety valve.
+    max_schedules: Option<u64>,
+    /// `--mutant NAME` (repeatable): activate seeded mutants inside the
+    /// simulation — the harness is then expected to FIND a violation.
+    mutants: Vec<String>,
+    /// `--trace-out PATH`: append failing decision traces here (one
+    /// `scenario=...;choices=...` line each) for artifact upload.
+    trace_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -60,6 +86,10 @@ fn usage() -> ! {
          \x20 simulate <workload>    MESI cache simulation of mappings\n\
          \x20 hotsites <workload>    hottest source access sites\n\
          \x20 deps     <workload>    full RAW/WAR/WAW/RAR taxonomy\n\
+         \x20 simtest  <scenario>    deterministic model checking of the\n\
+         \x20                        concurrency core (`all` runs every\n\
+         \x20                        scenario, `list` enumerates them);\n\
+         \x20                        needs the default `sched` feature\n\
          \n\
          options:\n\
          \x20 --threads N      worker threads (default 8)\n\
@@ -78,7 +108,14 @@ fn usage() -> ! {
          \x20                  parallel replay (default 1; results identical)\n\
          \x20 --no-coalesce    (analyze) disable the run-coalescing pre-pass\n\
          \x20 --perfect        (analyze) exact perfect-signature baseline\n\
-         \x20                  detector instead of the asymmetric signatures"
+         \x20                  detector instead of the asymmetric signatures\n\
+         \x20 --explore N      (simtest) N seeded random schedules instead of\n\
+         \x20                  bounded-exhaustive DFS (seeded by --seed)\n\
+         \x20 --max-preemptions N|none  (simtest) preemption bound override\n\
+         \x20 --max-schedules N  (simtest) exhaustive-exploration safety valve\n\
+         \x20 --mutant NAME    (simtest, repeatable) arm a seeded mutant; the\n\
+         \x20                  run then must FIND a violation (exit 1)\n\
+         \x20 --trace-out PATH (simtest) append failing decision traces here"
     );
     std::process::exit(2);
 }
@@ -98,6 +135,8 @@ fn parse_options(args: &[String]) -> Options {
         no_coalesce: false,
         perfect: false,
         fault_plan: None,
+        #[cfg(feature = "sched")]
+        sim: SimtestOptions::default(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -122,6 +161,25 @@ fn parse_options(args: &[String]) -> Options {
             "--no-coalesce" => o.no_coalesce = true,
             "--perfect" => o.perfect = true,
             "--fault-plan" => o.fault_plan = Some(val()),
+            #[cfg(feature = "sched")]
+            "--explore" => o.sim.explore = Some(val().parse().expect("--explore N")),
+            #[cfg(feature = "sched")]
+            "--max-preemptions" => {
+                let v = val();
+                o.sim.preemptions = Some(if v == "none" {
+                    None
+                } else {
+                    Some(v.parse().expect("--max-preemptions N|none"))
+                });
+            }
+            #[cfg(feature = "sched")]
+            "--max-schedules" => {
+                o.sim.max_schedules = Some(val().parse().expect("--max-schedules N"))
+            }
+            #[cfg(feature = "sched")]
+            "--mutant" => o.sim.mutants.push(val()),
+            #[cfg(feature = "sched")]
+            "--trace-out" => o.sim.trace_out = Some(val()),
             "--size" => {
                 o.size = match val().as_str() {
                     "simdev" => InputSize::SimDev,
@@ -246,6 +304,119 @@ fn write_metrics(path: &str, reg: &lc_profiler::MetricsRegistry) {
         std::process::exit(1);
     });
     println!("wrote metrics       : {path}");
+}
+
+/// `loopcomm simtest <scenario|all|list>` — deterministic model checking
+/// of the concurrency core (see DESIGN.md §11). Exhaustive bounded DFS by
+/// default, `--explore N` for seeded random schedules; prints per-scenario
+/// schedule counts and, on a violation, the (minimized) decision trace.
+/// Exits 1 if any scenario's oracle is violated.
+#[cfg(feature = "sched")]
+fn simtest_cmd(name: &str, o: &Options) {
+    use loopcomm::simtest;
+
+    if name == "list" {
+        println!("model-checking scenarios:");
+        for s in simtest::scenarios() {
+            println!("  {:<10} {}", s.name, s.about);
+            if !s.catchable_mutants.is_empty() {
+                println!(
+                    "             catches mutants: {}",
+                    s.catchable_mutants.join(", ")
+                );
+            }
+        }
+        return;
+    }
+    let scenarios: Vec<&simtest::Scenario> = if name == "all" {
+        simtest::scenarios().iter().collect()
+    } else {
+        vec![simtest::find(name).unwrap_or_else(|| {
+            eprintln!("unknown scenario `{name}` — try `loopcomm simtest list`");
+            std::process::exit(2);
+        })]
+    };
+
+    let mut violated = false;
+    for s in scenarios {
+        let defaults = lc_sched::SimConfig::default();
+        let cfg = lc_sched::SimConfig {
+            max_preemptions: o.sim.preemptions.unwrap_or(s.default_preemption_bound),
+            max_schedules: o.sim.max_schedules.unwrap_or(defaults.max_schedules),
+            mutants: o.sim.mutants.clone(),
+            ..defaults
+        };
+        let bound = match cfg.max_preemptions {
+            Some(p) => format!("preemption bound {p}"),
+            None => "unbounded".to_string(),
+        };
+        let explorer = lc_sched::Explorer::new(cfg);
+        let (mode, report) = match o.sim.explore {
+            Some(n) => (
+                format!("random x{n} (seed {})", o.seed),
+                explorer.explore_random(o.seed, n, || s.run()),
+            ),
+            None => (
+                "exhaustive".to_string(),
+                explorer.explore_exhaustive(|| s.run()),
+            ),
+        };
+        println!(
+            "{:<10} {mode}, {bound}: {} schedule(s), <={} decision point(s), <={} step(s){}",
+            s.name,
+            report.schedules,
+            report.max_decisions,
+            report.max_steps_seen,
+            if report.truncated {
+                "  [TRUNCATED]"
+            } else {
+                ""
+            },
+        );
+        if let Some(v) = &report.violation {
+            violated = true;
+            eprintln!(
+                "VIOLATION in `{}` at schedule #{}: {:?}: {}",
+                s.name, v.schedule_index, v.kind, v.message
+            );
+            eprintln!("  trace     : {}", v.trace.to_line());
+            if let Some(m) = &v.minimized {
+                eprintln!("  minimized : {}", m.to_line());
+            }
+            if let Some(path) = &o.sim.trace_out {
+                use std::io::Write as _;
+                let mut f = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot open trace file `{path}`: {e}");
+                        std::process::exit(1);
+                    });
+                let repro = v.minimized.as_ref().unwrap_or(&v.trace);
+                writeln!(
+                    f,
+                    "scenario={};kind={:?};{}",
+                    s.name,
+                    v.kind,
+                    repro.to_line()
+                )
+                .expect("write trace line");
+                println!("  wrote repro trace -> {path}");
+            }
+        }
+    }
+    if violated {
+        std::process::exit(1);
+    }
+    if !o.sim.mutants.is_empty() {
+        // An armed mutant that no oracle catches is itself a harness
+        // defect; make the run loudly distinguishable from a clean one.
+        println!(
+            "note: mutant(s) [{}] armed but no violation found",
+            o.sim.mutants.join(", ")
+        );
+    }
 }
 
 fn main() {
@@ -597,6 +768,16 @@ fn run(cmd: &str, name: &str, args: &[String], o: &Options) {
                     t.bytes, t.reads, t.writes
                 );
             }
+        }
+        #[cfg(feature = "sched")]
+        "simtest" => simtest_cmd(name, o),
+        #[cfg(not(feature = "sched"))]
+        "simtest" => {
+            eprintln!(
+                "`loopcomm simtest` requires the `sched` feature (on by default; \
+                 this binary was built with --no-default-features)"
+            );
+            std::process::exit(2);
         }
         "phases" => {
             let (p, _ctx) = profile(name, o, Some(o.window));

@@ -50,6 +50,9 @@ pub use lc_sigmem;
 pub use lc_trace;
 pub use lc_workloads;
 
+#[cfg(feature = "sched")]
+pub mod simtest;
+
 /// Everything needed for typical profiling sessions.
 pub mod prelude {
     pub use lc_profiler::{

@@ -6,6 +6,12 @@
 //! ```
 //!
 //! and review the diff under `tests/golden/` like any other code change.
+//!
+//! CI also runs the regeneration path into a scratch directory
+//! (`GOLDEN_DIR=$RUNNER_TEMP/golden UPDATE_GOLDEN=1`) and diffs the result
+//! against `tests/golden/` — so a renderer change that silently produces
+//! different bytes fails the job even if someone also updated the goldens
+//! without review.
 
 use std::path::PathBuf;
 
@@ -14,9 +20,14 @@ use lc_profiler::{HistId, MergedHist, MetricsRegistry, Stat, Telemetry, Telemetr
 use lc_trace::AccessKind;
 
 fn golden_path(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/golden")
-        .join(name)
+    // GOLDEN_DIR redirects reads *and* writes — the CI drift guard points
+    // it at a scratch directory, regenerates with UPDATE_GOLDEN=1, and
+    // diffs the scratch tree against the committed one.
+    let dir = match std::env::var_os("GOLDEN_DIR") {
+        Some(d) => PathBuf::from(d),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden"),
+    };
+    dir.join(name)
 }
 
 fn assert_golden(name: &str, actual: &str) {

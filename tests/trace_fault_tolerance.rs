@@ -181,6 +181,74 @@ proptest! {
 }
 
 #[test]
+fn salvage_of_zero_length_file_is_a_clean_error() {
+    // No prelude at all: salvage cannot even identify the format. That is
+    // a clean `Err`, never a panic — and strict read agrees.
+    let file = ScratchFile::new("empty", 0);
+    std::fs::write(file.path(), b"").expect("write");
+    assert!(salvage_trace(file.path()).is_err());
+    assert!(read_trace(&b""[..]).is_err());
+}
+
+#[test]
+fn salvage_of_header_only_spool_recovers_zero_events() {
+    // A spool that crashed before framing anything: just the 8-byte v2
+    // prelude. Everything durable (nothing) is recovered, nothing is
+    // reported dropped, and the file counts as intact.
+    let t = sample(0);
+    let mut buf = Vec::new();
+    write_trace_spool(&t, &mut buf, 4).expect("spool");
+    assert_eq!(buf.len(), V2_HEADER);
+    let file = ScratchFile::new("header_only", 0);
+    std::fs::write(file.path(), &buf).expect("write");
+    let (salvaged, report) = salvage_trace(file.path()).expect("salvage");
+    assert_eq!(salvaged.len(), 0);
+    assert_eq!(report.frames, 0);
+    assert_eq!(report.events, 0);
+    assert_eq!(report.bytes_dropped, 0);
+    assert!(report.intact());
+}
+
+#[test]
+fn final_frame_cut_at_every_byte_offset_recovers_the_whole_frame_prefix() {
+    // Exhaustive truncation: a two-frame spool (2 events per frame) cut at
+    // *every* byte offset from the prelude to one byte short of the full
+    // file. At each cut, salvage must recover exactly the whole frames
+    // that precede the cut — byte-exact events, correct drop accounting,
+    // and never a panic. This pins the frame-boundary arithmetic the
+    // randomized truncation test can only sample.
+    const PER_FRAME: usize = 2;
+    let t = sample(2 * PER_FRAME as u64);
+    let mut buf = Vec::new();
+    write_trace_spool(&t, &mut buf, PER_FRAME).expect("spool");
+    let frame_bytes = FRAME_HEADER + PER_FRAME * RECORD;
+    assert_eq!(buf.len(), V2_HEADER + 2 * frame_bytes);
+
+    for cut in V2_HEADER..buf.len() {
+        let file = ScratchFile::new("exhaustive_cut", cut as u64);
+        std::fs::write(file.path(), &buf[..cut]).expect("write");
+        let (salvaged, report) = salvage_trace(file.path())
+            .unwrap_or_else(|e| panic!("salvage must not fail at cut {cut}: {e}"));
+        let whole_frames = (cut - V2_HEADER) / frame_bytes;
+        assert_eq!(report.frames as usize, whole_frames, "at cut {cut}");
+        assert_eq!(salvaged.len(), whole_frames * PER_FRAME, "at cut {cut}");
+        assert_eq!(
+            report.bytes_dropped as usize,
+            cut - V2_HEADER - whole_frames * frame_bytes,
+            "at cut {cut}"
+        );
+        // A cut exactly on a frame boundary leaves no torn bytes — the
+        // shorter file is indistinguishable from a clean earlier shutdown
+        // and rightly reports intact; any mid-frame cut must not.
+        let on_boundary = (cut - V2_HEADER) % frame_bytes == 0;
+        assert_eq!(report.intact(), on_boundary, "at cut {cut}");
+        for (a, b) in t.events().iter().zip(salvaged.events()) {
+            assert_eq!(a, b, "at cut {cut}");
+        }
+    }
+}
+
+#[test]
 fn v2_and_v1_round_trip_identically() {
     // The two formats are different containers for the same records: a
     // trace written both ways reads back to the same event sequence.
