@@ -449,6 +449,16 @@ impl<R: ReaderSet, W: WriterMap> CommProfiler<R, W> {
     }
 }
 
+/// Events per batched-delivery tile: addresses are gathered and hashed
+/// in blocks of this size before detection. Sized so the two scratch
+/// arrays (4 KiB) stay comfortably in L1 next to the tile's events.
+const TILE: usize = 256;
+
+/// How many events ahead of the detection cursor signature slot lines
+/// are prefetched. Far enough to cover an L2 hit, near enough that the
+/// lines survive in L1 until the probe lands.
+const PREFETCH_AHEAD: usize = 8;
+
 impl<R: ReaderSet, W: WriterMap> CommProfiler<R, W> {
     /// Metrics-on access path: probe the detector, classify the outcome,
     /// and time the detect/accumulate stages for one access in
@@ -558,11 +568,25 @@ impl<R: ReaderSet, W: WriterMap> AccessSink for CommProfiler<R, W> {
         }
     }
 
-    /// Native batched delivery. Detection is still strictly per event in
-    /// stream order (Algorithm 1 is stateful), but the counter traffic is
-    /// amortized: one shard add per same-thread run on the sharded path, one
-    /// shared `fetch_add` per block on the legacy path. The resulting
-    /// report is byte-identical to per-event delivery.
+    /// Native batched delivery — the hot loop the replay throughput target
+    /// lives in (DESIGN.md §12). Detection is still strictly per event in
+    /// stream order (Algorithm 1 is stateful), but per-event overheads are
+    /// amortized at tile granularity:
+    ///
+    /// * addresses are gathered from the SoA block and hashed `fmix64`-four-
+    ///   at-a-time via [`lc_sigmem::hash_block`], and each event's hash is
+    ///   reused by *all* of its signature consultations
+    ///   ([`RawDetector::on_access_hashed`]);
+    /// * signature slot lines are software-prefetched
+    ///   [`PREFETCH_AHEAD`] events ahead, so the dependent loads of
+    ///   Algorithm 1 land on warm lines;
+    /// * counter traffic stays batched: one shard add per same-thread run on
+    ///   the sharded path, one shared `fetch_add` per block on the legacy
+    ///   path.
+    ///
+    /// The resulting report is byte-identical to per-event delivery — the
+    /// `batched_hot_path` and `sharded_equivalence` differential suites pin
+    /// exactly that.
     fn on_batch(&self, evs: &[AccessEvent]) {
         if evs.is_empty() {
             return;
@@ -574,50 +598,78 @@ impl<R: ReaderSet, W: WriterMap> AccessSink for CommProfiler<R, W> {
             }
             return;
         }
+        let mut addrs = [0u64; TILE];
+        let mut hashes = [0u64; TILE];
         match &self.counters {
             Counters::Sharded(s) => {
-                let mut i = 0;
-                while i < evs.len() {
-                    let tid = evs[i].tid;
-                    let mut j = i + 1;
-                    while j < evs.len() && evs[j].tid == tid {
-                        j += 1;
+                for tile in evs.chunks(TILE) {
+                    let n = tile.len();
+                    for (a, ev) in addrs[..n].iter_mut().zip(tile) {
+                        *a = ev.addr;
                     }
-                    s.count_accesses(tid, (j - i) as u64);
-                    for ev in &evs[i..j] {
-                        if let Some(dep) =
-                            self.detector.on_access(ev.tid, ev.addr, ev.size, ev.kind)
-                        {
-                            s.record_dep(
-                                ev.tid,
-                                ev.loop_id,
-                                dep.src,
-                                dep.dst,
-                                dep.bytes,
-                                self.flush_target(),
-                            );
-                            if let Some(p) = &self.phases {
-                                p.lock().add(dep.src, dep.dst, dep.bytes);
+                    lc_sigmem::hash_block(&addrs[..n], &mut hashes[..n]);
+                    let mut i = 0;
+                    while i < n {
+                        let tid = tile[i].tid;
+                        let mut j = i + 1;
+                        while j < n && tile[j].tid == tid {
+                            j += 1;
+                        }
+                        s.count_accesses(tid, (j - i) as u64);
+                        for k in i..j {
+                            if let Some(&h) = hashes[..n].get(k + PREFETCH_AHEAD) {
+                                self.detector.prefetch(h);
+                            }
+                            let ev = &tile[k];
+                            if let Some(dep) = self
+                                .detector
+                                .on_access_hashed(ev.tid, ev.addr, hashes[k], ev.size, ev.kind)
+                            {
+                                s.record_dep(
+                                    ev.tid,
+                                    ev.loop_id,
+                                    dep.src,
+                                    dep.dst,
+                                    dep.bytes,
+                                    self.flush_target(),
+                                );
+                                if let Some(p) = &self.phases {
+                                    p.lock().add(dep.src, dep.dst, dep.bytes);
+                                }
                             }
                         }
+                        i = j;
                     }
-                    i = j;
                 }
             }
             Counters::Shared { accesses, deps } => {
                 accesses.fetch_add(evs.len() as u64, Ordering::Relaxed);
                 let mut found = 0u64;
-                for ev in evs {
-                    if let Some(dep) = self.detector.on_access(ev.tid, ev.addr, ev.size, ev.kind) {
-                        found += 1;
-                        self.global.add(dep.src, dep.dst, dep.bytes);
-                        if self.config.track_nested {
-                            if let Some((m, _, _)) = self.loops.get_or_insert_lossy(ev.loop_id) {
-                                m.add(dep.src, dep.dst, dep.bytes);
-                            }
+                for tile in evs.chunks(TILE) {
+                    let n = tile.len();
+                    for (a, ev) in addrs[..n].iter_mut().zip(tile) {
+                        *a = ev.addr;
+                    }
+                    lc_sigmem::hash_block(&addrs[..n], &mut hashes[..n]);
+                    for (k, ev) in tile.iter().enumerate() {
+                        if let Some(&h) = hashes[..n].get(k + PREFETCH_AHEAD) {
+                            self.detector.prefetch(h);
                         }
-                        if let Some(p) = &self.phases {
-                            p.lock().add(dep.src, dep.dst, dep.bytes);
+                        if let Some(dep) = self
+                            .detector
+                            .on_access_hashed(ev.tid, ev.addr, hashes[k], ev.size, ev.kind)
+                        {
+                            found += 1;
+                            self.global.add(dep.src, dep.dst, dep.bytes);
+                            if self.config.track_nested {
+                                if let Some((m, _, _)) = self.loops.get_or_insert_lossy(ev.loop_id)
+                                {
+                                    m.add(dep.src, dep.dst, dep.bytes);
+                                }
+                            }
+                            if let Some(p) = &self.phases {
+                                p.lock().add(dep.src, dep.dst, dep.bytes);
+                            }
                         }
                     }
                 }

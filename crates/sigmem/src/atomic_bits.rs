@@ -15,6 +15,24 @@
 
 use crate::sync::{AtomicU64, Ordering};
 
+/// Atomically OR `mask` into `word`, returning whether any masked bit was
+/// already set. The single definition of "set a signature bit", shared by
+/// [`AtomicBitVec`] and the arena-backed filter storage of [`crate::slot`]
+/// so the `bitvec-lost-update` fault mutant covers both.
+#[inline]
+pub(crate) fn fetch_or_bit(word: &AtomicU64, mask: u64) -> bool {
+    // Fault mutant for the model checker: replace the atomic RMW with a
+    // load+store pair, losing concurrent inserts. Only reachable inside a
+    // simulation that asked for it; dead code otherwise.
+    #[cfg(feature = "sched")]
+    if lc_sched::mutant_active("bitvec-lost-update") {
+        let prev = word.load(Ordering::Relaxed);
+        word.store(prev | mask, Ordering::Relaxed);
+        return prev & mask != 0;
+    }
+    word.fetch_or(mask, Ordering::Relaxed) & mask != 0
+}
+
 /// A fixed-size concurrent bit vector.
 #[derive(Debug)]
 pub struct AtomicBitVec {
@@ -45,18 +63,7 @@ impl AtomicBitVec {
     #[inline]
     pub fn set(&self, i: usize) -> bool {
         debug_assert!(i < self.n_bits);
-        let mask = 1u64 << (i % 64);
-        // Fault mutant for the model checker: replace the atomic RMW with
-        // a load+store pair, losing concurrent inserts. Only reachable
-        // inside a simulation that asked for it; dead code otherwise.
-        #[cfg(feature = "sched")]
-        if lc_sched::mutant_active("bitvec-lost-update") {
-            let prev = self.words[i / 64].load(Ordering::Relaxed);
-            self.words[i / 64].store(prev | mask, Ordering::Relaxed);
-            return prev & mask != 0;
-        }
-        let prev = self.words[i / 64].fetch_or(mask, Ordering::Relaxed);
-        prev & mask != 0
+        fetch_or_bit(&self.words[i / 64], 1u64 << (i % 64))
     }
 
     /// Read bit `i`.

@@ -9,28 +9,93 @@
 //! `t` elements at the user's requested rate.
 
 use crate::atomic_bits::AtomicBitVec;
-use crate::bloom::{derived_hash, optimal_bits, optimal_hashes};
+use crate::bloom::{derived_from, hash_pair, optimal_bits, optimal_hashes};
+
+/// Largest block size (in bits) a filter is carved into: one 64-byte cache
+/// line. All `k` probes of one operation land inside a single block, so an
+/// insert or query touches exactly one line of filter storage no matter how
+/// large the filter grows (the cache-line-local Bloom layout; DESIGN.md §12).
+pub const BLOOM_BLOCK_BITS: usize = 512;
 
 /// Geometry shared by every second-level filter of one read signature.
+///
+/// Filters are **blocked**: `m_bits` is split into `m_bits / block_bits`
+/// contiguous blocks of `block_bits` bits each (`block_bits` is a power of
+/// two ≤ [`BLOOM_BLOCK_BITS`], so in-block reduction is a mask, not a
+/// division). An item's block is chosen from the high bits of its first
+/// base hash; its `k` probe bits stride within that one block
+/// (Kirsch–Mitzenmacher on the base pair). Filters no larger than one
+/// block (every configuration with `threads` ≲ 35 at the paper's 0.001
+/// rate) degenerate to a classic single-block filter — and because the
+/// in-block mask equals `% m_bits` for power-of-two sizes, those
+/// geometries keep the exact bit layout of the pre-blocking
+/// implementation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BloomGeometry {
-    /// Bits per filter.
+    /// Bits per filter (a multiple of `block_bits`).
     pub m_bits: usize,
     /// Hash functions per query.
     pub k: usize,
+    /// Bits per cache-line-local block (power of two, ≤ 512).
+    pub block_bits: usize,
 }
 
 impl BloomGeometry {
     /// Size a filter for `threads` potential members at `fp_rate`.
+    ///
+    /// The classic optimum `m` is rounded up to a power of two while it
+    /// fits one block (so the in-block mask is exact), then to whole
+    /// [`BLOOM_BLOCK_BITS`] blocks beyond that. Rounding only ever *adds*
+    /// bits, so the configured false-positive rate stays an upper bound on
+    /// the per-block design point.
     pub fn for_threads(threads: usize, fp_rate: f64) -> Self {
-        let m_bits = optimal_bits(threads, fp_rate);
-        let k = optimal_hashes(m_bits, threads);
-        Self { m_bits, k }
+        let ideal = optimal_bits(threads, fp_rate); // word-rounded, ≥ 64
+        let (m_bits, block_bits) = if ideal <= BLOOM_BLOCK_BITS {
+            let b = ideal.next_power_of_two();
+            (b, b)
+        } else {
+            (
+                ideal.div_ceil(BLOOM_BLOCK_BITS) * BLOOM_BLOCK_BITS,
+                BLOOM_BLOCK_BITS,
+            )
+        };
+        Self {
+            m_bits,
+            k: optimal_hashes(m_bits, threads),
+            block_bits,
+        }
     }
 
     /// Heap bytes one filter of this geometry occupies.
     pub fn bytes_per_filter(&self) -> usize {
         self.m_bits / 8
+    }
+
+    /// 64-bit words per filter.
+    pub fn words_per_filter(&self) -> usize {
+        self.m_bits / 64
+    }
+
+    /// Number of cache-line-local blocks per filter.
+    pub fn blocks(&self) -> usize {
+        self.m_bits / self.block_bits
+    }
+
+    /// The bit index probe `i` of an item with base hashes `(ha, hb)`
+    /// tests — the single definition of the probe schedule, shared by the
+    /// concurrent filter, the arena-backed read signature and the
+    /// sequential blocked reference so they can never disagree.
+    #[inline]
+    pub fn probe_bit(&self, ha: u64, hb: u64, i: usize) -> usize {
+        // High bits pick the block (decorrelated from the in-block bits,
+        // which come from the low end of the derived hashes); the mask is
+        // exact because block_bits is a power of two.
+        let block = if self.m_bits > self.block_bits {
+            (ha >> 32) as usize % self.blocks()
+        } else {
+            0
+        };
+        block * self.block_bits + (derived_from(ha, hb, i) as usize & (self.block_bits - 1))
     }
 }
 
@@ -53,9 +118,16 @@ impl ConcurrentBloom {
     /// Insert an item (typically a thread id). Lock-free.
     #[inline]
     pub fn insert(&self, item: u64) {
-        let m = self.bits.len() as u64;
+        let (ha, hb) = hash_pair(item);
+        self.insert_hashed(ha, hb);
+    }
+
+    /// [`Self::insert`] with the item's base hash pair precomputed (two
+    /// `fmix64` per *item*, not per probe — see [`crate::bloom::hash_pair`]).
+    #[inline]
+    pub fn insert_hashed(&self, ha: u64, hb: u64) {
         for i in 0..self.geometry.k {
-            self.bits.set((derived_hash(item, i) % m) as usize);
+            self.bits.set(self.geometry.probe_bit(ha, hb, i));
         }
     }
 
@@ -63,8 +135,14 @@ impl ConcurrentBloom {
     /// for items whose `insert` happened-before this call.
     #[inline]
     pub fn contains(&self, item: u64) -> bool {
-        let m = self.bits.len() as u64;
-        (0..self.geometry.k).all(|i| self.bits.get((derived_hash(item, i) % m) as usize))
+        let (ha, hb) = hash_pair(item);
+        self.contains_hashed(ha, hb)
+    }
+
+    /// [`Self::contains`] with the item's base hash pair precomputed.
+    #[inline]
+    pub fn contains_hashed(&self, ha: u64, hb: u64) -> bool {
+        (0..self.geometry.k).all(|i| self.bits.get(self.geometry.probe_bit(ha, hb, i)))
     }
 
     /// Reset the filter to empty. Races with concurrent inserts are benign:

@@ -31,11 +31,13 @@ pub mod sync;
 pub mod traits;
 pub mod write_signature;
 
-pub use concurrent_bloom::{BloomGeometry, ConcurrentBloom};
+pub use bloom::{hash_pair, BlockedBloomFilter};
+pub use concurrent_bloom::{BloomGeometry, ConcurrentBloom, BLOOM_BLOCK_BITS};
 pub use diagnostics::{BloomSaturation, SignatureHealth};
+pub use murmur::{hash_block, HASH_BLOCK_LANES};
 pub use perfect::{PerfectReaderSet, PerfectWriterMap};
 pub use read_signature::ReadSignature;
-pub use slot::{slot_index, SlotRouter};
+pub use slot::{slot_index, slot_of_hash, FilterArena, SlotRouter, ARENA_SEGMENT_FILTERS};
 pub use traits::{ReaderSet, WriterMap};
 pub use write_signature::WriteSignature;
 

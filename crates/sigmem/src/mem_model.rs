@@ -33,14 +33,16 @@ pub fn paper_bloom_bits(threads: usize, fp_rate: f64) -> f64 {
 }
 
 /// Worst-case bytes the implementation can ever allocate for one signature
-/// pair: write slots + first-level pointers + every filter materialized
-/// (with its header), using the real word-rounded geometry.
+/// pair: write slots + arena segment pointers + every filter materialized,
+/// using the real power-of-two/block-rounded geometry. The arena layout
+/// has no per-filter header: filters are bare word runs inside segment
+/// allocations, so the only overhead over Eq. 2 is one 8-byte pointer per
+/// [`crate::slot::ARENA_SEGMENT_FILTERS`] slots plus geometry rounding.
 pub fn actual_upper_bound_bytes(n_slots: usize, threads: usize, fp_rate: f64) -> usize {
     let geom = BloomGeometry::for_threads(threads, fp_rate);
-    let filter_struct_overhead = 48; // ConcurrentBloom header + Box<[AtomicU64]> fat parts
     n_slots * 4                                    // write signature slots
-        + n_slots * 8                              // first-level pointer array
-        + n_slots * (geom.bytes_per_filter() + filter_struct_overhead)
+        + n_slots.div_ceil(crate::slot::ARENA_SEGMENT_FILTERS) * 8 // segment pointers
+        + n_slots * geom.bytes_per_filter()
 }
 
 /// Predicted memory across a sweep of slot counts — used by the Eq. 2

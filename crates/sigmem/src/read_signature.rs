@@ -1,26 +1,46 @@
 //! Two-level read signature (Fig. 3a of the paper).
 //!
 //! A fixed first-level array of `n` slots is indexed by a MurmurHash of the
-//! memory address. Each occupied slot holds a pointer to a second-level
-//! Bloom filter recording the set of thread ids that have read addresses
-//! mapping to that slot. Slots are allocated lazily on first insert and
-//! published with a release-CAS so that a thread observing the pointer also
-//! observes a fully-constructed filter.
+//! memory address. Each occupied slot owns a second-level Bloom filter
+//! recording the set of thread ids that have read addresses mapping to that
+//! slot. Filter storage lives in a segmented [`FilterArena`]: slots share
+//! segment allocations of [`crate::slot::ARENA_SEGMENT_FILTERS`] filters,
+//! published lazily with a release-CAS so a thread observing a segment also
+//! observes its zeroed contents. Compared to the original one-heap-object-
+//! per-slot layout this removes a dependent pointer load from every probe
+//! and keeps neighbouring slots' filters on adjacent cache lines
+//! (DESIGN.md §12).
 //!
 //! Memory is bounded: at most `n` filters of fixed geometry can ever exist,
 //! so the footprint never depends on the profiled program's input size —
 //! the property Figures 5a/5b demonstrate.
+//!
+//! Two further hot-path economies over the original implementation:
+//!
+//! * **Per-tid hash caching.** Filter probes need the Kirsch–Mitzenmacher
+//!   base pair `(ha, hb)` of the *thread id*, not the address. Thread ids
+//!   are dense and tiny, so the pair is precomputed for every `tid <
+//!   threads` at construction — zero `fmix64` evaluations per probe on the
+//!   common path (previously up to `2k`).
+//! * **Hashed entry points.** [`ReaderSet::insert_hashed`] and friends
+//!   accept `fmix64(addr)` computed once by the caller (batched replay
+//!   hashes whole address blocks via [`crate::murmur::hash_block`]), so the
+//!   address is hashed exactly once per event no matter how many signature
+//!   consultations the detector makes.
 
-use crate::concurrent_bloom::{BloomGeometry, ConcurrentBloom};
-use crate::sync::{AtomicPtr, AtomicUsize, Ordering};
+use crate::bloom::hash_pair;
+use crate::concurrent_bloom::BloomGeometry;
+use crate::murmur::fmix64;
+use crate::slot::{slot_of_hash, FilterArena, FilterRef};
 use crate::traits::ReaderSet;
 
 /// The two-level concurrent read signature.
 #[derive(Debug)]
 pub struct ReadSignature {
-    slots: Box<[AtomicPtr<ConcurrentBloom>]>,
+    arena: FilterArena,
     geometry: BloomGeometry,
-    allocated: AtomicUsize,
+    /// Precomputed `(ha, hb)` base hash pair per thread id.
+    tid_hashes: Box<[(u64, u64)]>,
 }
 
 impl ReadSignature {
@@ -28,97 +48,42 @@ impl ReadSignature {
     /// filters sized for `threads` readers at `fp_rate`.
     pub fn new(n_slots: usize, threads: usize, fp_rate: f64) -> Self {
         assert!(n_slots > 0, "signature needs at least one slot");
-        let slots = (0..n_slots)
-            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
-            .collect();
+        let geometry = BloomGeometry::for_threads(threads, fp_rate);
         Self {
-            slots,
-            geometry: BloomGeometry::for_threads(threads, fp_rate),
-            allocated: AtomicUsize::new(0),
+            arena: FilterArena::new(n_slots, geometry.words_per_filter()),
+            geometry,
+            tid_hashes: (0..threads as u64).map(hash_pair).collect(),
         }
     }
 
-    /// First-level slot index for an address (the shared routing of
-    /// [`crate::slot`], so the replay partitioner can never disagree).
+    /// The Kirsch–Mitzenmacher base pair for a thread id — cached for ids
+    /// below the configured thread count, computed on the fly otherwise
+    /// (same formula either way, so membership answers are identical).
     #[inline]
-    fn slot_index(&self, addr: u64) -> usize {
-        crate::slot::slot_index(addr, self.slots.len())
-    }
-
-    /// Get the filter for `addr`, allocating (and racing to publish) it if
-    /// absent. The losing allocation of a publish race is freed immediately.
-    fn filter_or_insert(&self, addr: u64) -> &ConcurrentBloom {
-        let slot = &self.slots[self.slot_index(addr)];
-        // Fault mutant for the model checker: publish and consume the
-        // filter pointer with `Relaxed` instead of release/acquire. Under
-        // real hardware a consumer could then observe the pointer before
-        // the filter's contents; the scheduler's vector-clock birth check
-        // reports exactly that missing happens-before edge (DESIGN.md §11).
-        #[cfg(feature = "sched")]
-        if lc_sched::mutant_active("readsig-relaxed-publish") {
-            let p = slot.load(Ordering::Relaxed);
-            if !p.is_null() {
-                // Safety: mutant mirrors the correct path's lifetime rules.
-                return unsafe { &*p };
-            }
-            let fresh = Box::into_raw(Box::new(ConcurrentBloom::new(self.geometry)));
-            return match slot.compare_exchange(
-                std::ptr::null_mut(),
-                fresh,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => {
-                    self.allocated.fetch_add(1, Ordering::Relaxed);
-                    // Safety: we just published `fresh`.
-                    unsafe { &*fresh }
-                }
-                Err(winner) => {
-                    // Safety: `fresh` was never shared; reclaim it.
-                    drop(unsafe { Box::from_raw(fresh) });
-                    // Safety: `winner` is the published pointer.
-                    unsafe { &*winner }
-                }
-            };
-        }
-        let p = slot.load(Ordering::Acquire);
-        if !p.is_null() {
-            // Safety: a non-null pointer was published by a release-CAS after
-            // full construction and is never freed before `self` drops.
-            return unsafe { &*p };
-        }
-        let fresh = Box::into_raw(Box::new(ConcurrentBloom::new(self.geometry)));
-        match slot.compare_exchange(
-            std::ptr::null_mut(),
-            fresh,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        ) {
-            Ok(_) => {
-                self.allocated.fetch_add(1, Ordering::Relaxed);
-                // Safety: we just published `fresh`; it stays alive until drop.
-                unsafe { &*fresh }
-            }
-            Err(winner) => {
-                // Safety: `fresh` was never shared; reclaim it.
-                drop(unsafe { Box::from_raw(fresh) });
-                // Safety: `winner` is the published pointer (see above).
-                unsafe { &*winner }
-            }
+    fn tid_hash(&self, tid: u32) -> (u64, u64) {
+        match self.tid_hashes.get(tid as usize) {
+            Some(&pair) => pair,
+            None => hash_pair(tid as u64),
         }
     }
 
-    /// Filter for `addr` if one has been allocated.
     #[inline]
-    fn filter(&self, addr: u64) -> Option<&ConcurrentBloom> {
-        let p = self.slots[self.slot_index(addr)].load(Ordering::Acquire);
-        // Safety: published pointers stay valid until `self` drops.
-        (!p.is_null()).then(|| unsafe { &*p })
+    fn set_tid(&self, f: FilterRef<'_>, tid: u32) {
+        let (ha, hb) = self.tid_hash(tid);
+        for i in 0..self.geometry.k {
+            f.set_bit(self.geometry.probe_bit(ha, hb, i));
+        }
+    }
+
+    #[inline]
+    fn has_tid(&self, f: FilterRef<'_>, tid: u32) -> bool {
+        let (ha, hb) = self.tid_hash(tid);
+        (0..self.geometry.k).all(|i| f.get_bit(self.geometry.probe_bit(ha, hb, i)))
     }
 
     /// Number of first-level slots.
     pub fn n_slots(&self) -> usize {
-        self.slots.len()
+        self.arena.n_filters()
     }
 
     /// Second-level filter geometry.
@@ -126,34 +91,41 @@ impl ReadSignature {
         self.geometry
     }
 
-    /// How many second-level filters have been allocated so far.
+    /// How many second-level filters have been allocated so far. Counted at
+    /// arena-segment grain: touching one slot allocates (and counts) the
+    /// whole segment covering it, because that is the memory actually
+    /// committed.
     pub fn allocated_filters(&self) -> usize {
-        self.allocated.load(Ordering::Relaxed)
+        self.arena.allocated_filters()
     }
 
     /// Online per-slot Bloom saturation: popcount up to `max_filters`
-    /// allocated filters (front-to-back over the slot array — murmur
+    /// *non-empty* filters (front-to-back over the slot array — murmur
     /// spreads occupancy uniformly, so a prefix is an unbiased sample) and
-    /// summarize their fill and live false-positive estimate. Scrape-time
-    /// cost only; never called on the access path.
+    /// summarize their fill and live false-positive estimate. Untouched
+    /// filters inside allocated segments are skipped: segment-grain
+    /// allocation would otherwise dilute the sample with slots no event
+    /// ever reached. Scrape-time cost only; never called on the access
+    /// path.
     pub fn bloom_saturation(&self, max_filters: usize) -> crate::diagnostics::BloomSaturation {
         let mut sampled = 0usize;
         let mut fill_sum = 0.0f64;
         let mut fp_sum = 0.0f64;
         let mut max_fill = 0.0f64;
-        for slot in self.slots.iter() {
+        for slot in 0..self.arena.n_filters() {
             if sampled >= max_filters {
                 break;
             }
-            let p = slot.load(Ordering::Acquire);
-            if p.is_null() {
+            let Some(f) = self.arena.filter(slot) else {
+                continue;
+            };
+            let ones = f.count_ones();
+            if ones == 0 {
                 continue;
             }
-            // Safety: published pointers stay valid until `self` drops.
-            let f = unsafe { &*p };
-            let fill = f.fill();
+            let fill = ones as f64 / self.geometry.m_bits as f64;
             fill_sum += fill;
-            fp_sum += f.est_fp_rate();
+            fp_sum += fill.powi(self.geometry.k as i32);
             max_fill = max_fill.max(fill);
             sampled += 1;
         }
@@ -177,46 +149,56 @@ impl ReadSignature {
 impl ReaderSet for ReadSignature {
     #[inline]
     fn insert(&self, addr: u64, tid: u32) {
-        self.filter_or_insert(addr).insert(tid as u64);
+        self.insert_hashed(addr, fmix64(addr), tid);
     }
 
     #[inline]
     fn contains(&self, addr: u64, tid: u32) -> bool {
-        self.filter(addr).is_some_and(|f| f.contains(tid as u64))
+        self.contains_hashed(addr, fmix64(addr), tid)
     }
 
     #[inline]
     fn clear_addr(&self, addr: u64) {
-        if let Some(f) = self.filter(addr) {
+        self.clear_addr_hashed(addr, fmix64(addr));
+    }
+
+    #[inline]
+    fn insert_hashed(&self, _addr: u64, h: u64, tid: u32) {
+        let f = self
+            .arena
+            .filter_or_alloc(slot_of_hash(h, self.arena.n_filters()));
+        self.set_tid(f, tid);
+    }
+
+    #[inline]
+    fn contains_hashed(&self, _addr: u64, h: u64, tid: u32) -> bool {
+        match self.arena.filter(slot_of_hash(h, self.arena.n_filters())) {
+            Some(f) => self.has_tid(f, tid),
+            None => false,
+        }
+    }
+
+    #[inline]
+    fn clear_addr_hashed(&self, _addr: u64, h: u64) {
+        if let Some(f) = self.arena.filter(slot_of_hash(h, self.arena.n_filters())) {
             f.clear();
         }
     }
 
-    fn memory_bytes(&self) -> usize {
-        // 8 = the production size of one slot pointer. Kept literal so the
-        // figure matches Eq. 2 even when the `sched` feature swaps in the
-        // (physically larger) instrumented shim atomics.
-        self.slots.len() * 8
-            + self.allocated_filters()
-                * (self.geometry.bytes_per_filter() + std::mem::size_of::<ConcurrentBloom>())
+    #[inline]
+    fn prefetch(&self, h: u64) {
+        self.arena.prefetch(slot_of_hash(h, self.arena.n_filters()));
     }
-}
 
-impl Drop for ReadSignature {
-    fn drop(&mut self) {
-        for slot in self.slots.iter() {
-            let p = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
-            if !p.is_null() {
-                // Safety: sole owner at drop time; pointer came from Box::into_raw.
-                drop(unsafe { Box::from_raw(p) });
-            }
-        }
+    fn memory_bytes(&self) -> usize {
+        self.arena.memory_bytes()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::slot::ARENA_SEGMENT_FILTERS;
     use std::sync::Arc;
 
     #[test]
@@ -239,7 +221,8 @@ mod tests {
             sig.insert(a * 640, 0); // spread across slots
         }
         assert!(sig.allocated_filters() > 0);
-        assert!(sig.allocated_filters() <= 100);
+        // Segment-grain accounting: at most one whole segment per insert.
+        assert!(sig.allocated_filters() <= 100 * ARENA_SEGMENT_FILTERS);
         assert!(sig.memory_bytes() > empty);
     }
 
@@ -250,8 +233,8 @@ mod tests {
             sig.insert(a, (a % 8) as u32);
         }
         assert!(sig.allocated_filters() <= 64);
-        let cap = 64 * 8
-            + 64 * (sig.geometry().bytes_per_filter() + std::mem::size_of::<ConcurrentBloom>());
+        let cap =
+            64usize.div_ceil(ARENA_SEGMENT_FILTERS) * 8 + 64 * sig.geometry().bytes_per_filter();
         assert!(sig.memory_bytes() <= cap);
     }
 
@@ -267,6 +250,42 @@ mod tests {
             assert!(sig.contains(a, a as u32));
         }
         assert_eq!(sig.allocated_filters(), 1);
+    }
+
+    #[test]
+    fn hashed_entry_points_match_plain_ones() {
+        let sig = ReadSignature::new(1 << 10, 8, 0.001);
+        let ref_sig = ReadSignature::new(1 << 10, 8, 0.001);
+        let addrs: Vec<u64> = (0..500).map(|i| i * 24 + 0x4000).collect();
+        for (i, &a) in addrs.iter().enumerate() {
+            let tid = (i % 8) as u32;
+            sig.insert_hashed(a, fmix64(a), tid);
+            ref_sig.insert(a, tid);
+        }
+        for &a in &addrs {
+            for tid in 0..8u32 {
+                assert_eq!(
+                    sig.contains_hashed(a, fmix64(a), tid),
+                    ref_sig.contains(a, tid),
+                    "divergence at addr {a:#x} tid {tid}"
+                );
+            }
+        }
+        sig.clear_addr_hashed(addrs[0], fmix64(addrs[0]));
+        ref_sig.clear_addr(addrs[0]);
+        for tid in 0..8u32 {
+            assert_eq!(sig.contains(addrs[0], tid), ref_sig.contains(addrs[0], tid));
+        }
+    }
+
+    #[test]
+    fn out_of_range_tids_fall_back_to_computed_hashes() {
+        // tid ≥ threads misses the cache; answers must still be exact
+        // (same derived-hash formula, computed on demand).
+        let sig = ReadSignature::new(256, 4, 0.01);
+        sig.insert(0x99, 4_000_000);
+        assert!(sig.contains(0x99, 4_000_000));
+        assert!(!sig.contains(0x99, 4_000_001) || sig.geometry().k < 2);
     }
 
     #[test]

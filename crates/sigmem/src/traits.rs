@@ -24,6 +24,39 @@ pub trait ReaderSet: Send + Sync {
 
     /// Current heap footprint in bytes.
     fn memory_bytes(&self) -> usize;
+
+    /// [`Self::insert`] with `h = fmix64(addr)` precomputed by the caller
+    /// (the batched replay path hashes whole address blocks up front via
+    /// [`crate::murmur::hash_block`]). Implementations that index by that
+    /// hash override this to skip re-hashing; the default ignores `h`, so
+    /// exact implementations stay correct unchanged.
+    #[inline]
+    fn insert_hashed(&self, addr: u64, h: u64, tid: u32) {
+        let _ = h;
+        self.insert(addr, tid);
+    }
+
+    /// [`Self::contains`] with `h = fmix64(addr)` precomputed.
+    #[inline]
+    fn contains_hashed(&self, addr: u64, h: u64, tid: u32) -> bool {
+        let _ = h;
+        self.contains(addr, tid)
+    }
+
+    /// [`Self::clear_addr`] with `h = fmix64(addr)` precomputed.
+    #[inline]
+    fn clear_addr_hashed(&self, addr: u64, h: u64) {
+        let _ = h;
+        self.clear_addr(addr);
+    }
+
+    /// Hint that the slot for hash `h` will be consulted shortly; batched
+    /// callers issue this a few events ahead so the signature's cache lines
+    /// are in flight by the time the probe lands. Default: no-op.
+    #[inline]
+    fn prefetch(&self, h: u64) {
+        let _ = h;
+    }
 }
 
 /// The write side: a per-address record of the last writing thread.
@@ -39,4 +72,26 @@ pub trait WriterMap: Send + Sync {
 
     /// Current heap footprint in bytes.
     fn memory_bytes(&self) -> usize;
+
+    /// [`Self::record`] with `h = fmix64(addr)` precomputed by the caller.
+    /// Same contract as [`ReaderSet::insert_hashed`].
+    #[inline]
+    fn record_hashed(&self, addr: u64, h: u64, tid: u32) {
+        let _ = h;
+        self.record(addr, tid);
+    }
+
+    /// [`Self::last_writer`] with `h = fmix64(addr)` precomputed.
+    #[inline]
+    fn last_writer_hashed(&self, addr: u64, h: u64) -> Option<u32> {
+        let _ = h;
+        self.last_writer(addr)
+    }
+
+    /// Hint that the slot for hash `h` will be consulted shortly.
+    /// Default: no-op.
+    #[inline]
+    fn prefetch(&self, h: u64) {
+        let _ = h;
+    }
 }

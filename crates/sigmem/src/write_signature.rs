@@ -6,6 +6,7 @@
 //! alias each other — this is the controlled false-positive source whose
 //! rate §V-A3 sweeps against signature size.
 
+use crate::slot::slot_of_hash;
 use crate::sync::{AtomicU32, Ordering};
 use crate::traits::WriterMap;
 
@@ -66,6 +67,38 @@ impl WriterMap for WriteSignature {
     fn memory_bytes(&self) -> usize {
         self.slots.len() * 4
     }
+
+    #[inline]
+    fn record_hashed(&self, _addr: u64, h: u64, tid: u32) {
+        debug_assert!(tid < u32::MAX, "thread id overflow");
+        self.slots[slot_of_hash(h, self.slots.len())].store(tid + 1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn last_writer_hashed(&self, _addr: u64, h: u64) -> Option<u32> {
+        match self.slots[slot_of_hash(h, self.slots.len())].load(Ordering::Relaxed) {
+            EMPTY => None,
+            v => Some(v - 1),
+        }
+    }
+
+    #[inline]
+    fn prefetch(&self, h: u64) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let slot = slot_of_hash(h, self.slots.len());
+            // Safety: in-bounds shared reference cast; prefetch has no
+            // memory effects beyond the cache.
+            unsafe {
+                std::arch::x86_64::_mm_prefetch(
+                    std::ptr::from_ref(&self.slots[slot]) as *const i8,
+                    std::arch::x86_64::_MM_HINT_T0,
+                );
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = h;
+    }
 }
 
 #[cfg(test)]
@@ -102,6 +135,23 @@ mod tests {
     fn memory_is_four_bytes_per_slot() {
         let sig = WriteSignature::new(10_000);
         assert_eq!(sig.memory_bytes(), 40_000);
+    }
+
+    #[test]
+    fn hashed_entry_points_match_plain_ones() {
+        use crate::murmur::fmix64;
+        let sig = WriteSignature::new(1000); // non-power-of-two: modulo path
+        let pow2 = WriteSignature::new(1024); // power-of-two: mask path
+        for i in 0..500u64 {
+            let a = i * 56 + 0x8000;
+            sig.record_hashed(a, fmix64(a), (i % 7) as u32);
+            pow2.record(a, (i % 7) as u32);
+        }
+        for i in 0..500u64 {
+            let a = i * 56 + 0x8000;
+            assert_eq!(sig.last_writer_hashed(a, fmix64(a)), sig.last_writer(a));
+            assert_eq!(pow2.last_writer_hashed(a, fmix64(a)), pow2.last_writer(a));
+        }
     }
 
     #[test]

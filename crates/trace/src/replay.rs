@@ -199,9 +199,20 @@ impl Trace {
     /// Feed every event, in temporal order, into `sink` as fixed-size
     /// blocks through [`AccessSink::on_batch`] (identical semantics to the
     /// historical per-event loop; the default `on_batch` *is* that loop).
-    /// Blocks are zero-copy slices of the trace's own storage.
+    /// Blocks are zero-copy slices of the trace's own storage. Uses the
+    /// [`REPLAY_BATCH_EVENTS`] default block size; [`Trace::replay_batched`]
+    /// takes an explicit one.
     pub fn replay(&self, sink: &dyn AccessSink) {
-        feed_blocks(sink, &self.events, REPLAY_BATCH_EVENTS);
+        self.replay_batched(sink, REPLAY_BATCH_EVENTS);
+    }
+
+    /// [`Trace::replay`] with an explicit block size — the single knob the
+    /// CLI's `--batch` flag and the bench sweep turn. Semantics are
+    /// independent of `batch_events` (clamped to ≥ 1): every block split
+    /// produces the same event order, so reports are byte-identical across
+    /// sizes; only throughput changes.
+    pub fn replay_batched(&self, sink: &dyn AccessSink, batch_events: usize) {
+        feed_blocks(sink, &self.events, batch_events.max(1));
     }
 
     /// Partition events into `jobs` per-worker streams by `worker_of(addr)`,
@@ -252,7 +263,12 @@ impl Trace {
         };
 
         if jobs == 1 && opts.coalesce_class.is_none() {
-            self.replay(sinks[0]);
+            // No partitioning needed — but the configured batch size still
+            // applies. (This used to call `self.replay`, silently feeding
+            // the REPLAY_BATCH_EVENTS default while reporting `batches`
+            // computed from `opts.batch_events` — the one path where the
+            // knob didn't reach the sink.)
+            feed_blocks(sinks[0], &self.events, batch);
             stats.replayed_events = self.len() as u64;
             stats.batches = self.len().div_ceil(batch) as u64;
             return stats;
@@ -508,6 +524,64 @@ mod tests {
         let stats = coalesce_events(&mut evs, &|addr| addr / 8 % 2);
         assert_eq!(evs.len(), 10);
         assert_eq!(stats, CoalesceStats::default());
+    }
+
+    /// Records the length of every `on_batch` block it receives.
+    struct BatchSpySink {
+        sizes: std::sync::Mutex<Vec<usize>>,
+    }
+
+    impl BatchSpySink {
+        fn new() -> Self {
+            Self {
+                sizes: std::sync::Mutex::new(Vec::new()),
+            }
+        }
+    }
+
+    impl AccessSink for BatchSpySink {
+        fn on_access(&self, _ev: &AccessEvent) {}
+        fn on_batch(&self, evs: &[AccessEvent]) {
+            self.sizes.lock().unwrap().push(evs.len());
+        }
+    }
+
+    #[test]
+    fn replay_batched_honors_requested_block_size() {
+        let t = Trace::new((0..100).map(|i| ev(i, 0, i, AccessKind::Read)).collect());
+        for batch in [1usize, 7, 32, 1000] {
+            let spy = BatchSpySink::new();
+            t.replay_batched(&spy, batch);
+            let sizes = spy.sizes.lock().unwrap().clone();
+            assert_eq!(sizes.iter().sum::<usize>(), 100);
+            assert!(sizes[..sizes.len() - 1].iter().all(|&s| s == batch));
+            assert!(*sizes.last().unwrap() <= batch);
+        }
+        // batch 0 is clamped to 1, not a panic or an infinite loop.
+        let spy = BatchSpySink::new();
+        t.replay_batched(&spy, 0);
+        assert_eq!(spy.sizes.lock().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn par_replay_single_job_fast_path_honors_batch_size() {
+        // Regression test: jobs == 1 without coalescing used to ignore
+        // `batch_events` and feed the REPLAY_BATCH_EVENTS default, while
+        // reporting `batches` computed from the requested size.
+        let t = Trace::new((0..100).map(|i| ev(i, 0, i, AccessKind::Read)).collect());
+        let spy = BatchSpySink::new();
+        let stats = t.par_replay(
+            &[&spy],
+            &|_| 0,
+            &ParReplayOptions {
+                batch_events: 8,
+                coalesce_class: None,
+            },
+        );
+        let sizes = spy.sizes.lock().unwrap().clone();
+        assert_eq!(sizes.len() as u64, stats.batches);
+        assert_eq!(stats.batches, 100u64.div_ceil(8));
+        assert!(sizes[..sizes.len() - 1].iter().all(|&s| s == 8));
     }
 
     #[test]

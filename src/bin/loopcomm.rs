@@ -10,7 +10,7 @@
 //! loopcomm phases   <workload> [--threads N] [--size ...] [--window W]
 //! loopcomm report   <workload> <out.html> [--threads N] [--size ...]
 //! loopcomm record   <workload> <file.lctrace> [--threads N] [--size ...]
-//! loopcomm analyze  <file.lctrace> [--slots 2^k] [--jobs N] [--no-coalesce] [--perfect]
+//! loopcomm analyze  <file.lctrace> [--slots 2^k] [--jobs N] [--batch N] [--no-coalesce] [--perfect]
 //! loopcomm simulate <workload> [--threads N] [--size ...]
 //! loopcomm hotsites <workload> [--threads N] [--size ...]
 //! loopcomm deps     <workload> [--threads N] [--size ...]
@@ -36,6 +36,7 @@ struct Options {
     spool: bool,
     salvage: bool,
     jobs: usize,
+    batch: usize,
     no_coalesce: bool,
     perfect: bool,
     /// Hidden test hook: a fault-plan file armed on the profiler's flush
@@ -106,6 +107,8 @@ fn usage() -> ! {
          \x20                  a truncated or corrupted trace instead of failing\n\
          \x20 --jobs N         (analyze) worker threads for slot-sharded\n\
          \x20                  parallel replay (default 1; results identical)\n\
+         \x20 --batch N        (analyze) events per on_batch replay block\n\
+         \x20                  (default 1024; throughput knob, results identical)\n\
          \x20 --no-coalesce    (analyze) disable the run-coalescing pre-pass\n\
          \x20 --perfect        (analyze) exact perfect-signature baseline\n\
          \x20                  detector instead of the asymmetric signatures\n\
@@ -132,6 +135,7 @@ fn parse_options(args: &[String]) -> Options {
         spool: false,
         salvage: false,
         jobs: 1,
+        batch: lc_trace::REPLAY_BATCH_EVENTS,
         no_coalesce: false,
         perfect: false,
         fault_plan: None,
@@ -158,6 +162,7 @@ fn parse_options(args: &[String]) -> Options {
             "--spool" => o.spool = true,
             "--salvage" => o.salvage = true,
             "--jobs" => o.jobs = val().parse().expect("--jobs N"),
+            "--batch" => o.batch = val().parse().expect("--batch N"),
             "--no-coalesce" => o.no_coalesce = true,
             "--perfect" => o.perfect = true,
             "--fault-plan" => o.fault_plan = Some(val()),
@@ -630,7 +635,7 @@ fn run(cmd: &str, name: &str, args: &[String], o: &Options) {
             let par = lc_profiler::ParReplayConfig {
                 jobs: o.jobs.max(1),
                 coalesce: !o.no_coalesce,
-                batch_events: lc_trace::REPLAY_BATCH_EVENTS,
+                batch_events: o.batch.max(1),
             };
             let analysis = if o.perfect {
                 lc_profiler::analyze_trace_perfect(&trace, prof_cfg, accum, &par)

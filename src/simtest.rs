@@ -109,7 +109,11 @@ fn bloom_scenario() {
     // One 64-bit word, two derived hashes: every insert's `fetch_or`s land
     // in the same atomic word, so concurrent inserts genuinely collide and
     // the schedule count stays small enough for unbounded exhaustion.
-    let geometry = BloomGeometry { m_bits: 64, k: 2 };
+    let geometry = BloomGeometry {
+        m_bits: 64,
+        k: 2,
+        block_bits: 64,
+    };
     let bloom = Arc::new(ConcurrentBloom::new(geometry));
     let mut handles = Vec::new();
     for t in 0..2u64 {

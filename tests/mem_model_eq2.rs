@@ -8,12 +8,12 @@
 //! actually accounts:
 //!
 //! 1. **Exactness** — `memory_bytes()` equals the recomputed closed form of
-//!    the implementation's own layout (slots, pointers, word-rounded
-//!    filters, filter headers). Any accounting drift fails here first.
+//!    the implementation's own layout (slots, segment pointers,
+//!    word-rounded arena filters). Any accounting drift fails here first.
 //! 2. **Bracketing** — Eq. 2 ≤ actual ≤ [`mem_model::actual_upper_bound_bytes`]:
 //!    the paper's idealized figure is a true lower bound (it ignores the
-//!    pointer array, headers, and word rounding) and the implementation
-//!    bound is a true upper bound.
+//!    segment-pointer array and word/block rounding) and the
+//!    implementation bound is a true upper bound.
 //! 3. **Tolerance** — for paper-like configurations (`threads ≥ 16`,
 //!    `fp_rate ≤ 0.01`) the actual footprint stays within **3.5×** Eq. 2,
 //!    tightening to **2×** at the paper's own operating point (`threads ≥
@@ -55,11 +55,12 @@ proptest! {
         let actual = read.memory_bytes() + write.memory_bytes();
 
         // (1) Exactness: recompute the implementation's layout from
-        // first principles — write slots (4 B), first-level pointers
-        // (8 B), and one word-rounded filter + header per slot.
-        let per_filter = read.geometry().bytes_per_filter()
-            + std::mem::size_of::<lc_sigmem::ConcurrentBloom>();
-        let expected = n_slots * (4 + 8 + per_filter);
+        // first principles — write slots (4 B), one segment pointer per
+        // ARENA_SEGMENT_FILTERS slots (8 B), and one word-rounded
+        // headerless arena filter per slot.
+        let expected = n_slots * 4
+            + n_slots.div_ceil(lc_sigmem::ARENA_SEGMENT_FILTERS) * 8
+            + n_slots * read.geometry().bytes_per_filter();
         prop_assert_eq!(
             actual, expected,
             "memory accounting drifted from the documented layout"
