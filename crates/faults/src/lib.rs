@@ -31,8 +31,12 @@
 //! fault registry_insert panic prob=0.01
 //! ```
 //!
-//! Sites: `sink_flush`, `epoch_barrier`, `trace_write`, `registry_insert`.
-//! Actions: `panic`, `stall:<ms>`, `io_error`, `short_write:<bytes>`.
+//! Sites: `sink_flush`, `epoch_barrier`, `trace_write`, `registry_insert`,
+//! and the network seams `net_accept`, `net_frame_read`, `net_write`,
+//! `tenant_flush` (the `loopcomm serve` ingest path).
+//! Actions: `panic`, `stall:<ms>`, `io_error`, `short_write:<bytes>`,
+//! `bit_flip:<n>` (flip one bit of the I/O buffer in flight — transient
+//! corruption, the wrapper does not wedge).
 //! Modifiers: `after=<n>` (skip the first n hits), `count=<n>|inf`
 //! (firing budget, default 1), `prob=<p>` (seed-driven coin per eligible
 //! hit).
@@ -57,11 +61,20 @@ pub enum FaultSite {
     TraceWrite,
     /// A loop-matrix registry lookup/publish on the flush path.
     RegistryInsert,
+    /// A new ingest connection being accepted by `loopcomm serve`.
+    NetAccept,
+    /// A socket read on the server's frame-reassembly path.
+    NetFrameRead,
+    /// A socket write on the client's spool-streaming path (`NetSink`).
+    NetWrite,
+    /// A tenant's drain step: one decoded frame about to enter the
+    /// tenant's incremental analyzer.
+    TenantFlush,
 }
 
 impl FaultSite {
     /// Number of sites.
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 8;
 
     /// Every site, in declaration order.
     pub const ALL: [FaultSite; Self::COUNT] = [
@@ -69,6 +82,10 @@ impl FaultSite {
         FaultSite::EpochBarrier,
         FaultSite::TraceWrite,
         FaultSite::RegistryInsert,
+        FaultSite::NetAccept,
+        FaultSite::NetFrameRead,
+        FaultSite::NetWrite,
+        FaultSite::TenantFlush,
     ];
 
     /// The plan-file spelling.
@@ -78,6 +95,10 @@ impl FaultSite {
             FaultSite::EpochBarrier => "epoch_barrier",
             FaultSite::TraceWrite => "trace_write",
             FaultSite::RegistryInsert => "registry_insert",
+            FaultSite::NetAccept => "net_accept",
+            FaultSite::NetFrameRead => "net_frame_read",
+            FaultSite::NetWrite => "net_write",
+            FaultSite::TenantFlush => "tenant_flush",
         }
     }
 
@@ -107,10 +128,18 @@ pub enum FaultAction {
     /// stays wedged so every later write fails too (a dead disk).
     IoError,
     /// Write only this many bytes of the buffer, then wedge (a crash or
-    /// disk-full mid-write, leaving a truncated file).
+    /// disk-full mid-write, leaving a truncated file). On a reader this is
+    /// a short *read* then a wedge — a peer disconnecting mid-frame.
     ShortWrite {
         /// Bytes actually written before the writer wedges.
         bytes: usize,
+    },
+    /// Flip one bit of the buffer in flight (transient corruption — the
+    /// I/O succeeds and the wrapper does not wedge; the receiver's CRC is
+    /// what should catch it).
+    BitFlip {
+        /// Which bit to flip, taken modulo the buffer's bit length.
+        bit: u64,
     },
 }
 
@@ -131,6 +160,9 @@ impl FaultAction {
                 .ok()
                 .map(|bytes| FaultAction::ShortWrite { bytes });
         }
+        if let Some(b) = s.strip_prefix("bit_flip:") {
+            return b.parse().ok().map(|bit| FaultAction::BitFlip { bit });
+        }
         None
     }
 }
@@ -142,6 +174,7 @@ impl std::fmt::Display for FaultAction {
             FaultAction::Stall { ms } => write!(f, "stall:{ms}"),
             FaultAction::IoError => write!(f, "io_error"),
             FaultAction::ShortWrite { bytes } => write!(f, "short_write:{bytes}"),
+            FaultAction::BitFlip { bit } => write!(f, "bit_flip:{bit}"),
         }
     }
 }
@@ -369,7 +402,10 @@ impl FaultInjector {
             Some(FaultAction::Stall { ms }) => {
                 std::thread::sleep(std::time::Duration::from_millis(ms))
             }
-            Some(FaultAction::IoError) | Some(FaultAction::ShortWrite { .. }) | None => {}
+            Some(FaultAction::IoError)
+            | Some(FaultAction::ShortWrite { .. })
+            | Some(FaultAction::BitFlip { .. })
+            | None => {}
         }
     }
 
@@ -398,24 +434,43 @@ pub fn injected_io_error() -> io::Error {
     io::Error::other("injected I/O fault")
 }
 
-/// A [`Write`] adapter consulting a [`FaultInjector`] at the
-/// [`FaultSite::TraceWrite`] site before every underlying write. `IoError`
-/// and `ShortWrite` actions wedge the writer: once a fault has fired,
-/// every later write (and flush) fails, modelling a dead disk or a
-/// crashed process whose file ends mid-stream.
+/// Flip bit `bit % (len * 8)` of `data` in place (no-op on an empty
+/// buffer).
+fn flip_bit(data: &mut [u8], bit: u64) {
+    if data.is_empty() {
+        return;
+    }
+    let i = (bit % (data.len() as u64 * 8)) as usize;
+    data[i / 8] ^= 1 << (i % 8);
+}
+
+/// A [`Write`] adapter consulting a [`FaultInjector`] at a writer-side
+/// site ([`FaultSite::TraceWrite`] by default, [`FaultSite::NetWrite`] for
+/// the streaming client) before every underlying write. `IoError` and
+/// `ShortWrite` actions wedge the writer: once a fault has fired, every
+/// later write (and flush) fails, modelling a dead disk or a torn
+/// connection whose stream ends mid-frame. `BitFlip` corrupts the buffer
+/// in flight and moves on — the receiver's CRC is the safety net.
 #[derive(Debug)]
 pub struct FaultyWriter<W> {
     inner: W,
     injector: Arc<FaultInjector>,
+    site: FaultSite,
     wedged: bool,
 }
 
 impl<W: Write> FaultyWriter<W> {
-    /// Wrap `inner`.
+    /// Wrap `inner` at the [`FaultSite::TraceWrite`] site.
     pub fn new(inner: W, injector: Arc<FaultInjector>) -> Self {
+        Self::with_site(inner, injector, FaultSite::TraceWrite)
+    }
+
+    /// Wrap `inner` at an explicit writer-side site.
+    pub fn with_site(inner: W, injector: Arc<FaultInjector>, site: FaultSite) -> Self {
         Self {
             inner,
             injector,
+            site,
             wedged: false,
         }
     }
@@ -431,9 +486,9 @@ impl<W: Write> Write for FaultyWriter<W> {
         if self.wedged {
             return Err(injected_io_error());
         }
-        match self.injector.check(FaultSite::TraceWrite) {
+        match self.injector.check(self.site) {
             None => self.inner.write(buf),
-            Some(FaultAction::Panic) => panic!("injected fault: panic at trace_write"),
+            Some(FaultAction::Panic) => panic!("injected fault: panic at {}", self.site),
             Some(FaultAction::Stall { ms }) => {
                 std::thread::sleep(std::time::Duration::from_millis(ms));
                 self.inner.write(buf)
@@ -456,6 +511,12 @@ impl<W: Write> Write for FaultyWriter<W> {
                 self.inner.flush()?;
                 Err(injected_io_error())
             }
+            Some(FaultAction::BitFlip { bit }) => {
+                let mut corrupt = buf.to_vec();
+                flip_bit(&mut corrupt, bit);
+                self.inner.write_all(&corrupt)?;
+                Ok(buf.len())
+            }
         }
     }
 
@@ -467,9 +528,76 @@ impl<W: Write> Write for FaultyWriter<W> {
     }
 }
 
+/// A [`Read`](io::Read) adapter consulting a [`FaultInjector`] at a
+/// reader-side site (e.g. [`FaultSite::NetFrameRead`] on the server's
+/// frame-reassembly path) before every underlying read. `IoError` wedges
+/// immediately (an abrupt disconnect); `ShortWrite` delivers at most that
+/// many bytes then wedges (a peer dying mid-frame); `BitFlip` corrupts
+/// the bytes read and moves on.
+#[derive(Debug)]
+pub struct FaultyReader<R> {
+    inner: R,
+    injector: Arc<FaultInjector>,
+    site: FaultSite,
+    wedged: bool,
+}
+
+impl<R: io::Read> FaultyReader<R> {
+    /// Wrap `inner` at `site`.
+    pub fn with_site(inner: R, injector: Arc<FaultInjector>, site: FaultSite) -> Self {
+        Self {
+            inner,
+            injector,
+            site,
+            wedged: false,
+        }
+    }
+
+    /// The wrapped reader.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+}
+
+impl<R: io::Read> io::Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.wedged {
+            return Err(injected_io_error());
+        }
+        match self.injector.check(self.site) {
+            None => self.inner.read(buf),
+            Some(FaultAction::Panic) => panic!("injected fault: panic at {}", self.site),
+            Some(FaultAction::Stall { ms }) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                self.inner.read(buf)
+            }
+            Some(FaultAction::IoError) => {
+                self.wedged = true;
+                Err(injected_io_error())
+            }
+            Some(FaultAction::ShortWrite { bytes }) => {
+                // Deliver a short prefix of what the peer sent, then wedge:
+                // the connection died mid-frame.
+                self.wedged = true;
+                if bytes == 0 {
+                    return Err(injected_io_error());
+                }
+                let cap = bytes.min(buf.len());
+                self.inner.read(&mut buf[..cap])
+            }
+            Some(FaultAction::BitFlip { bit }) => {
+                let n = self.inner.read(buf)?;
+                flip_bit(&mut buf[..n], bit);
+                Ok(n)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Read;
 
     #[test]
     fn site_names_round_trip() {
@@ -650,5 +778,100 @@ mod tests {
         w.write_all(b"clean").unwrap();
         w.flush().unwrap();
         assert_eq!(w.get_ref().as_slice(), b"clean");
+    }
+
+    #[test]
+    fn faulty_writer_bit_flip_is_transient() {
+        let inj = Arc::new(FaultInjector::new(FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule::once(
+                FaultSite::NetWrite,
+                FaultAction::BitFlip { bit: 3 },
+                0,
+            )],
+        }));
+        let mut w = FaultyWriter::with_site(Vec::new(), inj, FaultSite::NetWrite);
+        w.write_all(&[0u8; 4]).unwrap(); // hit 0: bit 3 of byte 0 flipped
+        w.write_all(&[0u8; 2]).unwrap(); // clean: budget spent, no wedge
+        w.flush().unwrap();
+        assert_eq!(w.get_ref().as_slice(), &[0b1000, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn faulty_reader_short_read_then_wedges() {
+        let inj = Arc::new(FaultInjector::new(FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule::once(
+                FaultSite::NetFrameRead,
+                FaultAction::ShortWrite { bytes: 3 },
+                1,
+            )],
+        }));
+        let data: &[u8] = b"0123456789";
+        let mut r = FaultyReader::with_site(data, inj, FaultSite::NetFrameRead);
+        let mut buf = [0u8; 5];
+        assert_eq!(r.read(&mut buf).unwrap(), 5); // hit 0: clean
+        assert_eq!(&buf, b"01234");
+        assert_eq!(r.read(&mut buf).unwrap(), 3); // hit 1: short, then wedge
+        assert_eq!(&buf[..3], b"567");
+        assert!(r.read(&mut buf).is_err());
+    }
+
+    #[test]
+    fn faulty_reader_io_error_is_abrupt_disconnect() {
+        let inj = Arc::new(FaultInjector::new(FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule::once(
+                FaultSite::NetFrameRead,
+                FaultAction::IoError,
+                0,
+            )],
+        }));
+        let data: &[u8] = b"payload";
+        let mut r = FaultyReader::with_site(data, inj, FaultSite::NetFrameRead);
+        let mut buf = [0u8; 4];
+        assert!(r.read(&mut buf).is_err());
+        assert!(r.read(&mut buf).is_err()); // wedged for good
+    }
+
+    #[test]
+    fn faulty_reader_bit_flip_corrupts_only_read_bytes() {
+        let inj = Arc::new(FaultInjector::new(FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule::once(
+                FaultSite::NetFrameRead,
+                // 8 * 4 + 1: reduces mod the 4 bytes actually read.
+                FaultAction::BitFlip { bit: 33 },
+                0,
+            )],
+        }));
+        let data: &[u8] = &[0u8; 4];
+        let mut r = FaultyReader::with_site(data, inj, FaultSite::NetFrameRead);
+        let mut buf = [0xffu8; 8];
+        assert_eq!(r.read(&mut buf).unwrap(), 4);
+        assert_eq!(&buf[..4], &[0b10, 0, 0, 0]);
+        assert_eq!(&buf[4..], &[0xff; 4]); // untouched past the read length
+    }
+
+    #[test]
+    fn new_sites_and_bit_flip_round_trip_through_plan_text() {
+        let plan = FaultPlan::parse(
+            "seed 9\n\
+             fault net_accept io_error after=1 count=1\n\
+             fault net_frame_read bit_flip:17 after=2 count=3\n\
+             fault net_write short_write:5 after=0 count=1\n\
+             fault tenant_flush panic after=0 count=1\n",
+        )
+        .unwrap();
+        assert_eq!(plan.rules.len(), 4);
+        assert_eq!(plan.rules[0].site, FaultSite::NetAccept);
+        assert_eq!(plan.rules[1].site, FaultSite::NetFrameRead);
+        assert_eq!(plan.rules[1].action, FaultAction::BitFlip { bit: 17 });
+        assert_eq!(plan.rules[3].site, FaultSite::TenantFlush);
+        // Display round-trips.
+        assert_eq!(plan.rules[1].action.to_string(), "bit_flip:17");
+        for site in FaultSite::ALL {
+            assert_eq!(FaultSite::parse(site.name()), Some(site));
+        }
     }
 }

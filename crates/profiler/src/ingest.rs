@@ -1,0 +1,365 @@
+//! Incremental per-tenant analysis for `loopcomm serve`.
+//!
+//! The offline parallel path ([`crate::parallel`]) partitions a complete
+//! trace by address class and merges per-worker reports at the end. A
+//! streaming server cannot wait for the end: frames arrive one at a time
+//! and the tenant's matrices must be inspectable at any moment. The
+//! [`IncrementalAnalyzer`] keeps the *same* partitioning (signature slot
+//! for the asymmetric detector, hashed exact address for the perfect
+//! baseline) and the same private-profilers-merge-by-summation scheme,
+//! but applies it frame by frame: each decoded frame is split into
+//! per-worker sub-batches, fed through the batched
+//! [`lc_trace::AccessSink::on_batch`] tiled hot path, and forgotten.
+//!
+//! Because every worker sees exactly the subsequence of events it would
+//! have seen in an offline run (same order, only different batch
+//! boundaries — batching is proven boundary-invariant by
+//! `tests/batched_hot_path.rs`), the merged report is byte-identical to
+//! `loopcomm analyze` over the same events
+//! (`tests/serve_equivalence.rs`). Memory stays bounded per tenant: the
+//! footprint is `jobs` signature pairs plus the per-loop matrix registry
+//! — the paper's Eq. 2 bound times the worker count, independent of how
+//! many events have streamed through.
+
+use lc_sigmem::{murmur::fmix64, SignatureConfig, SlotRouter};
+use lc_trace::{AccessEvent, AccessSink, StampedEvent};
+
+use crate::parallel::merge_reports;
+use crate::profiler::{AsymmetricProfiler, PerfectProfiler, ProfileReport, ProfilerConfig};
+use crate::raw::{AsymmetricDetector, PerfectDetector};
+use crate::shards::{AccumConfig, RegistryFull};
+
+/// Which detector a tenant's analyzer runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DetectorKind {
+    /// The paper's bounded-memory asymmetric signature detector.
+    Asymmetric,
+    /// The exact (perfect-signature) reference baseline.
+    Perfect,
+}
+
+enum Workers {
+    Asymmetric {
+        router: SlotRouter,
+        profilers: Vec<AsymmetricProfiler>,
+    },
+    Perfect {
+        profilers: Vec<PerfectProfiler>,
+    },
+}
+
+/// One tenant's live analysis state: `jobs` private profilers fed
+/// per-address-class sub-batches of each arriving frame.
+pub struct IncrementalAnalyzer {
+    workers: Workers,
+    jobs: usize,
+    /// Per-worker scratch reused across frames (cleared, not freed).
+    scratch: Vec<Vec<AccessEvent>>,
+    frames: u64,
+    events: u64,
+}
+
+impl IncrementalAnalyzer {
+    /// Asymmetric-signature analyzer with `jobs` slot-sharded workers.
+    pub fn asymmetric(
+        sig: SignatureConfig,
+        prof: ProfilerConfig,
+        accum: AccumConfig,
+        jobs: usize,
+    ) -> Self {
+        let jobs = jobs.max(1);
+        assert!(
+            prof.phase_window.is_none(),
+            "phase windows are order-dependent across the whole dependence \
+             stream; streaming ingest does not support them"
+        );
+        Self {
+            workers: Workers::Asymmetric {
+                router: SlotRouter::new(sig.n_slots),
+                profilers: (0..jobs)
+                    .map(|_| {
+                        AsymmetricProfiler::from_detector_with(
+                            AsymmetricDetector::asymmetric(sig),
+                            prof,
+                            accum,
+                        )
+                    })
+                    .collect(),
+            },
+            jobs,
+            scratch: (0..jobs).map(|_| Vec::new()).collect(),
+            frames: 0,
+            events: 0,
+        }
+    }
+
+    /// Perfect-baseline analyzer with `jobs` address-hashed workers.
+    pub fn perfect(prof: ProfilerConfig, accum: AccumConfig, jobs: usize) -> Self {
+        let jobs = jobs.max(1);
+        assert!(
+            prof.phase_window.is_none(),
+            "phase windows are order-dependent across the whole dependence \
+             stream; streaming ingest does not support them"
+        );
+        Self {
+            workers: Workers::Perfect {
+                profilers: (0..jobs)
+                    .map(|_| {
+                        PerfectProfiler::from_detector_with(PerfectDetector::perfect(), prof, accum)
+                    })
+                    .collect(),
+            },
+            jobs,
+            scratch: (0..jobs).map(|_| Vec::new()).collect(),
+            frames: 0,
+            events: 0,
+        }
+    }
+
+    /// Build for `kind` (CLI-facing convenience).
+    pub fn new(
+        kind: DetectorKind,
+        sig: SignatureConfig,
+        prof: ProfilerConfig,
+        accum: AccumConfig,
+        jobs: usize,
+    ) -> Self {
+        match kind {
+            DetectorKind::Asymmetric => Self::asymmetric(sig, prof, accum, jobs),
+            DetectorKind::Perfect => Self::perfect(prof, accum, jobs),
+        }
+    }
+
+    /// Which detector this analyzer runs.
+    pub fn kind(&self) -> DetectorKind {
+        match self.workers {
+            Workers::Asymmetric { .. } => DetectorKind::Asymmetric,
+            Workers::Perfect { .. } => DetectorKind::Perfect,
+        }
+    }
+
+    /// Analyze one decoded frame. Events are routed to workers by the
+    /// same address-class function the offline parallel path uses, in
+    /// frame order, and delivered through the tiled batch path.
+    pub fn on_frame(&mut self, frame: &[StampedEvent]) {
+        for s in &mut self.scratch {
+            s.clear();
+        }
+        match &self.workers {
+            Workers::Asymmetric { router, .. } => {
+                for e in frame {
+                    self.scratch[router.worker(e.event.addr, self.jobs)].push(e.event);
+                }
+            }
+            Workers::Perfect { .. } => {
+                for e in frame {
+                    let w = (fmix64(e.event.addr) % self.jobs as u64) as usize;
+                    self.scratch[w].push(e.event);
+                }
+            }
+        }
+        match &self.workers {
+            Workers::Asymmetric { profilers, .. } => {
+                for (p, batch) in profilers.iter().zip(&self.scratch) {
+                    if !batch.is_empty() {
+                        p.on_batch(batch);
+                    }
+                }
+            }
+            Workers::Perfect { profilers } => {
+                for (p, batch) in profilers.iter().zip(&self.scratch) {
+                    if !batch.is_empty() {
+                        p.on_batch(batch);
+                    }
+                }
+            }
+        }
+        self.frames += 1;
+        self.events += frame.len() as u64;
+    }
+
+    /// Frames analyzed so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Events analyzed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// First registry-capacity overflow latched by any worker.
+    pub fn overflow(&self) -> Option<RegistryFull> {
+        match &self.workers {
+            Workers::Asymmetric { profilers, .. } => {
+                profilers.iter().find_map(|p| p.registry_overflow())
+            }
+            Workers::Perfect { profilers } => profilers.iter().find_map(|p| p.registry_overflow()),
+        }
+    }
+
+    /// True if any worker's flush path degraded.
+    pub fn degraded(&self) -> bool {
+        match &self.workers {
+            Workers::Asymmetric { profilers, .. } => profilers.iter().any(|p| p.degraded()),
+            Workers::Perfect { profilers } => profilers.iter().any(|p| p.degraded()),
+        }
+    }
+
+    /// Live heap footprint across all workers (the bounded-memory claim:
+    /// this does not grow with streamed events).
+    pub fn memory_bytes(&self) -> usize {
+        match &self.workers {
+            Workers::Asymmetric { profilers, .. } => {
+                profilers.iter().map(|p| p.memory_bytes()).sum()
+            }
+            Workers::Perfect { profilers } => profilers.iter().map(|p| p.memory_bytes()).sum(),
+        }
+    }
+
+    /// Snapshot the merged report — non-destructive, callable between
+    /// frames; identical to what the offline parallel path would merge.
+    pub fn report(&self) -> ProfileReport {
+        let reports: Vec<ProfileReport> = match &self.workers {
+            Workers::Asymmetric { profilers, .. } => profilers.iter().map(|p| p.report()).collect(),
+            Workers::Perfect { profilers } => profilers.iter().map(|p| p.report()).collect(),
+        };
+        let mut merged: Option<ProfileReport> = None;
+        for r in reports {
+            merged = Some(match merged {
+                None => r,
+                Some(acc) => merge_reports(acc, r),
+            });
+        }
+        merged.expect("jobs >= 1")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::{analyze_trace_asymmetric, analyze_trace_perfect, ParReplayConfig};
+    use lc_trace::{AccessKind, FuncId, LoopId, Trace};
+
+    fn trace(n: u64) -> Trace {
+        let mut evs = Vec::new();
+        for i in 0..n {
+            let addr = 0x1000 + (i % 64) * 8;
+            let kind = if i % 4 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let tid = if kind == AccessKind::Write {
+                0
+            } else {
+                (i % 3 + 1) as u32
+            };
+            evs.push(StampedEvent {
+                seq: i,
+                event: AccessEvent {
+                    tid,
+                    addr,
+                    size: 8,
+                    kind,
+                    loop_id: LoopId((i % 5) as u32 + 1),
+                    parent_loop: LoopId::NONE,
+                    func: FuncId::NONE,
+                    site: 0,
+                },
+            });
+        }
+        Trace::new(evs)
+    }
+
+    fn assert_matches(inc: &ProfileReport, offline: &ProfileReport) {
+        assert_eq!(inc.global, offline.global);
+        assert_eq!(inc.per_loop, offline.per_loop);
+        assert_eq!(inc.dependencies, offline.dependencies);
+        assert_eq!(inc.threads, offline.threads);
+    }
+
+    #[test]
+    fn frame_by_frame_asymmetric_matches_offline() {
+        let t = trace(3000);
+        let sig = SignatureConfig::paper_default(1 << 10, 4);
+        let prof = ProfilerConfig::nested(4);
+        for jobs in [1usize, 2, 4] {
+            for frame_events in [7usize, 256] {
+                let mut inc =
+                    IncrementalAnalyzer::asymmetric(sig, prof, AccumConfig::default(), jobs);
+                for frame in t.events().chunks(frame_events) {
+                    inc.on_frame(frame);
+                }
+                assert_eq!(inc.events(), 3000);
+                let offline = analyze_trace_asymmetric(
+                    &t,
+                    sig,
+                    prof,
+                    AccumConfig::default(),
+                    &ParReplayConfig {
+                        jobs,
+                        coalesce: false,
+                        batch_events: 512,
+                    },
+                );
+                assert_matches(&inc.report(), &offline.report);
+            }
+        }
+    }
+
+    #[test]
+    fn frame_by_frame_perfect_matches_offline() {
+        let t = trace(2000);
+        let prof = ProfilerConfig::nested(4);
+        for jobs in [1usize, 3] {
+            let mut inc = IncrementalAnalyzer::perfect(prof, AccumConfig::default(), jobs);
+            for frame in t.events().chunks(33) {
+                inc.on_frame(frame);
+            }
+            let offline = analyze_trace_perfect(
+                &t,
+                prof,
+                AccumConfig::default(),
+                &ParReplayConfig {
+                    jobs,
+                    coalesce: false,
+                    batch_events: 128,
+                },
+            );
+            assert_matches(&inc.report(), &offline.report);
+        }
+    }
+
+    #[test]
+    fn memory_stays_bounded_as_frames_stream() {
+        let sig = SignatureConfig::paper_default(1 << 8, 4);
+        let prof = ProfilerConfig::nested(4);
+        let mut inc = IncrementalAnalyzer::asymmetric(sig, prof, AccumConfig::default(), 2);
+        let t = trace(500);
+        for frame in t.events().chunks(50) {
+            inc.on_frame(frame);
+        }
+        let early = inc.memory_bytes();
+        for _ in 0..10 {
+            for frame in t.events().chunks(50) {
+                inc.on_frame(frame);
+            }
+        }
+        // Same loops, same signatures: footprint must not grow with
+        // streamed volume.
+        assert_eq!(inc.memory_bytes(), early);
+        assert_eq!(inc.events(), 500 * 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase windows")]
+    fn ingest_refuses_phase_windows() {
+        let prof = ProfilerConfig {
+            threads: 4,
+            track_nested: true,
+            phase_window: Some(8),
+        };
+        IncrementalAnalyzer::perfect(prof, AccumConfig::default(), 2);
+    }
+}

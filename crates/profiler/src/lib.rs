@@ -37,6 +37,7 @@ pub mod classify;
 pub mod clock;
 pub mod deps;
 pub mod energy;
+pub mod ingest;
 pub mod mapping;
 pub mod matrix;
 pub mod matrix_sparse;
@@ -57,6 +58,7 @@ pub mod viz;
 
 pub use deps::{DepConfig, DepKind, FullDetector};
 pub use energy::{estimate_dvfs_savings, EnergyEstimate, PowerModel};
+pub use ingest::{DetectorKind, IncrementalAnalyzer};
 pub use mapping::{greedy_mapping, MachineTopology, ThreadMapping};
 pub use matrix::{CommMatrix, DenseMatrix};
 pub use matrix_sparse::SparseCommMatrix;
@@ -68,6 +70,7 @@ pub use profiler::{
     ProfilerConfig,
 };
 pub use raw::{AccessProbe, AsymmetricDetector, Dependence, PerfectDetector, RawDetector};
+pub use report::canonical_report;
 pub use report_html::html_report;
 pub use sampling::{BurstSampler, StrideSampler};
 pub use shards::{AccumConfig, FlushHealth, FlushTarget, LoopRegistry, RegistryFull, ShardSet};

@@ -207,8 +207,9 @@ where
 
 /// Sum two per-worker reports. Every field is a commutative accumulation:
 /// dense matrices add cell-wise, per-loop maps union-with-sum, counters and
-/// footprints add.
-fn merge_reports(mut acc: ProfileReport, r: ProfileReport) -> ProfileReport {
+/// footprints add. Shared with the incremental ingest path
+/// ([`crate::ingest`]), which partitions by the same routers.
+pub(crate) fn merge_reports(mut acc: ProfileReport, r: ProfileReport) -> ProfileReport {
     acc.global.accumulate(&r.global);
     for (id, m) in r.per_loop {
         use std::collections::hash_map::Entry;

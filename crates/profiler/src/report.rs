@@ -4,6 +4,40 @@ use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::Path;
 
+use crate::profiler::ProfileReport;
+
+/// Deterministic plain-text rendering of a profile — the byte-for-byte
+/// comparison format of the server-vs-offline differential
+/// (`tests/serve_equivalence.rs`). Covers exactly the fields that are
+/// invariant across execution strategy (worker count, batch boundaries,
+/// coalescing): thread count, event count, dependence count, the global
+/// matrix, and every per-loop matrix in loop-UID order. Deliberately
+/// excludes `accesses` (changed by coalescing) and `memory_bytes`
+/// (footprint, not semantics).
+pub fn canonical_report(report: &ProfileReport, trace_events: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "loopcomm-report v1");
+    let _ = writeln!(out, "threads {}", report.threads);
+    let _ = writeln!(out, "events {trace_events}");
+    let _ = writeln!(out, "dependencies {}", report.dependencies);
+    let _ = writeln!(out, "global");
+    out.push_str(&report.global.to_csv());
+    let mut ids: Vec<_> = report.per_loop.keys().copied().collect();
+    ids.sort_unstable_by_key(|id| id.0);
+    for id in ids {
+        let m = &report.per_loop[&id];
+        // Loops that never communicated render identically whether or not
+        // a worker ever touched them — an all-zero matrix carries no
+        // information, and which workers saw a loop is replay-dependent.
+        if m.total() == 0 {
+            continue;
+        }
+        let _ = writeln!(out, "loop {}", id.0);
+        out.push_str(&m.to_csv());
+    }
+    out
+}
+
 /// Render an ASCII table with a header row.
 pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let ncols = headers.len();

@@ -27,6 +27,7 @@ pub mod ctx;
 pub mod event;
 pub mod loops;
 pub mod memory;
+pub mod net;
 pub mod registry;
 pub mod replay;
 pub mod runtime;
@@ -36,11 +37,13 @@ pub mod sites;
 pub mod spool;
 pub mod trace_compress;
 pub mod trace_io;
+pub mod wire;
 
 pub use ctx::TraceCtx;
 pub use event::{AccessEvent, AccessKind, FuncId, LoopId, StampedEvent};
 pub use loops::{enter_func, enter_loop, FuncGuard, LoopGuard, LoopTable};
 pub use memory::{AddressSpace, TracedBuffer, Word};
+pub use net::{connect_stream, stream_trace, NetSink, StreamStats};
 pub use registry::{current_tid, try_current_tid, ThreadGuard};
 pub use replay::{
     coalesce_events, CoalesceStats, ParReplayOptions, ParReplayStats, Trace, TraceStats,
@@ -54,8 +57,11 @@ pub use sink::{
 };
 pub use sites::{site_location, SiteCounter, SiteTraffic};
 pub use spool::{
-    salvage_trace, write_trace_spool, SalvageReport, SpoolError, SpoolSink, SpoolStats,
-    SpoolWriter, DEFAULT_FRAME_EVENTS,
+    salvage_stream, salvage_trace, write_trace_spool, SalvageReport, SpoolError, SpoolSink,
+    SpoolStats, SpoolWriter, DEFAULT_FRAME_EVENTS,
 };
 pub use trace_compress::{load_trace_compressed, save_trace_compressed};
 pub use trace_io::{load_trace, read_trace, save_trace, write_trace};
+pub use wire::{
+    decode_hello, encode_hello, read_hello, valid_tenant, FrameDecoder, WireError, WireSummary,
+};

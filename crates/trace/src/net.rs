@@ -1,0 +1,271 @@
+//! Streaming clients for `loopcomm serve`.
+//!
+//! The wire protocol is deliberately the on-disk spool: a hello preamble
+//! naming the tenant ([`crate::wire`]), then the exact byte stream
+//! [`SpoolWriter`] produces for a file (`"LCTR" | version=2 | framed
+//! CRC32 payloads`). A network capture of a session *is* a valid spool
+//! file, and every file-side tool (salvage, analyze) works on it
+//! unchanged.
+//!
+//! Two clients:
+//!
+//! * [`NetSink`] — a drop-in [`AccessSink`] replacement for
+//!   [`SpoolSink`]: live recording streamed to a server instead of disk
+//!   (`loopcomm record --connect`).
+//! * [`stream_trace`] — replay an already-recorded trace to a server in
+//!   whole frames (`loopcomm stream`).
+//!
+//! Both accept an optional [`FaultInjector`] wrapped around the socket
+//! writes at the [`FaultSite::NetWrite`] seam — the hello preamble is
+//! written *before* the fault wrapper so injected disconnects always
+//! land inside the spool stream, where the server's per-frame salvage
+//! has to cope with them.
+
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+
+use lc_faults::{FaultInjector, FaultSite, FaultyWriter};
+
+use crate::replay::Trace;
+use crate::sink::AccessSink;
+use crate::spool::{SpoolError, SpoolSink, SpoolStats, SpoolWriter};
+use crate::wire::{encode_hello, valid_tenant};
+use crate::AccessEvent;
+
+/// Connect to a serve endpoint: `unix:<path>` for a Unix socket, any
+/// other string for a TCP `host:port`.
+pub fn connect_stream(addr: &str) -> io::Result<Box<dyn Write + Send>> {
+    if let Some(path) = addr.strip_prefix("unix:") {
+        Ok(Box::new(UnixStream::connect(path)?))
+    } else {
+        Ok(Box::new(TcpStream::connect(addr)?))
+    }
+}
+
+/// Open a connection, send the hello for `tenant`, and wrap the rest of
+/// the stream in the [`FaultSite::NetWrite`] seam when `faults` is armed.
+fn open_session(
+    addr: &str,
+    tenant: &str,
+    faults: Option<Arc<FaultInjector>>,
+) -> io::Result<Box<dyn Write + Send>> {
+    if !valid_tenant(tenant) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("invalid tenant name {tenant:?} (use [A-Za-z0-9_.-])"),
+        ));
+    }
+    let mut sock = connect_stream(addr)?;
+    sock.write_all(&encode_hello(tenant))?;
+    sock.flush()?;
+    Ok(match faults {
+        Some(inj) => Box::new(FaultyWriter::with_site(sock, inj, FaultSite::NetWrite)),
+        None => sock,
+    })
+}
+
+/// What one trace replay shipped to the server.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Frames sent.
+    pub frames: u64,
+    /// Events sent.
+    pub events: u64,
+    /// Stream bytes written (hello excluded).
+    pub bytes: u64,
+}
+
+impl From<SpoolStats> for StreamStats {
+    fn from(s: SpoolStats) -> Self {
+        StreamStats {
+            frames: s.frames,
+            events: s.events,
+            bytes: s.bytes,
+        }
+    }
+}
+
+/// Replay a recorded trace to a server as `frame_events`-event frames.
+/// An injected network fault surfaces as the I/O error the socket write
+/// produced; everything already framed and flushed has reached the wire.
+pub fn stream_trace(
+    trace: &Trace,
+    addr: &str,
+    tenant: &str,
+    frame_events: usize,
+    faults: Option<Arc<FaultInjector>>,
+) -> io::Result<StreamStats> {
+    let sock = open_session(addr, tenant, faults)?;
+    let mut sw = SpoolWriter::new(sock, frame_events)?;
+    for e in trace.events() {
+        sw.push(e)?;
+    }
+    Ok(sw.finish()?.into())
+}
+
+/// A [`SpoolSink`]-compatible recording sink that spools frames to a
+/// `loopcomm serve` endpoint instead of a file. Same threading model:
+/// application threads stamp and batch, a dedicated writer thread ships
+/// each batch as one flushed frame, [`NetSink::finish`] surfaces the
+/// writer's fate as a typed [`SpoolError`].
+pub struct NetSink {
+    inner: SpoolSink,
+}
+
+impl NetSink {
+    /// Connect to `addr` as `tenant` and start streaming.
+    pub fn connect(
+        addr: &str,
+        tenant: &str,
+        frame_events: usize,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> io::Result<Self> {
+        let sock = open_session(addr, tenant, faults)?;
+        Ok(Self {
+            inner: SpoolSink::from_writer(sock, frame_events)?,
+        })
+    }
+
+    /// True when the writer thread has stopped accepting frames.
+    pub fn writer_dead(&self) -> bool {
+        self.inner.writer_dead()
+    }
+
+    /// Events stamped so far (streamed or buffered).
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Flush remaining events, close the stream, and return what was
+    /// shipped.
+    pub fn finish(&self) -> Result<StreamStats, SpoolError> {
+        self.inner.finish().map(Into::into)
+    }
+}
+
+impl AccessSink for NetSink {
+    fn on_access(&self, ev: &AccessEvent) {
+        self.inner.on_access(ev);
+    }
+
+    fn on_batch(&self, evs: &[AccessEvent]) {
+        self.inner.on_batch(evs);
+    }
+
+    fn flush(&self) {
+        self.inner.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{AccessKind, FuncId, LoopId, StampedEvent};
+    use crate::spool::salvage_stream;
+    use crate::wire::read_hello;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    fn ev(i: u64) -> StampedEvent {
+        StampedEvent {
+            seq: i,
+            event: AccessEvent {
+                tid: (i % 2) as u32,
+                addr: 0x1000 + i * 4,
+                size: 4,
+                kind: if i % 3 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+                loop_id: LoopId(0),
+                parent_loop: LoopId::NONE,
+                func: FuncId(0),
+                site: 0,
+            },
+        }
+    }
+
+    /// Accept one connection and return (tenant, raw stream bytes).
+    fn accept_one(listener: TcpListener) -> std::thread::JoinHandle<(String, Vec<u8>)> {
+        std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            let tenant = read_hello(&mut sock).unwrap();
+            let mut bytes = Vec::new();
+            sock.read_to_end(&mut bytes).unwrap();
+            (tenant, bytes)
+        })
+    }
+
+    #[test]
+    fn stream_trace_bytes_are_a_valid_spool() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = accept_one(listener);
+        let trace = Trace::new((0..50).map(ev).collect());
+        let stats = stream_trace(&trace, &addr, "t1", 7, None).unwrap();
+        assert_eq!(stats.events, 50);
+        assert_eq!(stats.frames, 8); // ceil(50/7)
+        let (tenant, bytes) = server.join().unwrap();
+        assert_eq!(tenant, "t1");
+        let (back, report) = salvage_stream(&mut &bytes[..]).unwrap();
+        assert!(report.intact());
+        assert_eq!(back.events().to_vec(), trace.events().to_vec());
+    }
+
+    #[test]
+    fn net_sink_round_trips_live_recording() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = accept_one(listener);
+        let sink = NetSink::connect(&addr, "live", 16, None).unwrap();
+        for i in 0..100u64 {
+            sink.on_access(&ev(i).event);
+        }
+        let stats = sink.finish().unwrap();
+        assert_eq!(stats.events, 100);
+        let (tenant, bytes) = server.join().unwrap();
+        assert_eq!(tenant, "live");
+        let (back, report) = salvage_stream(&mut &bytes[..]).unwrap();
+        assert!(report.intact());
+        assert_eq!(back.len(), 100);
+    }
+
+    #[test]
+    fn invalid_tenant_is_rejected_before_connecting() {
+        let err = stream_trace(&Trace::default(), "127.0.0.1:1", "no way", 8, None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn injected_disconnect_leaves_whole_frame_prefix() {
+        use lc_faults::{FaultAction, FaultPlan, FaultRule};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = accept_one(listener);
+        let inj = Arc::new(FaultInjector::new(FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule::once(
+                FaultSite::NetWrite,
+                FaultAction::IoError,
+                // Prelude is 2 writes; each frame is 4 writes + flush.
+                10,
+            )],
+        }));
+        let trace = Trace::new((0..80).map(ev).collect());
+        let err = stream_trace(&trace, &addr, "t2", 8, Some(inj)).unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        let (_, bytes) = server.join().unwrap();
+        // The server-side prefix is salvageable whole frames.
+        let (back, report) = salvage_stream(&mut &bytes[..]).unwrap();
+        assert_eq!(back.len() as u64 % 8, 0, "only whole frames");
+        assert_eq!(report.events, back.len() as u64);
+    }
+}

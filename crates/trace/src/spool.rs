@@ -44,12 +44,12 @@ use crate::trace_io::{
 };
 
 /// Frame marker: "LCFR".
-const FRAME_MAGIC: [u8; 4] = *b"LCFR";
+pub(crate) const FRAME_MAGIC: [u8; 4] = *b"LCFR";
 /// Bytes of frame header (marker + payload length + CRC32).
-const FRAME_HEADER_BYTES: usize = 12;
+pub(crate) const FRAME_HEADER_BYTES: usize = 12;
 /// Sanity cap on one frame's payload (16 Mi events); a length field above
 /// this is treated as corruption, not an allocation request.
-const MAX_FRAME_PAYLOAD: u32 = (1 << 24) * RECORD_BYTES as u32;
+pub(crate) const MAX_FRAME_PAYLOAD: u32 = (1 << 24) * RECORD_BYTES as u32;
 /// Events per frame when the caller does not choose (4096 events ≈ 164 KiB
 /// per frame — large enough to amortize the 12-byte header and the flush,
 /// small enough that a crash loses under a fifth of a megabyte).
@@ -355,10 +355,17 @@ fn read_frames_inner<R: Read>(r: &mut R, salvage: bool) -> io::Result<(Trace, Sa
 pub fn salvage_trace(path: &Path) -> io::Result<(Trace, SalvageReport)> {
     let f = std::fs::File::open(path)?;
     let mut r = io::BufReader::new(f);
-    let version = read_header(&mut r)?;
+    salvage_stream(&mut r)
+}
+
+/// [`salvage_trace`] over any byte stream — the reference semantics the
+/// network-side incremental decoder ([`crate::wire::FrameDecoder`]) is
+/// differentially tested against.
+pub fn salvage_stream<R: Read>(r: &mut R) -> io::Result<(Trace, SalvageReport)> {
+    let version = read_header(r)?;
     match version {
         VERSION => {
-            let (trace, dropped) = salvage_v1_body(&mut r)?;
+            let (trace, dropped) = salvage_v1_body(r)?;
             let events = trace.len() as u64;
             Ok((
                 trace,
@@ -370,7 +377,7 @@ pub fn salvage_trace(path: &Path) -> io::Result<(Trace, SalvageReport)> {
                 },
             ))
         }
-        VERSION_SPOOL => read_frames_inner(&mut r, true),
+        VERSION_SPOOL => read_frames_inner(r, true),
         other => Err(bad_data(format!("unsupported trace version {other}"))),
     }
 }
@@ -446,7 +453,6 @@ impl SpoolSink {
         frame_events: usize,
         faults: Option<Arc<FaultInjector>>,
     ) -> io::Result<Self> {
-        assert!(frame_events >= 1, "frame_events must be at least 1");
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
@@ -455,6 +461,13 @@ impl SpoolSink {
             Some(inj) => Box::new(FaultyWriter::new(file, inj)),
             None => Box::new(file),
         };
+        Self::from_writer(raw, frame_events)
+    }
+
+    /// Spool frames into any byte sink — the seam [`crate::net::NetSink`]
+    /// uses to stream frames over a socket instead of into a file.
+    pub fn from_writer(raw: Box<dyn Write + Send>, frame_events: usize) -> io::Result<Self> {
+        assert!(frame_events >= 1, "frame_events must be at least 1");
         let (tx, rx) = mpsc::channel::<Vec<StampedEvent>>();
         let writer = std::thread::Builder::new()
             .name("lc-spool-writer".into())

@@ -10,7 +10,10 @@
 //! loopcomm phases   <workload> [--threads N] [--size ...] [--window W]
 //! loopcomm report   <workload> <out.html> [--threads N] [--size ...]
 //! loopcomm record   <workload> <file.lctrace> [--threads N] [--size ...]
+//! loopcomm record   <workload> --connect HOST:PORT [--tenant NAME]
 //! loopcomm analyze  <file.lctrace> [--slots 2^k] [--jobs N] [--batch N] [--no-coalesce] [--perfect]
+//! loopcomm serve    [--listen ADDR]... [--http ADDR] [--jobs N] [--perfect]
+//! loopcomm stream   <file.lctrace> --connect HOST:PORT [--tenant NAME]
 //! loopcomm simulate <workload> [--threads N] [--size ...]
 //! loopcomm hotsites <workload> [--threads N] [--size ...]
 //! loopcomm deps     <workload> [--threads N] [--size ...]
@@ -39,6 +42,26 @@ struct Options {
     batch: usize,
     no_coalesce: bool,
     perfect: bool,
+    /// `serve`: ingest endpoints (`unix:<path>` or TCP `host:port`).
+    listen: Vec<String>,
+    /// `serve`: HTTP endpoint for reports/metrics.
+    http: Option<String>,
+    /// `record`/`stream`: stream to a `loopcomm serve` endpoint instead
+    /// of a file.
+    connect: Option<String>,
+    /// `record --connect`/`stream`: tenant name sent in the hello.
+    tenant: String,
+    /// `record --connect`/`stream`: events per wire frame.
+    frame_events: usize,
+    /// `serve`: per-tenant queue capacity in frames.
+    queue_frames: usize,
+    /// `serve`: concurrent ingest connection limit.
+    max_conns: usize,
+    /// `serve`: tenant limit.
+    max_tenants: usize,
+    /// `analyze`: also write the canonical plain-text report here (the
+    /// byte-identical counterpart of the server's `/tenants/<t>/report`).
+    report_out: Option<String>,
     /// Hidden test hook: a fault-plan file armed on the profiler's flush
     /// seams and the spool writer (see `lc_faults`). Deliberately absent
     /// from the usage text — it exists for the fault-matrix tests and for
@@ -83,7 +106,15 @@ fn usage() -> ! {
          \x20 phases   <workload>    dynamic phase detection (§V-A4)\n\
          \x20 report   <workload> <out.html>  write a full HTML report\n\
          \x20 record   <workload> <file>  record an access trace to disk\n\
+         \x20                        (or `--connect HOST:PORT` to stream it\n\
+         \x20                        live to a `loopcomm serve` instance)\n\
          \x20 analyze  <file>        offline analysis of a recorded trace\n\
+         \x20 serve                  streaming multi-tenant ingest service:\n\
+         \x20                        accepts spool streams over TCP/Unix\n\
+         \x20                        sockets, analyzes incrementally, and\n\
+         \x20                        serves live reports + metrics over HTTP\n\
+         \x20 stream   <file>        replay a recorded trace to a server\n\
+         \x20                        (`--connect HOST:PORT [--tenant NAME]`)\n\
          \x20 simulate <workload>    MESI cache simulation of mappings\n\
          \x20 hotsites <workload>    hottest source access sites\n\
          \x20 deps     <workload>    full RAW/WAR/WAW/RAR taxonomy\n\
@@ -110,8 +141,25 @@ fn usage() -> ! {
          \x20 --batch N        (analyze) events per on_batch replay block\n\
          \x20                  (default 1024; throughput knob, results identical)\n\
          \x20 --no-coalesce    (analyze) disable the run-coalescing pre-pass\n\
-         \x20 --perfect        (analyze) exact perfect-signature baseline\n\
-         \x20                  detector instead of the asymmetric signatures\n\
+         \x20 --perfect        (analyze, serve) exact perfect-signature\n\
+         \x20                  baseline detector instead of the asymmetric\n\
+         \x20                  signatures\n\
+         \x20 --report-out P   (analyze) also write the canonical plain-text\n\
+         \x20                  report — byte-identical to the server's\n\
+         \x20                  /tenants/<t>/report on the same events\n\
+         \x20 --listen ADDR    (serve, repeatable) ingest endpoint:\n\
+         \x20                  `host:port` or `unix:<path>`\n\
+         \x20                  (default 127.0.0.1:9009)\n\
+         \x20 --http ADDR      (serve) HTTP endpoint for live reports,\n\
+         \x20                  matrices, and Prometheus /metrics\n\
+         \x20 --queue-frames N (serve) per-tenant queue bound (default 64)\n\
+         \x20 --max-conns N    (serve) connection limit (default 64)\n\
+         \x20 --max-tenants N  (serve) tenant limit (default 64)\n\
+         \x20 --connect ADDR   (record, stream) stream to a server instead\n\
+         \x20                  of writing a file\n\
+         \x20 --tenant NAME    (record, stream) tenant to stream as\n\
+         \x20                  (default `default`)\n\
+         \x20 --frame-events N (record, stream) events per wire frame\n\
          \x20 --explore N      (simtest) N seeded random schedules instead of\n\
          \x20                  bounded-exhaustive DFS (seeded by --seed)\n\
          \x20 --max-preemptions N|none  (simtest) preemption bound override\n\
@@ -138,6 +186,15 @@ fn parse_options(args: &[String]) -> Options {
         batch: lc_trace::REPLAY_BATCH_EVENTS,
         no_coalesce: false,
         perfect: false,
+        listen: Vec::new(),
+        http: None,
+        connect: None,
+        tenant: "default".to_string(),
+        frame_events: lc_trace::DEFAULT_FRAME_EVENTS,
+        queue_frames: 64,
+        max_conns: 64,
+        max_tenants: 64,
+        report_out: None,
         fault_plan: None,
         #[cfg(feature = "sched")]
         sim: SimtestOptions::default(),
@@ -165,6 +222,15 @@ fn parse_options(args: &[String]) -> Options {
             "--batch" => o.batch = val().parse().expect("--batch N"),
             "--no-coalesce" => o.no_coalesce = true,
             "--perfect" => o.perfect = true,
+            "--listen" => o.listen.push(val()),
+            "--http" => o.http = Some(val()),
+            "--connect" => o.connect = Some(val()),
+            "--tenant" => o.tenant = val(),
+            "--frame-events" => o.frame_events = val().parse().expect("--frame-events N"),
+            "--queue-frames" => o.queue_frames = val().parse().expect("--queue-frames N"),
+            "--max-conns" => o.max_conns = val().parse().expect("--max-conns N"),
+            "--max-tenants" => o.max_tenants = val().parse().expect("--max-tenants N"),
+            "--report-out" => o.report_out = Some(val()),
             "--fault-plan" => o.fault_plan = Some(val()),
             #[cfg(feature = "sched")]
             "--explore" => o.sim.explore = Some(val().parse().expect("--explore N")),
@@ -424,6 +490,76 @@ fn simtest_cmd(name: &str, o: &Options) {
     }
 }
 
+/// Load a recorded trace for `analyze`/`stream`, honoring `--salvage`.
+fn load_or_salvage(name: &str, o: &Options) -> lc_trace::Trace {
+    if o.salvage {
+        let (trace, rep) =
+            lc_trace::salvage_trace(std::path::Path::new(name)).unwrap_or_else(|e| {
+                eprintln!("cannot salvage `{name}`: {e}");
+                std::process::exit(1);
+            });
+        println!(
+            "salvage: format v{}, {} frame(s), {} event(s) recovered, {} byte(s) dropped",
+            rep.version, rep.frames, rep.events, rep.bytes_dropped
+        );
+        trace
+    } else {
+        lc_trace::load_trace(std::path::Path::new(name)).unwrap_or_else(|e| {
+            eprintln!("cannot read `{name}`: {e}");
+            eprintln!("hint: `--salvage` recovers what is intact");
+            std::process::exit(1);
+        })
+    }
+}
+
+/// `loopcomm serve` — start the streaming multi-tenant ingest service
+/// and run until the process is killed (see DESIGN.md §13).
+fn serve_cmd(o: &Options) -> ! {
+    let listen = if o.listen.is_empty() {
+        vec!["127.0.0.1:9009".to_string()]
+    } else {
+        o.listen.clone()
+    };
+    let cfg = loopcomm::serve::ServeConfig {
+        listen,
+        http: o.http.clone(),
+        detector: if o.perfect {
+            lc_profiler::DetectorKind::Perfect
+        } else {
+            lc_profiler::DetectorKind::Asymmetric
+        },
+        sig: SignatureConfig::paper_default(o.slots, o.threads),
+        prof: lc_profiler::ProfilerConfig {
+            threads: o.threads,
+            track_nested: true,
+            phase_window: None,
+        },
+        accum: lc_profiler::AccumConfig {
+            loop_capacity: o.loop_capacity,
+            ..lc_profiler::AccumConfig::default()
+        },
+        jobs: o.jobs.max(1),
+        queue_frames: o.queue_frames.max(1),
+        max_conns: o.max_conns.max(1),
+        max_tenants: o.max_tenants.max(1),
+        faults: fault_injector(o),
+    };
+    let server = loopcomm::serve::Server::start(cfg).unwrap_or_else(|e| {
+        eprintln!("cannot start server: {e}");
+        std::process::exit(1);
+    });
+    for addr in server.ingest_addrs() {
+        println!("ingest : {addr}");
+    }
+    if let Some(addr) = server.http_addr() {
+        println!("http   : http://{addr}/  (/metrics, /tenants, /tenants/<t>/report)");
+    }
+    if let Some(first) = server.ingest_addrs().first() {
+        println!("stream with: loopcomm stream <file.lctrace> --connect {first} --tenant NAME");
+    }
+    server.run_forever()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -436,12 +572,26 @@ fn main() {
         return;
     }
 
+    // `serve` takes no positional at all: options only.
+    if cmd == "serve" {
+        let o = parse_options(&args[1..]);
+        serve_cmd(&o);
+    }
+
     let Some(name) = args.get(1) else { usage() };
-    // `record` takes an extra positional (the output file) before options.
-    let opt_start = if cmd == "record" || cmd == "report" {
-        3
-    } else {
-        2
+    // `record` and `report` take an extra positional (the output file)
+    // before options — except `record --connect`, where the trace goes to
+    // a server and there is no file.
+    let opt_start = match cmd.as_str() {
+        "report" => 3,
+        "record" => {
+            if args.get(2).is_none_or(|a| a.starts_with("--")) {
+                2
+            } else {
+                3
+            }
+        }
+        _ => 2,
     };
     let o = parse_options(&args[opt_start.min(args.len())..]);
     run(cmd, name, &args, &o)
@@ -538,11 +688,46 @@ fn run(cmd: &str, name: &str, args: &[String], o: &Options) {
             println!("wrote {path}");
         }
         "record" => {
-            let Some(path) = args.get(2) else { usage() };
             let workload = by_name(name).unwrap_or_else(|| {
                 eprintln!("unknown workload `{name}`");
                 std::process::exit(2);
             });
+            if let Some(addr) = &o.connect {
+                // Live streaming: same recording path as `--spool`, but
+                // the writer thread ships frames to a `loopcomm serve`
+                // endpoint instead of a file.
+                let sink = Arc::new(
+                    lc_trace::NetSink::connect(
+                        addr,
+                        &o.tenant,
+                        o.frame_events.max(1),
+                        fault_injector(o),
+                    )
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot connect to `{addr}`: {e}");
+                        std::process::exit(1);
+                    }),
+                );
+                let ctx = TraceCtx::new(sink.clone(), o.threads);
+                workload.run(&ctx, &RunConfig::new(o.threads, o.size, o.seed));
+                match sink.finish() {
+                    Ok(stats) => println!(
+                        "streamed {} events in {} frames ({} bytes) as tenant `{}` -> {addr}",
+                        stats.events, stats.frames, stats.bytes, o.tenant
+                    ),
+                    Err(e) => {
+                        eprintln!("error: stream failed: {e}");
+                        eprintln!(
+                            "hint: whole frames already sent were analyzed; \
+                             the server's /tenants/{}/stats counts the loss",
+                            o.tenant
+                        );
+                        std::process::exit(1);
+                    }
+                }
+                return;
+            }
+            let Some(path) = args.get(2) else { usage() };
             if o.spool {
                 // Crash-tolerant v2: frames hit disk as the run progresses,
                 // so a crash (or an injected I/O fault) loses at most the
@@ -591,26 +776,38 @@ fn run(cmd: &str, name: &str, args: &[String], o: &Options) {
                 stats.threads
             );
         }
+        "stream" => {
+            // `name` is the trace path here.
+            let Some(addr) = &o.connect else {
+                eprintln!("`loopcomm stream` needs --connect HOST:PORT (or unix:<path>)");
+                std::process::exit(2);
+            };
+            let trace = load_or_salvage(name, o);
+            match lc_trace::stream_trace(
+                &trace,
+                addr,
+                &o.tenant,
+                o.frame_events.max(1),
+                fault_injector(o),
+            ) {
+                Ok(stats) => println!(
+                    "streamed {} events in {} frames ({} bytes) as tenant `{}` -> {addr}",
+                    stats.events, stats.frames, stats.bytes, o.tenant
+                ),
+                Err(e) => {
+                    eprintln!("error: stream failed: {e}");
+                    eprintln!(
+                        "hint: whole frames already sent were analyzed; \
+                         the server's /tenants/{}/stats counts the loss",
+                        o.tenant
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
         "analyze" => {
             // `name` is the trace path here.
-            let trace = if o.salvage {
-                let (trace, rep) = lc_trace::salvage_trace(std::path::Path::new(name))
-                    .unwrap_or_else(|e| {
-                        eprintln!("cannot salvage `{name}`: {e}");
-                        std::process::exit(1);
-                    });
-                println!(
-                    "salvage: format v{}, {} frame(s), {} event(s) recovered, {} byte(s) dropped",
-                    rep.version, rep.frames, rep.events, rep.bytes_dropped
-                );
-                trace
-            } else {
-                lc_trace::load_trace(std::path::Path::new(name)).unwrap_or_else(|e| {
-                    eprintln!("cannot read `{name}`: {e}");
-                    eprintln!("hint: `loopcomm analyze {name} --salvage` recovers what is intact");
-                    std::process::exit(1);
-                })
-            };
+            let trace = load_or_salvage(name, o);
             let stats = trace.stats();
             let threads = stats.threads.max(1);
             println!(
@@ -685,6 +882,17 @@ fn run(cmd: &str, name: &str, args: &[String], o: &Options) {
                 );
                 analysis.export_into(&mut reg);
                 write_metrics(path, &reg);
+            }
+            if let Some(path) = &o.report_out {
+                // Canonical plain-text form: byte-identical to what a
+                // `loopcomm serve` tenant reports for the same events,
+                // regardless of --jobs/--batch/--no-coalesce.
+                let body = lc_profiler::canonical_report(r, trace.len() as u64);
+                std::fs::write(path, body).unwrap_or_else(|e| {
+                    eprintln!("cannot write report to `{path}`: {e}");
+                    std::process::exit(1);
+                });
+                println!("wrote canonical report: {path}");
             }
         }
         "simulate" => {

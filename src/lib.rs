@@ -50,6 +50,7 @@ pub use lc_sigmem;
 pub use lc_trace;
 pub use lc_workloads;
 
+pub mod serve;
 #[cfg(feature = "sched")]
 pub mod simtest;
 

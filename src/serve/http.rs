@@ -1,0 +1,284 @@
+//! Minimal HTTP/1.0 observation surface for `loopcomm serve`.
+//!
+//! Read-only, dependency-free, one thread, connection-per-request:
+//!
+//! | path | body |
+//! |---|---|
+//! | `/healthz` | `ok` |
+//! | `/metrics` | Prometheus exposition: server + per-tenant counters |
+//! | `/tenants` | JSON tenant list |
+//! | `/tenants/<t>/report` | canonical plain-text profile (`?wait=1` quiesces first) |
+//! | `/tenants/<t>/matrix` | global communication matrix CSV |
+//! | `/tenants/<t>/load` | Eq. 1 thread-load table |
+//! | `/tenants/<t>/stats` | JSON ingest counters |
+//!
+//! The canonical report is the server half of the differential contract:
+//! byte-identical to `loopcomm analyze --report-out` on the same events.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use lc_profiler::ThreadLoad;
+
+use super::tenant::Tenant;
+use super::{Shared, POLL_INTERVAL};
+
+/// How long `?wait=1` will poll for tenant quiescence before reporting
+/// whatever is analyzed so far.
+const WAIT_QUIET_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Serve requests until shutdown (listener is non-blocking).
+pub(crate) fn http_loop(shared: Arc<Shared>, listener: TcpListener) {
+    loop {
+        if shared.shutting_down() {
+            break;
+        }
+        match listener.accept() {
+            Ok((sock, _)) => {
+                // Requests are tiny and handlers cheap; serve inline so
+                // shutdown has no request threads to chase.
+                let _ = serve_one(&shared, sock);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn serve_one(shared: &Shared, sock: TcpStream) -> std::io::Result<()> {
+    sock.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(sock.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers (ignored) up to the blank line.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        (405, "text/plain", "method not allowed\n".to_string())
+    } else {
+        route(shared, target)
+    };
+    respond(sock, status, content_type, &body)
+}
+
+fn respond(
+    mut sock: TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    sock.write_all(head.as_bytes())?;
+    sock.write_all(body.as_bytes())?;
+    sock.flush()
+}
+
+fn route(shared: &Shared, target: &str) -> (u16, &'static str, String) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/healthz" => (200, "text/plain", "ok\n".to_string()),
+        "/metrics" => (200, "text/plain", prometheus(shared)),
+        "/tenants" => (200, "application/json", tenants_json(shared)),
+        _ => {
+            let Some(rest) = path.strip_prefix("/tenants/") else {
+                return (404, "text/plain", format!("no such path {path}\n"));
+            };
+            let Some((name, what)) = rest.split_once('/') else {
+                return (
+                    404,
+                    "text/plain",
+                    "expected /tenants/<name>/<view>\n".into(),
+                );
+            };
+            let Some(tenant) = shared.tenant(name) else {
+                return (404, "text/plain", format!("no such tenant {name}\n"));
+            };
+            match what {
+                "report" => {
+                    if query.split('&').any(|kv| kv == "wait=1") {
+                        tenant.wait_quiet(WAIT_QUIET_DEADLINE);
+                    }
+                    (200, "text/plain", tenant.canonical())
+                }
+                "matrix" => (200, "text/csv", tenant.report().global.to_csv()),
+                "load" => {
+                    let report = tenant.report();
+                    (
+                        200,
+                        "text/plain",
+                        ThreadLoad::from_matrix(&report.global).render(),
+                    )
+                }
+                "stats" => (200, "application/json", tenant_stats_json(&tenant)),
+                other => (404, "text/plain", format!("no such view {other}\n")),
+            }
+        }
+    }
+}
+
+/// Prometheus exposition: server-wide counters plus one labelled series
+/// per tenant per counter.
+fn prometheus(shared: &Shared) -> String {
+    let mut out = String::new();
+    let server: [(&str, &str, u64); 3] = [
+        (
+            "loopcomm_serve_connections_accepted_total",
+            "Ingest connections accepted",
+            shared.conns_accepted.load(Ordering::Relaxed),
+        ),
+        (
+            "loopcomm_serve_connections_rejected_total",
+            "Ingest connections refused by the connection limit",
+            shared.conns_rejected.load(Ordering::Relaxed),
+        ),
+        (
+            "loopcomm_serve_connections_faulted_total",
+            "Ingest connections that ended degraded",
+            shared.conns_faulted.load(Ordering::Relaxed),
+        ),
+    ];
+    for (name, help, v) in server {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    let _ = writeln!(
+        out,
+        "# HELP loopcomm_serve_tenants Tenants currently known\n\
+         # TYPE loopcomm_serve_tenants gauge\n\
+         loopcomm_serve_tenants {}",
+        shared.tenants().len()
+    );
+    let per_tenant: [(&str, &str); 7] = [
+        (
+            "loopcomm_tenant_frames_received_total",
+            "Valid frames decoded",
+        ),
+        (
+            "loopcomm_tenant_events_received_total",
+            "Events in valid frames",
+        ),
+        (
+            "loopcomm_tenant_frames_lost_total",
+            "Frames lost to drain faults or shutdown",
+        ),
+        ("loopcomm_tenant_events_lost_total", "Events in lost frames"),
+        (
+            "loopcomm_tenant_bytes_dropped_total",
+            "Stream bytes that never formed a valid frame",
+        ),
+        ("loopcomm_tenant_connections_active", "Open connections"),
+        (
+            "loopcomm_tenant_connections_faulted_total",
+            "Connections that ended degraded",
+        ),
+    ];
+    for (i, (name, help)) in per_tenant.iter().enumerate() {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(
+            out,
+            "# TYPE {name} {}",
+            if i == 5 { "gauge" } else { "counter" }
+        );
+        for t in shared.tenants() {
+            let v = match i {
+                0 => t.stats.frames_received.load(Ordering::Relaxed),
+                1 => t.stats.events_received.load(Ordering::Relaxed),
+                2 => t.stats.frames_lost.load(Ordering::Relaxed),
+                3 => t.stats.events_lost.load(Ordering::Relaxed),
+                4 => t.stats.bytes_dropped.load(Ordering::Relaxed),
+                5 => t.stats.conns_active.load(Ordering::Relaxed),
+                _ => t.stats.conns_faulted.load(Ordering::Relaxed),
+            };
+            let _ = writeln!(out, "{name}{{tenant=\"{}\"}} {v}", t.name);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "# HELP loopcomm_tenant_events_analyzed_total Events that reached the analyzer\n\
+         # TYPE loopcomm_tenant_events_analyzed_total counter"
+    );
+    for t in shared.tenants() {
+        let _ = writeln!(
+            out,
+            "loopcomm_tenant_events_analyzed_total{{tenant=\"{}\"}} {}",
+            t.name,
+            t.events_analyzed()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP loopcomm_tenant_memory_bytes Analyzer heap footprint (bounded)\n\
+         # TYPE loopcomm_tenant_memory_bytes gauge"
+    );
+    for t in shared.tenants() {
+        let _ = writeln!(
+            out,
+            "loopcomm_tenant_memory_bytes{{tenant=\"{}\"}} {}",
+            t.name,
+            t.memory_bytes()
+        );
+    }
+    out
+}
+
+fn tenants_json(shared: &Shared) -> String {
+    let names: Vec<String> = shared
+        .tenants()
+        .iter()
+        .map(|t| format!("\"{}\"", t.name))
+        .collect();
+    format!("{{\"tenants\":[{}]}}\n", names.join(","))
+}
+
+fn tenant_stats_json(t: &Tenant) -> String {
+    format!(
+        "{{\"tenant\":\"{}\",\"frames_received\":{},\"events_received\":{},\
+         \"frames_analyzed\":{},\"events_analyzed\":{},\"frames_lost\":{},\
+         \"events_lost\":{},\"bytes_received\":{},\"bytes_dropped\":{},\
+         \"queue_frames\":{},\"conns_active\":{},\"conns_total\":{},\
+         \"conns_faulted\":{},\"memory_bytes\":{},\"dependencies\":{}}}\n",
+        t.name,
+        t.stats.frames_received.load(Ordering::Relaxed),
+        t.stats.events_received.load(Ordering::Relaxed),
+        t.frames_analyzed(),
+        t.events_analyzed(),
+        t.stats.frames_lost.load(Ordering::Relaxed),
+        t.stats.events_lost.load(Ordering::Relaxed),
+        t.stats.bytes_received.load(Ordering::Relaxed),
+        t.stats.bytes_dropped.load(Ordering::Relaxed),
+        t.queue_len(),
+        t.stats.conns_active.load(Ordering::Relaxed),
+        t.stats.conns_total.load(Ordering::Relaxed),
+        t.stats.conns_faulted.load(Ordering::Relaxed),
+        t.memory_bytes(),
+        t.report().dependencies,
+    )
+}

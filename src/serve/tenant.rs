@@ -1,0 +1,288 @@
+//! Per-tenant ingest state: bounded queue, drain thread, live analyzer.
+//!
+//! One tenant = one isolated analysis domain. Connections for the tenant
+//! decode frames and push them into its bounded [`FrameQueue`]; a single
+//! drain thread pops frames into the tenant's
+//! [`IncrementalAnalyzer`] — so the analyzer itself is single-writer and
+//! the per-tenant memory bound is `jobs` signature pairs plus the loop
+//! registry, regardless of connection count or stream length.
+//!
+//! The drain step is a fault seam ([`FaultSite::TenantFlush`]): an
+//! injected panic, I/O error, or bit-flip there loses exactly that frame
+//! — counted in [`TenantStats`] as lost frames/events — and nothing
+//! else; a stall there exercises the backpressure path end to end.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lc_faults::{FaultAction, FaultInjector, FaultSite};
+use lc_profiler::{canonical_report, IncrementalAnalyzer, ProfileReport};
+use lc_trace::StampedEvent;
+use parking_lot::Mutex;
+
+use super::queue::FrameQueue;
+
+/// Live per-tenant counters — the "exact lost-frame accounting" surface.
+#[derive(Default)]
+pub struct TenantStats {
+    /// Whole valid frames decoded off this tenant's connections.
+    pub frames_received: AtomicU64,
+    /// Events in those frames.
+    pub events_received: AtomicU64,
+    /// Frames that never reached the analyzer (queue closed under them
+    /// or an injected drain fault consumed them).
+    pub frames_lost: AtomicU64,
+    /// Events in the lost frames.
+    pub events_lost: AtomicU64,
+    /// Stream bytes that never formed a valid frame (torn/corrupt
+    /// suffixes, per-connection salvage accounting).
+    pub bytes_dropped: AtomicU64,
+    /// Total stream bytes received (hello excluded).
+    pub bytes_received: AtomicU64,
+    /// Connections currently open for this tenant.
+    pub conns_active: AtomicU64,
+    /// Connections ever opened for this tenant.
+    pub conns_total: AtomicU64,
+    /// Connections that ended degraded (decode damage, read fault, or
+    /// handler panic).
+    pub conns_faulted: AtomicU64,
+}
+
+/// One tenant: queue + drain thread + live analyzer + counters.
+pub struct Tenant {
+    /// Tenant name (validated at hello time).
+    pub name: String,
+    queue: Arc<FrameQueue<Vec<StampedEvent>>>,
+    analyzer: Mutex<IncrementalAnalyzer>,
+    /// Counters, readable at any time without touching the analyzer.
+    pub stats: TenantStats,
+    /// True while the drain thread is between pop and analyzer-done.
+    in_flight: AtomicBool,
+    drain: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Tenant {
+    /// Create the tenant and start its drain thread.
+    pub fn spawn(
+        name: String,
+        analyzer: IncrementalAnalyzer,
+        queue_frames: usize,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Arc<Self> {
+        let tenant = Arc::new(Self {
+            name: name.clone(),
+            queue: Arc::new(FrameQueue::new(queue_frames)),
+            analyzer: Mutex::new(analyzer),
+            stats: TenantStats::default(),
+            in_flight: AtomicBool::new(false),
+            drain: Mutex::new(None),
+        });
+        let t = Arc::clone(&tenant);
+        let handle = std::thread::Builder::new()
+            .name(format!("lc-drain-{name}"))
+            .spawn(move || t.drain_loop(faults))
+            .expect("spawn drain thread");
+        *tenant.drain.lock() = Some(handle);
+        tenant
+    }
+
+    /// Count a decoded frame as received and hand it to the drain. Blocks
+    /// on a full queue (backpressure to this tenant's producers only). A
+    /// frame the queue refuses (tenant closing) is counted lost.
+    pub fn enqueue(&self, frame: Vec<StampedEvent>) {
+        let events = frame.len() as u64;
+        self.stats.frames_received.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .events_received
+            .fetch_add(events, Ordering::Relaxed);
+        if !self.queue.push_blocking(frame) {
+            self.stats.frames_lost.fetch_add(1, Ordering::Relaxed);
+            self.stats.events_lost.fetch_add(events, Ordering::Relaxed);
+        }
+    }
+
+    fn drain_loop(&self, faults: Option<Arc<FaultInjector>>) {
+        while let Some(frame) = self.queue.pop_blocking() {
+            self.in_flight.store(true, Ordering::Release);
+            let events = frame.len() as u64;
+            let action = faults
+                .as_ref()
+                .and_then(|f| f.check(FaultSite::TenantFlush));
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                match action {
+                    Some(FaultAction::Panic) => {
+                        panic!("injected fault: panic at tenant_flush")
+                    }
+                    Some(FaultAction::Stall { ms }) => {
+                        // Stall *inside* the drain: the queue fills and
+                        // producers stall behind it — the backpressure
+                        // path, not a loss.
+                        std::thread::sleep(Duration::from_millis(ms));
+                        self.analyzer.lock().on_frame(&frame);
+                        true
+                    }
+                    // An I/O-flavored fault at the drain seam consumes
+                    // the frame (analysis "write" failed).
+                    Some(FaultAction::IoError)
+                    | Some(FaultAction::ShortWrite { .. })
+                    | Some(FaultAction::BitFlip { .. }) => false,
+                    None => {
+                        self.analyzer.lock().on_frame(&frame);
+                        true
+                    }
+                }
+            }));
+            if !matches!(outcome, Ok(true)) {
+                self.stats.frames_lost.fetch_add(1, Ordering::Relaxed);
+                self.stats.events_lost.fetch_add(events, Ordering::Relaxed);
+            }
+            self.in_flight.store(false, Ordering::Release);
+        }
+    }
+
+    /// True when no connection is open, no frame is queued, and the drain
+    /// is idle — every received frame is either analyzed or counted lost.
+    pub fn quiet(&self) -> bool {
+        self.stats.conns_active.load(Ordering::Acquire) == 0
+            && self.queue.is_empty()
+            && !self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Poll until [`Tenant::quiet`] or the deadline passes. Returns
+    /// whether quiescence was reached.
+    pub fn wait_quiet(&self, deadline: Duration) -> bool {
+        let start = Instant::now();
+        while !self.quiet() {
+            if start.elapsed() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+
+    /// Snapshot the merged profile (non-destructive; callable live).
+    pub fn report(&self) -> ProfileReport {
+        self.analyzer.lock().report()
+    }
+
+    /// The canonical plain-text report over the events actually analyzed
+    /// — byte-identical to offline `loopcomm analyze --report-out` on the
+    /// same events.
+    pub fn canonical(&self) -> String {
+        let analyzer = self.analyzer.lock();
+        canonical_report(&analyzer.report(), analyzer.events())
+    }
+
+    /// Events that reached the analyzer.
+    pub fn events_analyzed(&self) -> u64 {
+        self.analyzer.lock().events()
+    }
+
+    /// Frames that reached the analyzer.
+    pub fn frames_analyzed(&self) -> u64 {
+        self.analyzer.lock().frames()
+    }
+
+    /// Analyzer heap footprint (the bounded-memory claim, live).
+    pub fn memory_bytes(&self) -> usize {
+        self.analyzer.lock().memory_bytes()
+    }
+
+    /// Frames currently waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Close the queue and join the drain thread (idempotent).
+    pub fn shutdown(&self) {
+        self.queue.close();
+        if let Some(h) = self.drain.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Tenant {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_profiler::shards::AccumConfig;
+    use lc_profiler::ProfilerConfig;
+    use lc_sigmem::SignatureConfig;
+    use lc_trace::{AccessEvent, AccessKind, FuncId, LoopId};
+
+    fn analyzer() -> IncrementalAnalyzer {
+        IncrementalAnalyzer::asymmetric(
+            SignatureConfig::paper_default(1 << 8, 4),
+            ProfilerConfig::nested(4),
+            AccumConfig::default(),
+            2,
+        )
+    }
+
+    fn frame(base: u64, n: u64) -> Vec<StampedEvent> {
+        (0..n)
+            .map(|i| StampedEvent {
+                seq: base + i,
+                event: AccessEvent {
+                    tid: ((base + i) % 4) as u32,
+                    addr: 0x100 + ((base + i) % 16) * 8,
+                    size: 8,
+                    kind: if (base + i) % 2 == 0 {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    },
+                    loop_id: LoopId(1),
+                    parent_loop: LoopId::NONE,
+                    func: FuncId::NONE,
+                    site: 0,
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn frames_flow_to_analyzer_and_quiesce() {
+        let t = Tenant::spawn("t".into(), analyzer(), 4, None);
+        for i in 0..10 {
+            t.enqueue(frame(i * 8, 8));
+        }
+        assert!(t.wait_quiet(Duration::from_secs(10)));
+        assert_eq!(t.stats.frames_received.load(Ordering::Relaxed), 10);
+        assert_eq!(t.events_analyzed(), 80);
+        assert_eq!(t.stats.frames_lost.load(Ordering::Relaxed), 0);
+        t.shutdown();
+    }
+
+    #[test]
+    fn injected_drain_panic_loses_exactly_one_frame() {
+        use lc_faults::{FaultPlan, FaultRule};
+        let inj = Arc::new(FaultInjector::new(FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule::once(
+                FaultSite::TenantFlush,
+                FaultAction::Panic,
+                2,
+            )],
+        }));
+        let t = Tenant::spawn("t".into(), analyzer(), 4, Some(inj));
+        for i in 0..6 {
+            t.enqueue(frame(i * 5, 5));
+        }
+        assert!(t.wait_quiet(Duration::from_secs(10)));
+        assert_eq!(t.stats.frames_lost.load(Ordering::Relaxed), 1);
+        assert_eq!(t.stats.events_lost.load(Ordering::Relaxed), 5);
+        assert_eq!(t.events_analyzed(), 25);
+        t.shutdown();
+    }
+}

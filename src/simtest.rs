@@ -33,6 +33,12 @@ mod op {
     pub const WRITE_RECORD: u64 = 3;
     /// `[DEP_RECORD, src, dst, bytes]`
     pub const DEP_RECORD: u64 = 4;
+    /// `[Q_PUSH, frame_id, 0, 0]` — ingest queue accepted a frame.
+    pub const Q_PUSH: u64 = 5;
+    /// `[Q_FULL, frame_id, 0, 0]` — ingest queue refused a frame (full).
+    pub const Q_FULL: u64 = 6;
+    /// `[Q_POP, frame_id, 0, 0]` — drain popped a frame.
+    pub const Q_POP: u64 = 7;
 }
 
 /// A named model-checking scenario.
@@ -92,6 +98,15 @@ pub fn scenarios() -> &'static [Scenario] {
             default_preemption_bound: Some(2),
             catchable_mutants: &["shards-drop-contended-delta"],
             run: flush_scenario,
+        },
+        Scenario {
+            name: "ingest",
+            about: "bounded serve queue: producer try_push racing a drain \
+                    try_pop at capacity 2; oracle: popped ids are exactly \
+                    the accepted ids, FIFO",
+            default_preemption_bound: Some(2),
+            catchable_mutants: &["ingest-drop-contended-frame"],
+            run: ingest_scenario,
         },
     ]
 }
@@ -328,4 +343,78 @@ fn flush_scenario() {
     assert_eq!(set.deps(), 4, "every record_dep counted");
     assert_eq!(set.health().lost_deltas(), 0, "no deltas lost");
     assert_eq!(set.health().flush_panics(), 0, "no flush panics");
+}
+
+/// The serve ingest seam: a producer `try_push`es 3 frames into a
+/// capacity-2 [`FrameQueue`] while a drain thread `try_pop`s, then the
+/// main thread drains the leftovers after both join. Annotations are tied
+/// to the outcome each caller *observed* (accepted / full / popped), and
+/// pops are serialized (one popper at a time), so the log's `Q_POP`
+/// subsequence is the true dequeue order. Oracle: the popped ids are
+/// exactly the accepted ids in FIFO order, and the queue's own counters
+/// agree — an accepted-but-never-delivered frame (the
+/// `ingest-drop-contended-frame` mutant turns lock contention into
+/// exactly that) breaks it.
+fn ingest_scenario() {
+    use crate::serve::queue::{FrameQueue, PushError};
+
+    let q = Arc::new(FrameQueue::new(2));
+    let producer = {
+        let q = Arc::clone(&q);
+        lc_sched::spawn(move || {
+            for id in 1..=3u64 {
+                match q.try_push(id) {
+                    Ok(()) => lc_sched::annotate([op::Q_PUSH, id, 0, 0]),
+                    Err(PushError::Full(_)) => lc_sched::annotate([op::Q_FULL, id, 0, 0]),
+                    Err(PushError::Closed(_)) => unreachable!("queue is never closed here"),
+                }
+            }
+        })
+    };
+    let drain = {
+        let q = Arc::clone(&q);
+        lc_sched::spawn(move || {
+            for _ in 0..3 {
+                if let Some(id) = q.try_pop() {
+                    lc_sched::annotate([op::Q_POP, id, 0, 0]);
+                }
+            }
+        })
+    };
+    producer.join();
+    drain.join();
+    // Leftover frames drain here, with no concurrency: pop order stays
+    // the true order.
+    while let Some(id) = q.try_pop() {
+        lc_sched::annotate([op::Q_POP, id, 0, 0]);
+    }
+    let log = lc_sched::op_log();
+    let accepted: Vec<u64> = log
+        .iter()
+        .filter(|(_, d)| d[0] == op::Q_PUSH)
+        .map(|(_, d)| d[1])
+        .collect();
+    let refused: Vec<u64> = log
+        .iter()
+        .filter(|(_, d)| d[0] == op::Q_FULL)
+        .map(|(_, d)| d[1])
+        .collect();
+    let popped: Vec<u64> = log
+        .iter()
+        .filter(|(_, d)| d[0] == op::Q_POP)
+        .map(|(_, d)| d[1])
+        .collect();
+    assert_eq!(
+        accepted.len() + refused.len(),
+        3,
+        "every push attempt resolved exactly once"
+    );
+    assert_eq!(
+        popped, accepted,
+        "delivered frames must be exactly the accepted frames, in FIFO \
+         order (an accepted frame that never arrives is a dropped frame)"
+    );
+    assert_eq!(q.pushed(), accepted.len() as u64, "push counter honest");
+    assert_eq!(q.popped(), popped.len() as u64, "pop counter honest");
+    assert!(q.is_empty(), "nothing left behind");
 }

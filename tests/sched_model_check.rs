@@ -84,6 +84,11 @@ fn shard_flush_racing_recorders_is_exhaustively_lossless() {
 }
 
 #[test]
+fn ingest_queue_producer_racing_drain_is_exhaustively_fifo() {
+    assert_clean_and_multi_schedule("ingest");
+}
+
+#[test]
 fn exploration_counts_are_deterministic() {
     let a = explore("bloom", clean_cfg("bloom"));
     let b = explore("bloom", clean_cfg("bloom"));
@@ -187,6 +192,11 @@ fn relaxed_publish_mutant_in_read_signature_is_caught_as_init_race() {
 #[test]
 fn dropped_contended_delta_mutant_is_caught_via_flush_oracle() {
     assert_mutant_caught("flush", "shards-drop-contended-delta");
+}
+
+#[test]
+fn dropped_contended_frame_mutant_is_caught_via_ingest_fifo_oracle() {
+    assert_mutant_caught("ingest", "ingest-drop-contended-frame");
 }
 
 #[test]

@@ -1,0 +1,201 @@
+//! Proptest fuzz of the streaming frame reassembly path (ISSUE 7).
+//!
+//! The server reassembles v2 spool streams with [`FrameDecoder`], fed
+//! whatever chunk boundaries the socket produces. Three contracts, under
+//! arbitrary chunking, truncation, and bit flips:
+//!
+//! 1. the decoder never panics on hostile bytes;
+//! 2. chunk boundaries are invisible — any chunking of the same bytes
+//!    yields the same frames, events, and salvage accounting;
+//! 3. the decoder is *salvage-exact*: its recovered events and its
+//!    frames/events/dropped-bytes accounting match [`salvage_stream`]
+//!    (the file-side recovery the spool format guarantees) on the same
+//!    bytes — the longest valid whole-frame prefix, no more, no less.
+
+use lc_trace::event::{AccessEvent, AccessKind, FuncId, LoopId, StampedEvent};
+use lc_trace::{salvage_stream, write_trace_spool, FrameDecoder, Trace, WireError, WireSummary};
+use proptest::prelude::*;
+
+/// v2 prelude: magic + version.
+const V2_HEADER: usize = 8;
+
+fn ev(i: u64) -> StampedEvent {
+    StampedEvent {
+        seq: i,
+        event: AccessEvent {
+            tid: (i % 4) as u32,
+            addr: 0x9000 + (i % 64) * 8,
+            size: 8,
+            kind: if i % 3 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+            loop_id: LoopId((i % 3) as u32),
+            parent_loop: LoopId::NONE,
+            func: FuncId(2),
+            site: i % 5,
+        },
+    }
+}
+
+/// A valid v2 spool byte stream of `frames x per_frame` events.
+fn spool_bytes(per_frame: u64, frames: u64) -> Vec<u8> {
+    let t = Trace::new((0..per_frame * frames).map(ev).collect());
+    let mut buf = Vec::new();
+    write_trace_spool(&t, &mut buf, per_frame as usize).expect("spool");
+    buf
+}
+
+/// Feed `bytes` through a fresh decoder in chunks cycling through
+/// `chunk_sizes`, returning the summary and the flattened event stream.
+fn decode_chunked(bytes: &[u8], chunk_sizes: &[usize]) -> (WireSummary, Vec<StampedEvent>) {
+    let mut dec = FrameDecoder::new();
+    let mut frames = Vec::new();
+    let mut events = Vec::new();
+    let mut pos = 0;
+    let mut i = 0;
+    while pos < bytes.len() {
+        let n = chunk_sizes[i % chunk_sizes.len()]
+            .max(1)
+            .min(bytes.len() - pos);
+        i += 1;
+        dec.feed(&bytes[pos..pos + n], &mut frames);
+        for f in frames.drain(..) {
+            events.extend(f);
+        }
+        pos += n;
+    }
+    (dec.finish(), events)
+}
+
+/// The differential contract: the decoder's outcome on `bytes` must map
+/// exactly onto `salvage_stream`'s on the same bytes.
+fn assert_salvage_exact(bytes: &[u8], chunk_sizes: &[usize]) -> Result<(), TestCaseError> {
+    let (summary, events) = decode_chunked(bytes, chunk_sizes);
+    prop_assert_eq!(summary.bytes_fed, bytes.len() as u64);
+    match salvage_stream(&mut &bytes[..]) {
+        Err(_) => {
+            // File-side recovery rejects the stream outright (bad or torn
+            // prelude) — the decoder must agree it never got started.
+            prop_assert!(
+                matches!(summary.error, Some(WireError::BadPrelude(_))),
+                "salvage rejected the stream but the decoder said {:?}",
+                summary.error
+            );
+            prop_assert_eq!(summary.frames, 0);
+            prop_assert_eq!(summary.events, 0);
+            prop_assert_eq!(events.len(), 0);
+        }
+        Ok((trace, report)) => {
+            prop_assert_eq!(summary.frames, report.frames);
+            prop_assert_eq!(summary.events, report.events);
+            prop_assert_eq!(summary.bytes_dropped, report.bytes_dropped);
+            prop_assert_eq!(events.len(), trace.len());
+            for (a, b) in events.iter().zip(trace.events()) {
+                prop_assert_eq!(a, b);
+            }
+            // Damage and salvage agree on "was anything lost".
+            prop_assert_eq!(summary.error.is_some(), !report.intact());
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Hostile bytes, hostile chunking: the decoder must never panic,
+    /// and its byte accounting must always balance.
+    #[test]
+    fn decoder_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..2048usize),
+        chunks in prop::collection::vec(1usize..97, 1..8)
+    ) {
+        let (summary, _) = decode_chunked(&bytes, &chunks);
+        prop_assert_eq!(summary.bytes_fed, bytes.len() as u64);
+        prop_assert!(summary.bytes_dropped <= summary.bytes_fed);
+    }
+
+    /// Arbitrary bytes behind a valid v2 prelude — garbage frame headers,
+    /// implausible lengths, torn payloads — still no panics, and still
+    /// salvage-exact.
+    #[test]
+    fn decoder_is_salvage_exact_on_arbitrary_frame_bytes(
+        body in prop::collection::vec(any::<u8>(), 0..1024usize),
+        chunks in prop::collection::vec(1usize..97, 1..8)
+    ) {
+        let mut bytes = Vec::with_capacity(V2_HEADER + body.len());
+        bytes.extend_from_slice(b"LCTR");
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&body);
+        assert_salvage_exact(&bytes, &chunks)?;
+    }
+
+    /// Chunk boundaries are invisible: byte-at-a-time, whole-buffer, and
+    /// arbitrary chunkings of a valid stream all decode identically.
+    #[test]
+    fn chunking_is_invariant(
+        per_frame in 1u64..12,
+        frames in 0u64..7,
+        chunks in prop::collection::vec(1usize..97, 1..8)
+    ) {
+        let bytes = spool_bytes(per_frame, frames);
+        let whole = decode_chunked(&bytes, &[bytes.len().max(1)]);
+        let single = decode_chunked(&bytes, &[1]);
+        let arbitrary = decode_chunked(&bytes, &chunks);
+        prop_assert_eq!(&whole, &single);
+        prop_assert_eq!(&whole, &arbitrary);
+        prop_assert_eq!(whole.0.frames, frames);
+        prop_assert_eq!(whole.0.events, per_frame * frames);
+        prop_assert!(whole.0.error.is_none());
+        prop_assert_eq!(whole.0.bytes_dropped, 0);
+    }
+
+    /// A truncation anywhere in the stream (including inside the prelude)
+    /// recovers exactly the whole-frame prefix, matching file salvage.
+    #[test]
+    fn truncation_recovers_longest_whole_frame_prefix(
+        per_frame in 1u64..12,
+        frames in 1u64..7,
+        cut_seed in any::<u64>(),
+        chunks in prop::collection::vec(1usize..97, 1..8)
+    ) {
+        let bytes = spool_bytes(per_frame, frames);
+        let cut = (cut_seed % (bytes.len() as u64 + 1)) as usize;
+        assert_salvage_exact(&bytes[..cut], &chunks)?;
+    }
+
+    /// A single flipped bit anywhere in the stream degrades to the valid
+    /// prefix before the damage — CRC-caught, salvage-exact, no panic.
+    #[test]
+    fn bit_flip_degrades_to_the_valid_prefix(
+        per_frame in 1u64..12,
+        frames in 1u64..7,
+        bit_seed in any::<u64>(),
+        chunks in prop::collection::vec(1usize..97, 1..8)
+    ) {
+        let mut bytes = spool_bytes(per_frame, frames);
+        let bit = bit_seed % (bytes.len() as u64 * 8);
+        bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+        assert_salvage_exact(&bytes, &chunks)?;
+    }
+
+    /// Truncation and a bit flip together: the worst realistic damage a
+    /// dying producer plus a corrupting link can do.
+    #[test]
+    fn truncation_plus_bit_flip_is_still_salvage_exact(
+        per_frame in 1u64..12,
+        frames in 1u64..7,
+        cut_seed in any::<u64>(),
+        bit_seed in any::<u64>(),
+        chunks in prop::collection::vec(1usize..97, 1..8)
+    ) {
+        let bytes = spool_bytes(per_frame, frames);
+        let cut = (cut_seed % (bytes.len() as u64 + 1)) as usize;
+        let mut bytes = bytes[..cut].to_vec();
+        if !bytes.is_empty() {
+            let bit = bit_seed % (bytes.len() as u64 * 8);
+            bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+        }
+        assert_salvage_exact(&bytes, &chunks)?;
+    }
+}

