@@ -32,8 +32,9 @@
 //! ```
 //!
 //! Sites: `sink_flush`, `epoch_barrier`, `trace_write`, `registry_insert`,
-//! and the network seams `net_accept`, `net_frame_read`, `net_write`,
-//! `tenant_flush` (the `loopcomm serve` ingest path).
+//! the network seams `net_accept`, `net_frame_read`, `net_write`,
+//! `tenant_flush` (the `loopcomm serve` ingest path), and the durability
+//! seams `checkpoint_write`, `index_write` (crash-resumable analysis).
 //! Actions: `panic`, `stall:<ms>`, `io_error`, `short_write:<bytes>`,
 //! `bit_flip:<n>` (flip one bit of the I/O buffer in flight — transient
 //! corruption, the wrapper does not wedge).
@@ -70,11 +71,16 @@ pub enum FaultSite {
     /// A tenant's drain step: one decoded frame about to enter the
     /// tenant's incremental analyzer.
     TenantFlush,
+    /// An analysis checkpoint being written (temp file + fsync + rename).
+    CheckpointWrite,
+    /// A v3 spool side-car index being written (temp file + fsync +
+    /// rename).
+    IndexWrite,
 }
 
 impl FaultSite {
     /// Number of sites.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 10;
 
     /// Every site, in declaration order.
     pub const ALL: [FaultSite; Self::COUNT] = [
@@ -86,6 +92,8 @@ impl FaultSite {
         FaultSite::NetFrameRead,
         FaultSite::NetWrite,
         FaultSite::TenantFlush,
+        FaultSite::CheckpointWrite,
+        FaultSite::IndexWrite,
     ];
 
     /// The plan-file spelling.
@@ -99,6 +107,8 @@ impl FaultSite {
             FaultSite::NetFrameRead => "net_frame_read",
             FaultSite::NetWrite => "net_write",
             FaultSite::TenantFlush => "tenant_flush",
+            FaultSite::CheckpointWrite => "checkpoint_write",
+            FaultSite::IndexWrite => "index_write",
         }
     }
 

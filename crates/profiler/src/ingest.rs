@@ -38,7 +38,7 @@ pub enum DetectorKind {
     Perfect,
 }
 
-enum Workers {
+pub(crate) enum Workers {
     Asymmetric {
         router: SlotRouter,
         profilers: Vec<AsymmetricProfiler>,
@@ -50,13 +50,20 @@ enum Workers {
 
 /// One tenant's live analysis state: `jobs` private profilers fed
 /// per-address-class sub-batches of each arriving frame.
+///
+/// Fields are crate-visible so [`crate::checkpoint`] can capture and
+/// restore the full analysis state.
 pub struct IncrementalAnalyzer {
-    workers: Workers,
-    jobs: usize,
+    pub(crate) workers: Workers,
+    pub(crate) jobs: usize,
     /// Per-worker scratch reused across frames (cleared, not freed).
-    scratch: Vec<Vec<AccessEvent>>,
-    frames: u64,
-    events: u64,
+    pub(crate) scratch: Vec<Vec<AccessEvent>>,
+    pub(crate) frames: u64,
+    pub(crate) events: u64,
+    /// Signature geometry (asymmetric only) — echoed into checkpoints.
+    pub(crate) sig: Option<SignatureConfig>,
+    pub(crate) prof: ProfilerConfig,
+    pub(crate) accum: AccumConfig,
 }
 
 impl IncrementalAnalyzer {
@@ -90,6 +97,9 @@ impl IncrementalAnalyzer {
             scratch: (0..jobs).map(|_| Vec::new()).collect(),
             frames: 0,
             events: 0,
+            sig: Some(sig),
+            prof,
+            accum,
         }
     }
 
@@ -113,6 +123,9 @@ impl IncrementalAnalyzer {
             scratch: (0..jobs).map(|_| Vec::new()).collect(),
             frames: 0,
             events: 0,
+            sig: None,
+            prof,
+            accum,
         }
     }
 

@@ -14,6 +14,9 @@
 //!   and the lock-free per-loop matrix registry.
 //! * [`parallel`] — partition-aware offline analysis: slot-sharded
 //!   parallel trace replay with exact merged results.
+//! * [`checkpoint`] — crash-resumable analysis: versioned, CRC-framed
+//!   snapshots of the full streaming-analyzer state (signatures,
+//!   matrices, counters, replay cursor), written atomically.
 //! * [`nested`] — the loop-tree report of Figures 6–7 with the Σ-children
 //!   invariant.
 //! * [`thread_load`] — the Eq. 1 quantitative metric of Figure 8.
@@ -33,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod classify;
 pub mod clock;
 pub mod deps;
@@ -56,6 +60,7 @@ pub mod telemetry;
 pub mod thread_load;
 pub mod viz;
 
+pub use checkpoint::{checkpoint_path, write_atomic_blob, Checkpoint, DetectorState, WorkerState};
 pub use deps::{DepConfig, DepKind, FullDetector};
 pub use energy::{estimate_dvfs_savings, EnergyEstimate, PowerModel};
 pub use ingest::{DetectorKind, IncrementalAnalyzer};

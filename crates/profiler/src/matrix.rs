@@ -53,6 +53,18 @@ impl CommMatrix {
         self.cells[src as usize * self.t + dst as usize].load(Ordering::Relaxed)
     }
 
+    /// Accumulate a dense snapshot into this live matrix — the checkpoint
+    /// restore path (cell addition is commutative, so seeding before replay
+    /// resumes is equivalent to having recorded the prefix live).
+    pub fn add_dense(&self, other: &DenseMatrix) {
+        assert_eq!(self.t, other.t, "matrix thread-count mismatch");
+        for (cell, &v) in self.cells.iter().zip(&other.data) {
+            if v != 0 {
+                cell.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Immutable snapshot.
     pub fn snapshot(&self) -> DenseMatrix {
         DenseMatrix {

@@ -447,6 +447,40 @@ impl<R: ReaderSet, W: WriterMap> CommProfiler<R, W> {
             phase_windows: phases,
         }
     }
+
+    /// Seed a freshly built profiler with accumulator state from a
+    /// checkpoint: counters, the global matrix, and per-loop matrices.
+    /// Signature state is restored separately (directly into the detector
+    /// halves); phase tracking is not checkpointable and must be off.
+    /// Single-threaded by contract — restore happens before any replay
+    /// resumes, and every seeded quantity is commutative, so the result is
+    /// indistinguishable from having profiled the prefix live.
+    pub fn restore_accumulators(
+        &self,
+        accesses: u64,
+        dependencies: u64,
+        global: &DenseMatrix,
+        loops: &[(LoopId, DenseMatrix)],
+    ) {
+        assert!(
+            self.phases.is_none(),
+            "phase tracking is not checkpointable"
+        );
+        match &self.counters {
+            Counters::Sharded(s) => s.seed_counts(accesses, dependencies),
+            Counters::Shared {
+                accesses: a,
+                deps: d,
+            } => {
+                a.fetch_add(accesses, Ordering::Relaxed);
+                d.fetch_add(dependencies, Ordering::Relaxed);
+            }
+        }
+        self.global.add_dense(global);
+        for (id, m) in loops {
+            self.loops.get_or_insert(*id).add_dense(m);
+        }
+    }
 }
 
 /// Events per batched-delivery tile: addresses are gathered and hashed

@@ -294,6 +294,17 @@ impl ShardSet {
         self.shard(tid).accesses.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Seed the shard-0 counters with totals from a checkpoint — restore
+    /// runs single-threaded before profiling resumes, and [`Self::accesses`]
+    /// / [`Self::deps`] sum across shards, so which shard holds the prefix
+    /// is unobservable.
+    pub fn seed_counts(&self, accesses: u64, deps: u64) {
+        self.shards[0]
+            .accesses
+            .fetch_add(accesses, Ordering::Relaxed);
+        self.shards[0].deps.fetch_add(deps, Ordering::Relaxed);
+    }
+
     /// Count and buffer one dependence on `tid`'s shard, flushing the
     /// shard's buffer into `target` at epoch boundaries.
     #[inline]

@@ -52,6 +52,24 @@ impl PerfectReaderSet {
     pub fn tracked_addresses(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()
     }
+
+    /// Snapshot every tracked address as `(addr, reader bitmask)`,
+    /// addr-ascending — the checkpoint serialization contract.
+    pub fn snapshot(&self) -> Vec<(u64, u128)> {
+        let mut out: Vec<(u64, u128)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().iter().map(|(&a, &m)| (a, m)).collect::<Vec<_>>())
+            .collect();
+        out.sort_unstable_by_key(|&(a, _)| a);
+        out
+    }
+
+    /// Restore one address's reader bitmask, the inverse of
+    /// [`Self::snapshot`].
+    pub fn restore_mask(&self, addr: u64, mask: u128) {
+        self.shards[shard(addr)].lock().insert(addr, mask);
+    }
 }
 
 impl ReaderSet for PerfectReaderSet {
@@ -101,6 +119,18 @@ impl PerfectWriterMap {
     /// Number of distinct addresses ever written.
     pub fn tracked_addresses(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Snapshot every written address as `(addr, tid)`, addr-ascending —
+    /// the checkpoint serialization contract.
+    pub fn snapshot(&self) -> Vec<(u64, u32)> {
+        let mut out: Vec<(u64, u32)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().iter().map(|(&a, &t)| (a, t)).collect::<Vec<_>>())
+            .collect();
+        out.sort_unstable_by_key(|&(a, _)| a);
+        out
     }
 }
 

@@ -99,6 +99,41 @@ impl ReadSignature {
         self.arena.allocated_filters()
     }
 
+    /// Snapshot every non-empty second-level filter as `(slot, words)`,
+    /// slot-ascending. Unallocated and all-zero filters are omitted: a
+    /// zero filter answers `contains == false` for every tid exactly like
+    /// an unallocated one, so the sparse dump plus the construction
+    /// parameters reproduce identical membership behaviour — the
+    /// checkpoint serialization contract.
+    pub fn snapshot_filters(&self) -> Vec<(u64, Vec<u64>)> {
+        let mut out = Vec::new();
+        for slot in 0..self.arena.n_filters() {
+            let Some(f) = self.arena.filter(slot) else {
+                continue;
+            };
+            let words: Vec<u64> = (0..f.n_words()).map(|i| f.load_word(i)).collect();
+            if words.iter().any(|&w| w != 0) {
+                out.push((slot as u64, words));
+            }
+        }
+        out
+    }
+
+    /// Restore one filter's words (allocating its segment), the inverse of
+    /// [`Self::snapshot_filters`]. Single-threaded by contract: restore
+    /// happens before profiling resumes.
+    pub fn restore_filter(&self, slot: usize, words: &[u64]) {
+        let f = self.arena.filter_or_alloc(slot);
+        assert_eq!(
+            words.len(),
+            f.n_words(),
+            "checkpoint filter geometry mismatch"
+        );
+        for (i, &w) in words.iter().enumerate() {
+            f.store_word(i, w);
+        }
+    }
+
     /// Online per-slot Bloom saturation: popcount up to `max_filters`
     /// *non-empty* filters (front-to-back over the slot array — murmur
     /// spreads occupancy uniformly, so a prefix is an unbiased sample) and

@@ -186,6 +186,23 @@ impl FilterRef<'_> {
             .map(|i| self.word(i).load(Ordering::Relaxed).count_ones() as usize)
             .sum()
     }
+
+    /// Number of 64-bit words in this filter.
+    pub fn n_words(&self) -> usize {
+        self.n_words
+    }
+
+    /// Read word `i` — the checkpoint serialization path. A quiesced
+    /// filter's words fully determine its membership answers.
+    pub fn load_word(&self, i: usize) -> u64 {
+        self.word(i).load(Ordering::Relaxed)
+    }
+
+    /// Overwrite word `i` — the checkpoint restore path (single-threaded
+    /// by contract: restore happens before any profiling resumes).
+    pub fn store_word(&self, i: usize, v: u64) {
+        self.word(i).store(v, Ordering::Relaxed);
+    }
 }
 
 impl FilterArena {

@@ -47,6 +47,27 @@ impl WriteSignature {
             .filter(|s| s.load(Ordering::Relaxed) != EMPTY)
             .count()
     }
+
+    /// Snapshot every occupied slot as `(slot, raw value)`, slot-ascending.
+    /// Raw values (`tid + 1`) round-trip exactly; empty slots are omitted
+    /// — the checkpoint serialization contract.
+    pub fn snapshot_slots(&self) -> Vec<(u64, u32)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s.load(Ordering::Relaxed) {
+                EMPTY => None,
+                v => Some((i as u64, v)),
+            })
+            .collect()
+    }
+
+    /// Restore one slot's raw value, the inverse of
+    /// [`Self::snapshot_slots`]. Single-threaded by contract: restore
+    /// happens before profiling resumes.
+    pub fn restore_slot_raw(&self, slot: usize, raw: u32) {
+        self.slots[slot].store(raw, Ordering::Relaxed);
+    }
 }
 
 impl WriterMap for WriteSignature {

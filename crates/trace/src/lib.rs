@@ -35,6 +35,7 @@ pub mod selective;
 pub mod sink;
 pub mod sites;
 pub mod spool;
+pub mod spool_v3;
 pub mod trace_compress;
 pub mod trace_io;
 pub mod wire;
@@ -57,8 +58,11 @@ pub use sink::{
 };
 pub use sites::{site_location, SiteCounter, SiteTraffic};
 pub use spool::{
-    salvage_stream, salvage_trace, write_trace_spool, SalvageReport, SpoolError, SpoolSink,
+    crc32, salvage_stream, salvage_trace, write_trace_spool, SalvageReport, SpoolError, SpoolSink,
     SpoolStats, SpoolWriter, DEFAULT_FRAME_EVENTS,
+};
+pub use spool_v3::{
+    index_path, write_trace_spool_v3, MmapTrace, SegmentEntry, SpoolV3Writer, V3Index, PAGE_BYTES,
 };
 pub use trace_compress::{load_trace_compressed, save_trace_compressed};
 pub use trace_io::{load_trace, read_trace, save_trace, write_trace};

@@ -40,7 +40,7 @@ use crate::replay::Trace;
 use crate::sink::AccessSink;
 use crate::trace_io::{
     decode_event, encode_event, read_header, salvage_v1_body, MAGIC, RECORD_BYTES, VERSION,
-    VERSION_SPOOL,
+    VERSION_SPOOL, VERSION_V3,
 };
 
 /// Frame marker: "LCFR".
@@ -76,8 +76,10 @@ const CRC_TABLE: [u32; 256] = {
     table
 };
 
-/// CRC-32 of a byte slice.
-pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+/// CRC-32 of a byte slice (IEEE 802.3, reflected) — the framing checksum
+/// shared by the v2/v3 spools, the side-car index, and the analysis
+/// checkpoint files.
+pub fn crc32(bytes: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in bytes {
         c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
@@ -378,6 +380,7 @@ pub fn salvage_stream<R: Read>(r: &mut R) -> io::Result<(Trace, SalvageReport)> 
             ))
         }
         VERSION_SPOOL => read_frames_inner(r, true),
+        VERSION_V3 => crate::spool_v3::read_v3_stream(r, true),
         other => Err(bad_data(format!("unsupported trace version {other}"))),
     }
 }

@@ -29,6 +29,8 @@ pub(crate) const MAGIC: [u8; 4] = *b"LCTR";
 pub(crate) const VERSION: u32 = 1;
 /// The framed spool format version (see [`crate::spool`]).
 pub(crate) const VERSION_SPOOL: u32 = 2;
+/// The page-aligned indexed spool version (see [`crate::spool_v3`]).
+pub(crate) const VERSION_V3: u32 = 3;
 /// Bytes per serialized event.
 pub(crate) const RECORD_BYTES: usize = 41;
 /// Cap on the event `Vec` reserved up front from an *untrusted* count
@@ -138,6 +140,7 @@ pub fn read_trace_limited<R: Read>(r: R, stream_len: Option<u64>) -> io::Result<
     match version {
         VERSION => read_v1_body(&mut r, stream_len),
         VERSION_SPOOL => crate::spool::read_frames(&mut r).map(|(t, _)| t),
+        VERSION_V3 => crate::spool_v3::read_v3_stream(&mut r, false).map(|(t, _)| t),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unsupported trace version {other}"),

@@ -9,10 +9,13 @@
 //! loopcomm map      <workload> [--threads N] [--size ...]
 //! loopcomm phases   <workload> [--threads N] [--size ...] [--window W]
 //! loopcomm report   <workload> <out.html> [--threads N] [--size ...]
-//! loopcomm record   <workload> <file.lctrace> [--threads N] [--size ...]
+//! loopcomm record   <workload> <file.lctrace> [--threads N] [--size ...] [--spool|--v3]
 //! loopcomm record   <workload> --connect HOST:PORT [--tenant NAME]
+//! loopcomm synth    <file> [--events N] [--threads N] [--seed S] [--v3]
 //! loopcomm analyze  <file.lctrace> [--slots 2^k] [--jobs N] [--batch N] [--no-coalesce] [--perfect]
+//!                   [--checkpoint DIR [--every N]] [--resume DIR] [--mmap]
 //! loopcomm serve    [--listen ADDR]... [--http ADDR] [--jobs N] [--perfect]
+//!                   [--durable-dir DIR] [--tenant-idle-secs S] [--tenant-max-bytes B]
 //! loopcomm stream   <file.lctrace> --connect HOST:PORT [--tenant NAME]
 //! loopcomm simulate <workload> [--threads N] [--size ...]
 //! loopcomm hotsites <workload> [--threads N] [--size ...]
@@ -62,6 +65,27 @@ struct Options {
     /// `analyze`: also write the canonical plain-text report here (the
     /// byte-identical counterpart of the server's `/tenants/<t>/report`).
     report_out: Option<String>,
+    /// `analyze`: checkpoint directory — the streaming analyzer writes a
+    /// crash-resumable snapshot there every `--every` events.
+    checkpoint: Option<String>,
+    /// `analyze --checkpoint`: events between checkpoints.
+    every: u64,
+    /// `analyze`: resume from the checkpoint in this directory.
+    resume: Option<String>,
+    /// `analyze`: replay through an mmap-backed v3 view (bounded RSS,
+    /// out-of-core spools).
+    mmap: bool,
+    /// `record`/`synth`: write the page-aligned, indexed v3 spool format.
+    v3: bool,
+    /// `synth`: events to generate.
+    events: u64,
+    /// `serve`: root directory for durable tenant state (spill spools +
+    /// checkpoints). Enables restart/eviction recovery.
+    durable_dir: Option<String>,
+    /// `serve`: evict tenants idle for this many seconds (0 = never).
+    tenant_idle_secs: u64,
+    /// `serve`: per-tenant analyzer memory cap in bytes (0 = uncapped).
+    tenant_max_bytes: usize,
     /// Hidden test hook: a fault-plan file armed on the profiler's flush
     /// seams and the spool writer (see `lc_faults`). Deliberately absent
     /// from the usage text — it exists for the fault-matrix tests and for
@@ -108,6 +132,9 @@ fn usage() -> ! {
          \x20 record   <workload> <file>  record an access trace to disk\n\
          \x20                        (or `--connect HOST:PORT` to stream it\n\
          \x20                        live to a `loopcomm serve` instance)\n\
+         \x20 synth    <file>        generate a deterministic synthetic trace\n\
+         \x20                        spool (streamed to disk; `--v3` for the\n\
+         \x20                        indexed page-aligned format)\n\
          \x20 analyze  <file>        offline analysis of a recorded trace\n\
          \x20 serve                  streaming multi-tenant ingest service:\n\
          \x20                        accepts spool streams over TCP/Unix\n\
@@ -147,6 +174,26 @@ fn usage() -> ! {
          \x20 --report-out P   (analyze) also write the canonical plain-text\n\
          \x20                  report — byte-identical to the server's\n\
          \x20                  /tenants/<t>/report on the same events\n\
+         \x20 --checkpoint DIR (analyze) stream the analysis and write a\n\
+         \x20                  crash-resumable snapshot (signatures, matrices,\n\
+         \x20                  replay cursor) to DIR every --every events\n\
+         \x20 --every N        (analyze --checkpoint) events between\n\
+         \x20                  checkpoints (default 1000000)\n\
+         \x20 --resume DIR     (analyze) resume from DIR's checkpoint; the\n\
+         \x20                  final report is byte-identical to an\n\
+         \x20                  uninterrupted run\n\
+         \x20 --mmap           (analyze) replay a v3 spool through an mmap\n\
+         \x20                  view: bounded RSS even for spools far larger\n\
+         \x20                  than RAM\n\
+         \x20 --v3             (record, synth) page-aligned indexed spool\n\
+         \x20                  format v3 (O(1) seek, mmap replay, salvage)\n\
+         \x20 --events N       (synth) events to generate (default 1000000)\n\
+         \x20 --durable-dir D  (serve) spill + checkpoint tenants under D;\n\
+         \x20                  restart and eviction resume from disk\n\
+         \x20 --tenant-idle-secs S  (serve) evict tenants idle >= S seconds\n\
+         \x20                  through the checkpoint path (0 = never)\n\
+         \x20 --tenant-max-bytes B  (serve) evict a tenant whose analyzer\n\
+         \x20                  exceeds B bytes (0 = uncapped)\n\
          \x20 --listen ADDR    (serve, repeatable) ingest endpoint:\n\
          \x20                  `host:port` or `unix:<path>`\n\
          \x20                  (default 127.0.0.1:9009)\n\
@@ -195,6 +242,15 @@ fn parse_options(args: &[String]) -> Options {
         max_conns: 64,
         max_tenants: 64,
         report_out: None,
+        checkpoint: None,
+        every: 1_000_000,
+        resume: None,
+        mmap: false,
+        v3: false,
+        events: 1_000_000,
+        durable_dir: None,
+        tenant_idle_secs: 0,
+        tenant_max_bytes: 0,
         fault_plan: None,
         #[cfg(feature = "sched")]
         sim: SimtestOptions::default(),
@@ -231,6 +287,19 @@ fn parse_options(args: &[String]) -> Options {
             "--max-conns" => o.max_conns = val().parse().expect("--max-conns N"),
             "--max-tenants" => o.max_tenants = val().parse().expect("--max-tenants N"),
             "--report-out" => o.report_out = Some(val()),
+            "--checkpoint" => o.checkpoint = Some(val()),
+            "--every" => o.every = val().parse().expect("--every N"),
+            "--resume" => o.resume = Some(val()),
+            "--mmap" => o.mmap = true,
+            "--v3" => o.v3 = true,
+            "--events" => o.events = val().parse().expect("--events N"),
+            "--durable-dir" => o.durable_dir = Some(val()),
+            "--tenant-idle-secs" => {
+                o.tenant_idle_secs = val().parse().expect("--tenant-idle-secs N")
+            }
+            "--tenant-max-bytes" => {
+                o.tenant_max_bytes = val().parse().expect("--tenant-max-bytes N")
+            }
             "--fault-plan" => o.fault_plan = Some(val()),
             #[cfg(feature = "sched")]
             "--explore" => o.sim.explore = Some(val().parse().expect("--explore N")),
@@ -512,6 +581,341 @@ fn load_or_salvage(name: &str, o: &Options) -> lc_trace::Trace {
     }
 }
 
+/// Capture and atomically publish a checkpoint. Failure degrades
+/// durability (warn and continue), never the analysis: an injected
+/// `io_error`/`short_write` leaves the previous checkpoint in place, and a
+/// `bit_flip` is caught by the CRC at the next load.
+fn write_checkpoint(
+    analyzer: &lc_profiler::IncrementalAnalyzer,
+    dir: &std::path::Path,
+    faults: Option<&Arc<lc_faults::FaultInjector>>,
+) {
+    let cp = lc_profiler::Checkpoint::capture(analyzer);
+    let path = lc_profiler::checkpoint_path(dir);
+    if let Err(e) = cp.write_atomic(&path, faults) {
+        eprintln!("warning: checkpoint write failed ({e}); analysis continues without durability");
+    }
+}
+
+/// Max tid + 1 over a v3 spool. The side-car index records it as a
+/// replay hint; the full streaming pass below is the fallback for
+/// indexes that predate the hint or were rebuilt from headers alone.
+/// The hint matters for crash recovery: a fresh (un-resumed) run must
+/// reach its first checkpoint quickly, not spend seconds pre-scanning
+/// a multi-gigabyte spool it will then replay anyway.
+fn mmap_threads(m: &lc_trace::MmapTrace) -> usize {
+    let hint = m.index().threads;
+    if hint > 0 {
+        return hint as usize;
+    }
+    let mut max_tid = 0u32;
+    let mut any = false;
+    m.stream_from(0, |frame| {
+        for e in frame {
+            any = true;
+            max_tid = max_tid.max(e.event.tid);
+        }
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("error: cannot scan spool for thread count: {e}");
+        std::process::exit(1);
+    });
+    if any {
+        max_tid as usize + 1
+    } else {
+        1
+    }
+}
+
+/// Resume must run with the configuration the checkpoint echoes —
+/// anything else would silently change the analysis semantics mid-trace.
+fn check_resume_config(cp: &lc_profiler::Checkpoint, o: &Options, jobs: usize) {
+    let want_kind = if o.perfect {
+        lc_profiler::DetectorKind::Perfect
+    } else {
+        lc_profiler::DetectorKind::Asymmetric
+    };
+    if cp.kind != want_kind {
+        eprintln!(
+            "error: checkpoint was taken with the {:?} detector; rerun {} --perfect",
+            cp.kind,
+            if o.perfect { "without" } else { "with" }
+        );
+        std::process::exit(2);
+    }
+    if cp.jobs != jobs {
+        eprintln!(
+            "error: checkpoint was taken with --jobs {}; resume with the same value",
+            cp.jobs
+        );
+        std::process::exit(2);
+    }
+    if let Some(sig) = &cp.sig {
+        if sig.n_slots != o.slots {
+            eprintln!(
+                "error: checkpoint was taken with --slots {}; resume with the same value",
+                sig.n_slots
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `loopcomm analyze --checkpoint/--resume/--mmap` — the streaming
+/// analysis path. Frames are fed through the same [`IncrementalAnalyzer`]
+/// the server uses, whose merged report is byte-identical to the offline
+/// parallel path on the same events; `--mmap` sources them from an
+/// mmap-backed v3 view (bounded RSS for out-of-core spools), and
+/// `--checkpoint`/`--resume` make the run crash-resumable.
+fn analyze_streaming(name: &str, o: &Options) {
+    let spool = std::path::Path::new(name);
+    let faults = fault_injector(o);
+    let jobs = o.jobs.max(1);
+    let accum = lc_profiler::AccumConfig {
+        loop_capacity: o.loop_capacity,
+        ..lc_profiler::AccumConfig::default()
+    };
+
+    enum Source {
+        Mmap(lc_trace::MmapTrace),
+        Mem(lc_trace::Trace),
+    }
+    let source = if o.mmap {
+        let mm = lc_trace::MmapTrace::open(spool).unwrap_or_else(|e| {
+            eprintln!("cannot mmap `{name}`: {e}");
+            eprintln!("hint: --mmap needs the v3 spool format (`record --v3` / `synth --v3`)");
+            std::process::exit(1);
+        });
+        println!(
+            "mmap: {} event(s) in {} segment(s), index {}",
+            mm.events(),
+            mm.segments(),
+            if mm.index_rebuilt() {
+                "rebuilt from segment headers"
+            } else {
+                "loaded"
+            }
+        );
+        Source::Mmap(mm)
+    } else {
+        Source::Mem(load_or_salvage(name, o))
+    };
+    let total = match &source {
+        Source::Mmap(m) => m.events(),
+        Source::Mem(t) => t.len() as u64,
+    };
+
+    // Resume, if a usable checkpoint exists. A missing or corrupt
+    // checkpoint degrades to a from-scratch run (with a warning), never a
+    // wrong one — the CRC rules out trusting torn state.
+    let mut restored: Option<lc_profiler::IncrementalAnalyzer> = None;
+    if let Some(dir) = &o.resume {
+        let cp_file = lc_profiler::checkpoint_path(std::path::Path::new(dir));
+        match lc_profiler::Checkpoint::load(&cp_file) {
+            Ok(cp) => {
+                check_resume_config(&cp, o, jobs);
+                match cp.restore(accum) {
+                    Ok(a) => {
+                        println!(
+                            "resume: checkpoint at event {} / {total} ({} frame(s) analyzed)",
+                            a.events(),
+                            a.frames()
+                        );
+                        restored = Some(a);
+                    }
+                    Err(e) => {
+                        eprintln!("warning: cannot restore checkpoint ({e}); starting from scratch")
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                println!("resume: no checkpoint in `{dir}` yet; starting from scratch");
+            }
+            Err(e) => {
+                eprintln!("warning: unusable checkpoint in `{dir}` ({e}); starting from scratch")
+            }
+        }
+    }
+    let mut analyzer = restored.unwrap_or_else(|| {
+        let threads = match &source {
+            Source::Mmap(m) => mmap_threads(m),
+            Source::Mem(t) => t.stats().threads.max(1),
+        };
+        lc_profiler::IncrementalAnalyzer::new(
+            if o.perfect {
+                lc_profiler::DetectorKind::Perfect
+            } else {
+                lc_profiler::DetectorKind::Asymmetric
+            },
+            SignatureConfig::paper_default(o.slots, threads),
+            lc_profiler::ProfilerConfig {
+                threads,
+                track_nested: true,
+                phase_window: None,
+            },
+            accum,
+            jobs,
+        )
+    });
+
+    let cp_dir = o.checkpoint.as_deref().map(std::path::Path::new);
+    let every = o.every.max(1);
+    let start = analyzer.events().min(total);
+    let mut last_cp = analyzer.events();
+    match &source {
+        Source::Mmap(m) => {
+            m.stream_from(start, |frame| {
+                analyzer.on_frame(frame);
+                if let Some(dir) = cp_dir {
+                    if analyzer.events() - last_cp >= every {
+                        write_checkpoint(&analyzer, dir, faults.as_ref());
+                        last_cp = analyzer.events();
+                    }
+                }
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("error: mmap replay failed: {e}");
+                std::process::exit(1);
+            });
+        }
+        Source::Mem(t) => {
+            for frame in t.events()[start as usize..].chunks(o.batch.max(1)) {
+                analyzer.on_frame(frame);
+                if let Some(dir) = cp_dir {
+                    if analyzer.events() - last_cp >= every {
+                        write_checkpoint(&analyzer, dir, faults.as_ref());
+                        last_cp = analyzer.events();
+                    }
+                }
+            }
+        }
+    }
+    // Always leave a final checkpoint: a completed run is itself
+    // resumable, and resume-after-complete replays nothing.
+    if let Some(dir) = cp_dir {
+        write_checkpoint(&analyzer, dir, faults.as_ref());
+    }
+    if let Some(e) = analyzer.overflow() {
+        registry_full_error(e, o.loop_capacity);
+    }
+    if analyzer.degraded() {
+        eprintln!("warning: degraded run (caught flush panic or watchdog timeout)");
+    }
+    let r = analyzer.report();
+    println!(
+        "streamed analysis: {} event(s) in {} frame(s), {} job(s)",
+        analyzer.events(),
+        analyzer.frames(),
+        jobs
+    );
+    println!(
+        "RAW dependencies: {}  profiler memory: {}",
+        r.dependencies,
+        lc_profiler::report::fmt_bytes(r.memory_bytes as u64)
+    );
+    println!("\ncommunication matrix:\n{}", r.global.heatmap());
+    if let Some(path) = &o.report_out {
+        let body = lc_profiler::canonical_report(&r, analyzer.events());
+        std::fs::write(path, body).unwrap_or_else(|e| {
+            eprintln!("cannot write report to `{path}`: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote canonical report: {path}");
+    }
+}
+
+/// Deterministic synthetic event: a cheap xorshift-style mix of the index
+/// and seed drives tid, address, kind, and loop id. Pure function of
+/// `(i, seed, threads)` so independently generated spools agree.
+fn synth_event(i: u64, seed: u64, threads: u32) -> lc_trace::StampedEvent {
+    let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed | 1);
+    x ^= x >> 29;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 32;
+    let kind = if x & 3 == 0 {
+        lc_trace::AccessKind::Write
+    } else {
+        lc_trace::AccessKind::Read
+    };
+    lc_trace::StampedEvent {
+        seq: i,
+        event: lc_trace::AccessEvent {
+            tid: ((x >> 2) % threads as u64) as u32,
+            addr: 0x1_0000 + ((x >> 9) % 65_536) * 8,
+            size: 8,
+            kind,
+            loop_id: lc_trace::LoopId(((x >> 25) % 8) as u32 + 1),
+            parent_loop: lc_trace::LoopId::NONE,
+            func: lc_trace::FuncId::NONE,
+            site: 0,
+        },
+    }
+}
+
+/// `loopcomm synth <file>` — stream a deterministic synthetic spool to
+/// disk without ever materializing it in memory, so CI can fabricate
+/// spools far larger than RAM for the out-of-core replay checks.
+fn synth_cmd(name: &str, o: &Options) {
+    let path = std::path::Path::new(name);
+    let threads = o.threads.max(1) as u32;
+    let frame = o.frame_events.max(1);
+    let mut buf: Vec<lc_trace::StampedEvent> = Vec::with_capacity(frame);
+    let mut i = 0u64;
+    let stats = if o.v3 {
+        let mut w =
+            lc_trace::SpoolV3Writer::create_with(path, fault_injector(o)).unwrap_or_else(|e| {
+                eprintln!("cannot create `{name}`: {e}");
+                std::process::exit(1);
+            });
+        while i < o.events {
+            buf.clear();
+            while buf.len() < frame && i < o.events {
+                buf.push(synth_event(i, o.seed, threads));
+                i += 1;
+            }
+            w.append_frame(&buf).unwrap_or_else(|e| {
+                eprintln!("error: spool write failed: {e}");
+                std::process::exit(1);
+            });
+        }
+        w.finish().unwrap_or_else(|e| {
+            eprintln!("error: spool finish failed: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create `{name}`: {e}");
+            std::process::exit(1);
+        });
+        let mut w = lc_trace::SpoolWriter::new(file, frame).unwrap_or_else(|e| {
+            eprintln!("cannot start spool `{name}`: {e}");
+            std::process::exit(1);
+        });
+        while i < o.events {
+            buf.clear();
+            while buf.len() < frame && i < o.events {
+                buf.push(synth_event(i, o.seed, threads));
+                i += 1;
+            }
+            w.append_frame(&buf).unwrap_or_else(|e| {
+                eprintln!("error: spool write failed: {e}");
+                std::process::exit(1);
+            });
+        }
+        w.finish().unwrap_or_else(|e| {
+            eprintln!("error: spool finish failed: {e}");
+            std::process::exit(1);
+        })
+    };
+    println!(
+        "synthesized {} event(s) in {} frame(s) ({} bytes, format v{}) -> {name}",
+        stats.events,
+        stats.frames,
+        stats.bytes,
+        if o.v3 { 3 } else { 2 }
+    );
+}
+
 /// `loopcomm serve` — start the streaming multi-tenant ingest service
 /// and run until the process is killed (see DESIGN.md §13).
 fn serve_cmd(o: &Options) -> ! {
@@ -543,7 +947,17 @@ fn serve_cmd(o: &Options) -> ! {
         max_conns: o.max_conns.max(1),
         max_tenants: o.max_tenants.max(1),
         faults: fault_injector(o),
+        durable_dir: o.durable_dir.as_ref().map(std::path::PathBuf::from),
+        tenant_idle: (o.tenant_idle_secs > 0)
+            .then(|| std::time::Duration::from_secs(o.tenant_idle_secs)),
+        tenant_max_bytes: o.tenant_max_bytes,
     };
+    if cfg.durable_dir.is_none() && (cfg.tenant_idle.is_some() || cfg.tenant_max_bytes > 0) {
+        eprintln!(
+            "warning: --tenant-idle-secs/--tenant-max-bytes need --durable-dir \
+             (eviction checkpoints to disk); ignoring"
+        );
+    }
     let server = loopcomm::serve::Server::start(cfg).unwrap_or_else(|e| {
         eprintln!("cannot start server: {e}");
         std::process::exit(1);
@@ -765,6 +1179,24 @@ fn run(cmd: &str, name: &str, args: &[String], o: &Options) {
             let ctx = TraceCtx::new(rec.clone(), o.threads);
             workload.run(&ctx, &RunConfig::new(o.threads, o.size, o.seed));
             let trace = rec.finish();
+            if o.v3 {
+                // Indexed page-aligned format: mmap-replayable with O(1)
+                // seek (`analyze --mmap`), crash-resumable like --spool.
+                let stats = lc_trace::write_trace_spool_v3(
+                    &trace,
+                    std::path::Path::new(path),
+                    o.frame_events.max(1),
+                )
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot write v3 spool `{path}`: {e}");
+                    std::process::exit(1);
+                });
+                println!(
+                    "spooled {} events in {} frames ({} bytes, format v3) -> {path}",
+                    stats.events, stats.frames, stats.bytes
+                );
+                return;
+            }
             lc_trace::save_trace(&trace, std::path::Path::new(path)).expect("write trace");
             let stats = trace.stats();
             println!(
@@ -775,6 +1207,10 @@ fn run(cmd: &str, name: &str, args: &[String], o: &Options) {
                 stats.distinct_addrs,
                 stats.threads
             );
+        }
+        "synth" => {
+            // `name` is the output path here.
+            synth_cmd(name, o);
         }
         "stream" => {
             // `name` is the trace path here.
@@ -806,6 +1242,12 @@ fn run(cmd: &str, name: &str, args: &[String], o: &Options) {
             }
         }
         "analyze" => {
+            // Checkpointed, resumed, or out-of-core runs go through the
+            // streaming analyzer (byte-identical report, bounded RSS).
+            if o.checkpoint.is_some() || o.resume.is_some() || o.mmap {
+                analyze_streaming(name, o);
+                return;
+            }
             // `name` is the trace path here.
             let trace = load_or_salvage(name, o);
             let stats = trace.stats();

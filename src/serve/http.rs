@@ -176,7 +176,7 @@ fn prometheus(shared: &Shared) -> String {
          loopcomm_serve_tenants {}",
         shared.tenants().len()
     );
-    let per_tenant: [(&str, &str); 7] = [
+    let per_tenant: [(&str, &str); 9] = [
         (
             "loopcomm_tenant_frames_received_total",
             "Valid frames decoded",
@@ -199,13 +199,21 @@ fn prometheus(shared: &Shared) -> String {
             "loopcomm_tenant_connections_faulted_total",
             "Connections that ended degraded",
         ),
+        (
+            "loopcomm_tenant_frames_spilled",
+            "Frames spilled to the durable spool, awaiting replay",
+        ),
+        (
+            "loopcomm_tenant_events_spilled",
+            "Events in the spilled frames",
+        ),
     ];
     for (i, (name, help)) in per_tenant.iter().enumerate() {
         let _ = writeln!(out, "# HELP {name} {help}");
         let _ = writeln!(
             out,
             "# TYPE {name} {}",
-            if i == 5 { "gauge" } else { "counter" }
+            if i == 5 || i >= 7 { "gauge" } else { "counter" }
         );
         for t in shared.tenants() {
             let v = match i {
@@ -215,11 +223,20 @@ fn prometheus(shared: &Shared) -> String {
                 3 => t.stats.events_lost.load(Ordering::Relaxed),
                 4 => t.stats.bytes_dropped.load(Ordering::Relaxed),
                 5 => t.stats.conns_active.load(Ordering::Relaxed),
-                _ => t.stats.conns_faulted.load(Ordering::Relaxed),
+                6 => t.stats.conns_faulted.load(Ordering::Relaxed),
+                7 => t.stats.frames_spilled.load(Ordering::Relaxed),
+                _ => t.stats.events_spilled.load(Ordering::Relaxed),
             };
             let _ = writeln!(out, "{name}{{tenant=\"{}\"}} {v}", t.name);
         }
     }
+    let _ = writeln!(
+        out,
+        "# HELP loopcomm_serve_tenants_evicted Tenants evicted to durable storage\n\
+         # TYPE loopcomm_serve_tenants_evicted gauge\n\
+         loopcomm_serve_tenants_evicted {}",
+        shared.evicted().len()
+    );
     let _ = writeln!(
         out,
         "# HELP loopcomm_tenant_events_analyzed_total Events that reached the analyzer\n\
@@ -255,14 +272,29 @@ fn tenants_json(shared: &Shared) -> String {
         .iter()
         .map(|t| format!("\"{}\"", t.name))
         .collect();
-    format!("{{\"tenants\":[{}]}}\n", names.join(","))
+    let evicted: Vec<String> = shared
+        .evicted()
+        .iter()
+        .map(|(name, e)| {
+            format!(
+                "{{\"name\":\"{name}\",\"events_analyzed\":{},\"frames_analyzed\":{}}}",
+                e.events_analyzed, e.frames_analyzed
+            )
+        })
+        .collect();
+    format!(
+        "{{\"tenants\":[{}],\"evicted\":[{}]}}\n",
+        names.join(","),
+        evicted.join(",")
+    )
 }
 
 fn tenant_stats_json(t: &Tenant) -> String {
     format!(
         "{{\"tenant\":\"{}\",\"frames_received\":{},\"events_received\":{},\
          \"frames_analyzed\":{},\"events_analyzed\":{},\"frames_lost\":{},\
-         \"events_lost\":{},\"bytes_received\":{},\"bytes_dropped\":{},\
+         \"events_lost\":{},\"frames_spilled\":{},\"events_spilled\":{},\
+         \"bytes_received\":{},\"bytes_dropped\":{},\
          \"queue_frames\":{},\"conns_active\":{},\"conns_total\":{},\
          \"conns_faulted\":{},\"memory_bytes\":{},\"dependencies\":{}}}\n",
         t.name,
@@ -272,6 +304,8 @@ fn tenant_stats_json(t: &Tenant) -> String {
         t.events_analyzed(),
         t.stats.frames_lost.load(Ordering::Relaxed),
         t.stats.events_lost.load(Ordering::Relaxed),
+        t.stats.frames_spilled.load(Ordering::Relaxed),
+        t.stats.events_spilled.load(Ordering::Relaxed),
         t.stats.bytes_received.load(Ordering::Relaxed),
         t.stats.bytes_dropped.load(Ordering::Relaxed),
         t.queue_len(),

@@ -19,6 +19,7 @@
 //! concurrent tenants are untouched (`tests/serve_fault_matrix.rs`).
 //! DESIGN.md §13 has the protocol and the failure-mode table.
 
+pub mod durable;
 pub mod http;
 pub mod queue;
 pub mod sync;
@@ -43,10 +44,22 @@ use lc_trace::wire::read_hello;
 use lc_trace::FrameDecoder;
 use parking_lot::Mutex;
 
-use tenant::Tenant;
+use tenant::{DurableTenant, Tenant};
+
+/// What remains visible of a tenant after eviction: enough for `/tenants`
+/// to show it exists on disk and how far its analysis had progressed.
+#[derive(Clone, Copy, Debug)]
+pub struct EvictedTenant {
+    /// Events the analyzer had processed when evicted.
+    pub events_analyzed: u64,
+    /// Frames the analyzer had processed when evicted.
+    pub frames_analyzed: u64,
+}
 
 /// How long the accept/HTTP loops sleep between non-blocking polls.
 const POLL_INTERVAL: Duration = Duration::from_millis(10);
+/// How often the tenant reaper re-examines idle/memory eviction criteria.
+const REAP_INTERVAL: Duration = Duration::from_millis(100);
 /// Socket read buffer for the ingest path.
 const READ_CHUNK: usize = 64 * 1024;
 
@@ -78,6 +91,17 @@ pub struct ServeConfig {
     pub max_tenants: usize,
     /// Optional fault plan covering the network seams.
     pub faults: Option<Arc<FaultInjector>>,
+    /// Root directory for durable tenant state (`None` = in-memory only).
+    /// With it set, queue overflow spills to per-tenant v3 spools, tenants
+    /// checkpoint on eviction/shutdown, and a hello for a known name
+    /// resumes from disk.
+    pub durable_dir: Option<PathBuf>,
+    /// Evict a quiet tenant after this much inactivity (requires
+    /// `durable_dir`; `None` = never).
+    pub tenant_idle: Option<Duration>,
+    /// Evict a quiet tenant whose analyzer heap exceeds this many bytes
+    /// (requires `durable_dir`; 0 = no cap).
+    pub tenant_max_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -94,6 +118,9 @@ impl Default for ServeConfig {
             max_conns: 64,
             max_tenants: 64,
             faults: None,
+            durable_dir: None,
+            tenant_idle: None,
+            tenant_max_bytes: 0,
         }
     }
 }
@@ -138,6 +165,7 @@ enum Listener {
 pub struct Shared {
     pub(crate) cfg: ServeConfig,
     tenants: Mutex<HashMap<String, Arc<Tenant>>>,
+    evicted: Mutex<HashMap<String, EvictedTenant>>,
     conns: Mutex<HashMap<u64, Arc<Stream>>>,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
     conn_seq: AtomicU64,
@@ -164,7 +192,22 @@ impl Shared {
         self.tenants.lock().get(name).cloned()
     }
 
-    /// Look up or create the tenant for a hello.
+    /// Tenants currently evicted to disk, name-sorted.
+    pub fn evicted(&self) -> Vec<(String, EvictedTenant)> {
+        let mut v: Vec<_> = self
+            .evicted
+            .lock()
+            .iter()
+            .map(|(n, e)| (n.clone(), *e))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Look up or create the tenant for a hello. With a durable root, a
+    /// new incarnation first restores the last checkpoint (counters +
+    /// analyzer) and replays any spilled frames, reconciling the ledger so
+    /// `received == analyzed + spilled + lost` survives the round trip.
     fn tenant_or_create(&self, name: &str) -> io::Result<Arc<Tenant>> {
         let mut tenants = self.tenants.lock();
         if let Some(t) = tenants.get(name) {
@@ -176,21 +219,122 @@ impl Shared {
                 self.cfg.max_tenants
             )));
         }
-        let analyzer = IncrementalAnalyzer::new(
+        let mut analyzer = IncrementalAnalyzer::new(
             self.cfg.detector,
             self.cfg.sig,
             self.cfg.prof,
             self.cfg.accum,
             self.cfg.jobs,
         );
+        let mut durable_side = None;
+        let mut seed = None;
+        if let Some(root) = &self.cfg.durable_dir {
+            let dir = durable::tenant_dir(root, name);
+            let mut stats = durable::PersistedStats::default();
+            match durable::load_state(&dir) {
+                Ok(Some((persisted, cp))) => match cp.restore(self.cfg.accum) {
+                    Ok(a) => {
+                        analyzer = a;
+                        stats = persisted;
+                    }
+                    Err(e) => eprintln!(
+                        "warning: tenant `{name}`: cannot restore checkpoint ({e}); \
+                         starting fresh"
+                    ),
+                },
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!("warning: tenant `{name}`: unusable state file ({e}); starting fresh")
+                }
+            }
+            // Replay whatever the spill spools hold (salvage-exact), then
+            // reconcile: frames beyond the checkpointed spill count
+            // arrived *after* the checkpoint, so they re-enter `received`
+            // as well; checkpointed spills the salvage could not recover
+            // become `lost`. Either way both sides of the ledger move
+            // together.
+            let (rf, re) = durable::replay_spills(&dir, &mut analyzer);
+            stats.frames_received += rf.saturating_sub(stats.frames_spilled);
+            stats.events_received += re.saturating_sub(stats.events_spilled);
+            stats.frames_lost += stats.frames_spilled.saturating_sub(rf);
+            stats.events_lost += stats.events_spilled.saturating_sub(re);
+            stats.frames_spilled = 0;
+            stats.events_spilled = 0;
+            durable_side = Some(DurableTenant::new(dir, self.cfg.faults.clone()));
+            seed = Some(stats);
+        }
         let t = Tenant::spawn(
             name.to_string(),
             analyzer,
             self.cfg.queue_frames,
             self.cfg.faults.clone(),
+            durable_side,
+            seed,
         );
         tenants.insert(name.to_string(), Arc::clone(&t));
+        self.evicted.lock().remove(name);
         Ok(t)
+    }
+
+    /// Evict one tenant to disk: only when it is quiet with no open
+    /// connections. Holds the tenant map locked across the checkpoint so a
+    /// racing hello cannot recreate the tenant before its state lands.
+    /// Returns whether the tenant was evicted.
+    pub fn evict(&self, name: &str) -> bool {
+        let mut tenants = self.tenants.lock();
+        let Some(t) = tenants.get(name) else {
+            return false;
+        };
+        if !t.is_durable() {
+            // Non-durable server: eviction would discard analysis.
+            eprintln!("warning: tenant `{name}`: eviction without --durable-dir refused");
+            return false;
+        }
+        if t.stats.conns_active.load(Ordering::Acquire) != 0 || !t.quiet() {
+            return false;
+        }
+        let t = tenants.remove(name).expect("checked above");
+        t.shutdown();
+        if let Err(e) = t.checkpoint_to_disk() {
+            eprintln!(
+                "warning: tenant `{name}`: eviction checkpoint failed ({e}); \
+                 state on disk is the previous checkpoint"
+            );
+        }
+        self.evicted.lock().insert(
+            name.to_string(),
+            EvictedTenant {
+                events_analyzed: t.events_analyzed(),
+                frames_analyzed: t.frames_analyzed(),
+            },
+        );
+        true
+    }
+
+    /// One reaper pass: evict tenants idle past the deadline or over the
+    /// per-tenant memory cap. Only quiet, connection-free tenants qualify;
+    /// busy ones are re-examined next pass.
+    fn reap_pass(&self) {
+        let names: Vec<(String, bool)> = {
+            let tenants = self.tenants.lock();
+            tenants
+                .values()
+                .map(|t| {
+                    let idle = self
+                        .cfg
+                        .tenant_idle
+                        .is_some_and(|d| t.idle_ms() >= d.as_millis() as u64);
+                    let over_cap = self.cfg.tenant_max_bytes > 0
+                        && t.memory_bytes() > self.cfg.tenant_max_bytes;
+                    (t.name.clone(), idle || over_cap)
+                })
+                .collect()
+        };
+        for (name, due) in names {
+            if due {
+                self.evict(&name);
+            }
+        }
     }
 
     fn shutting_down(&self) -> bool {
@@ -358,6 +502,7 @@ pub struct Server {
     shared: Arc<Shared>,
     accept_threads: Vec<JoinHandle<()>>,
     http_thread: Option<JoinHandle<()>>,
+    reaper_thread: Option<JoinHandle<()>>,
     ingest_addrs: Vec<String>,
     http_addr: Option<String>,
     stopped: bool,
@@ -398,6 +543,7 @@ impl Server {
         let shared = Arc::new(Shared {
             cfg,
             tenants: Mutex::new(HashMap::new()),
+            evicted: Mutex::new(HashMap::new()),
             conns: Mutex::new(HashMap::new()),
             conn_threads: Mutex::new(Vec::new()),
             conn_seq: AtomicU64::new(0),
@@ -423,10 +569,25 @@ impl Server {
                 .spawn(move || http::http_loop(sh, l))
                 .expect("spawn http thread")
         });
+        let reap = shared.cfg.durable_dir.is_some()
+            && (shared.cfg.tenant_idle.is_some() || shared.cfg.tenant_max_bytes > 0);
+        let reaper_thread = reap.then(|| {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("lc-reaper".into())
+                .spawn(move || {
+                    while !sh.shutting_down() {
+                        sh.reap_pass();
+                        std::thread::sleep(REAP_INTERVAL);
+                    }
+                })
+                .expect("spawn reaper thread")
+        });
         Ok(Self {
             shared,
             accept_threads,
             http_thread,
+            reaper_thread,
             ingest_addrs,
             http_addr,
             stopped: false,
@@ -469,6 +630,17 @@ impl Server {
         }
         for t in self.shared.tenants() {
             t.shutdown();
+            // Durable shutdown is a checkpoint: the next incarnation of
+            // this server resumes every tenant from here.
+            if let Err(e) = t.checkpoint_to_disk() {
+                eprintln!(
+                    "warning: tenant `{}`: shutdown checkpoint failed ({e})",
+                    t.name
+                );
+            }
+        }
+        if let Some(h) = self.reaper_thread.take() {
+            let _ = h.join();
         }
         if let Some(h) = self.http_thread.take() {
             let _ = h.join();

@@ -13,17 +13,26 @@
 //! else; a stall there exercises the backpressure path end to end.
 
 use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use lc_faults::{FaultAction, FaultInjector, FaultSite};
-use lc_profiler::{canonical_report, IncrementalAnalyzer, ProfileReport};
+use lc_profiler::{canonical_report, Checkpoint, IncrementalAnalyzer, ProfileReport};
 use lc_trace::StampedEvent;
 use parking_lot::Mutex;
 
-use super::queue::FrameQueue;
+use super::durable::{self, PersistedStats, SpillWriter};
+use super::queue::{FrameQueue, PushError};
+
+/// Milliseconds since the process's first activity reading — the
+/// monotonic base for idle-reaping decisions.
+pub(crate) fn uptime_ms() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_millis() as u64
+}
 
 /// Live per-tenant counters — the "exact lost-frame accounting" surface.
 #[derive(Default)]
@@ -49,6 +58,30 @@ pub struct TenantStats {
     /// Connections that ended degraded (decode damage, read fault, or
     /// handler panic).
     pub conns_faulted: AtomicU64,
+    /// Frames currently spilled to the durable spool, awaiting replay at
+    /// the tenant's next restore (durable tenants only).
+    pub frames_spilled: AtomicU64,
+    /// Events in the spilled frames.
+    pub events_spilled: AtomicU64,
+}
+
+/// The on-disk half of a durable tenant: its directory and spill writer.
+pub struct DurableTenant {
+    /// `<durable_dir>/t_<name>`.
+    pub dir: PathBuf,
+    spill: Mutex<SpillWriter>,
+    faults: Option<Arc<FaultInjector>>,
+}
+
+impl DurableTenant {
+    /// Set up the durable side rooted at `dir`.
+    pub fn new(dir: PathBuf, faults: Option<Arc<FaultInjector>>) -> Self {
+        Self {
+            spill: Mutex::new(SpillWriter::new(dir.clone(), faults.clone())),
+            dir,
+            faults,
+        }
+    }
 }
 
 /// One tenant: queue + drain thread + live analyzer + counters.
@@ -62,23 +95,38 @@ pub struct Tenant {
     /// True while the drain thread is between pop and analyzer-done.
     in_flight: AtomicBool,
     drain: Mutex<Option<JoinHandle<()>>>,
+    /// On-disk state, when the server runs with `--durable-dir`.
+    durable: Option<DurableTenant>,
+    /// Last enqueue/creation instant ([`uptime_ms`]) — the idle-reaper's
+    /// clock.
+    pub last_activity: AtomicU64,
 }
 
 impl Tenant {
-    /// Create the tenant and start its drain thread.
+    /// Create the tenant and start its drain thread. `durable` arms
+    /// spill-to-disk overflow and checkpointing; `seed` restores the
+    /// ingest ledger captured by a previous incarnation's checkpoint.
     pub fn spawn(
         name: String,
         analyzer: IncrementalAnalyzer,
         queue_frames: usize,
         faults: Option<Arc<FaultInjector>>,
+        durable: Option<DurableTenant>,
+        seed: Option<PersistedStats>,
     ) -> Arc<Self> {
+        let stats = TenantStats::default();
+        if let Some(s) = &seed {
+            s.seed(&stats);
+        }
         let tenant = Arc::new(Self {
             name: name.clone(),
             queue: Arc::new(FrameQueue::new(queue_frames)),
             analyzer: Mutex::new(analyzer),
-            stats: TenantStats::default(),
+            stats,
             in_flight: AtomicBool::new(false),
             drain: Mutex::new(None),
+            durable,
+            last_activity: AtomicU64::new(uptime_ms()),
         });
         let t = Arc::clone(&tenant);
         let handle = std::thread::Builder::new()
@@ -89,19 +137,73 @@ impl Tenant {
         tenant
     }
 
-    /// Count a decoded frame as received and hand it to the drain. Blocks
-    /// on a full queue (backpressure to this tenant's producers only). A
-    /// frame the queue refuses (tenant closing) is counted lost.
+    /// Count a decoded frame as received and hand it to the drain.
+    ///
+    /// Without durability a full queue blocks (backpressure to this
+    /// tenant's producers only). A durable tenant never stalls producers:
+    /// overflow frames spill to its v3 spool instead, counted spilled and
+    /// replayed into the analyzer at the next restore. A frame neither
+    /// queued nor spilled is counted lost — so `received == analyzed +
+    /// spilled + lost` at every quiescent point.
     pub fn enqueue(&self, frame: Vec<StampedEvent>) {
         let events = frame.len() as u64;
         self.stats.frames_received.fetch_add(1, Ordering::Relaxed);
         self.stats
             .events_received
             .fetch_add(events, Ordering::Relaxed);
-        if !self.queue.push_blocking(frame) {
+        self.last_activity.store(uptime_ms(), Ordering::Relaxed);
+        let lost = match &self.durable {
+            Some(d) => match self.queue.try_push(frame) {
+                Ok(()) => false,
+                Err(PushError::Full(frame)) => match d.spill.lock().append(&frame) {
+                    Ok(()) => {
+                        self.stats.frames_spilled.fetch_add(1, Ordering::Relaxed);
+                        self.stats
+                            .events_spilled
+                            .fetch_add(events, Ordering::Relaxed);
+                        false
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "warning: tenant `{}`: spill write failed ({e}); frame lost",
+                            self.name
+                        );
+                        true
+                    }
+                },
+                Err(PushError::Closed(_)) => true,
+            },
+            None => !self.queue.push_blocking(frame),
+        };
+        if lost {
             self.stats.frames_lost.fetch_add(1, Ordering::Relaxed);
             self.stats.events_lost.fetch_add(events, Ordering::Relaxed);
         }
+    }
+
+    /// Whether this tenant persists to disk.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Milliseconds since the last enqueue (or creation).
+    pub fn idle_ms(&self) -> u64 {
+        uptime_ms().saturating_sub(self.last_activity.load(Ordering::Relaxed))
+    }
+
+    /// Persist the tenant: seal the open spill generation (its index
+    /// becomes durable) and atomically write the ingest ledger plus a full
+    /// analyzer checkpoint. Returns `Ok(false)` for non-durable tenants.
+    /// Failure leaves the previous state file intact (temp + rename).
+    pub fn checkpoint_to_disk(&self) -> std::io::Result<bool> {
+        let Some(d) = &self.durable else {
+            return Ok(false);
+        };
+        d.spill.lock().seal()?;
+        let cp = Checkpoint::capture(&self.analyzer.lock());
+        let stats = PersistedStats::capture(&self.stats);
+        durable::write_state(&d.dir, &stats, &cp, d.faults.as_ref())?;
+        Ok(true)
     }
 
     fn drain_loop(&self, faults: Option<Arc<FaultInjector>>) {
@@ -253,7 +355,7 @@ mod tests {
 
     #[test]
     fn frames_flow_to_analyzer_and_quiesce() {
-        let t = Tenant::spawn("t".into(), analyzer(), 4, None);
+        let t = Tenant::spawn("t".into(), analyzer(), 4, None, None, None);
         for i in 0..10 {
             t.enqueue(frame(i * 8, 8));
         }
@@ -275,7 +377,7 @@ mod tests {
                 2,
             )],
         }));
-        let t = Tenant::spawn("t".into(), analyzer(), 4, Some(inj));
+        let t = Tenant::spawn("t".into(), analyzer(), 4, Some(inj), None, None);
         for i in 0..6 {
             t.enqueue(frame(i * 5, 5));
         }

@@ -39,6 +39,9 @@ mod op {
     pub const Q_FULL: u64 = 6;
     /// `[Q_POP, frame_id, 0, 0]` — drain popped a frame.
     pub const Q_POP: u64 = 7;
+    /// `[CP_OBSERVE, which, len, 0]` — a reader observed the checkpoint
+    /// file (`which`: 0 = old, 1 = new, 2 = torn/other).
+    pub const CP_OBSERVE: u64 = 8;
 }
 
 /// A named model-checking scenario.
@@ -107,6 +110,15 @@ pub fn scenarios() -> &'static [Scenario] {
             default_preemption_bound: Some(2),
             catchable_mutants: &["ingest-drop-contended-frame"],
             run: ingest_scenario,
+        },
+        Scenario {
+            name: "checkpoint",
+            about: "atomic checkpoint publication racing a concurrent \
+                    reader; oracle: every observed file is fully-old or \
+                    fully-new, never torn",
+            default_preemption_bound: None,
+            catchable_mutants: &["checkpoint-torn-write"],
+            run: checkpoint_scenario,
         },
     ]
 }
@@ -417,4 +429,73 @@ fn ingest_scenario() {
     assert_eq!(q.pushed(), accepted.len() as u64, "push counter honest");
     assert_eq!(q.popped(), popped.len() as u64, "pop counter honest");
     assert!(q.is_empty(), "nothing left behind");
+}
+
+/// The checkpoint publication seam: a writer replaces an existing
+/// checkpoint via [`lc_profiler::write_atomic_blob`] (temp + fsync +
+/// rename, with a facade-atomic publication clock between the durable
+/// write and the rename) while a reader polls the file — the
+/// crash-during-checkpoint reader from the recovery story, compressed to
+/// one decision window. Oracle: every observation is the *complete* old
+/// blob or the *complete* new blob. The `checkpoint-torn-write` mutant
+/// rewrites the file in place in two halves with a scheduling point
+/// between them, and a reader interleaved there sees a torn prefix.
+fn checkpoint_scenario() {
+    use crate::serve::sync::{AtomicU64, Ordering};
+    use lc_faults::FaultSite;
+    use lc_profiler::write_atomic_blob;
+
+    // Unique file per run: exploration re-enters this body once per
+    // schedule (and concurrent tests may explore it in parallel), so each
+    // run sets up and tears down its own file.
+    static RUN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let run = RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let path =
+        std::env::temp_dir().join(format!("lc_cp_scenario_{}_{run}.lccp", std::process::id()));
+    let old: Arc<Vec<u8>> = Arc::new(vec![0xAA; 64]);
+    let new: Arc<Vec<u8>> = Arc::new(vec![0xBB; 64]);
+    std::fs::write(&path, old.as_slice()).expect("seed old checkpoint");
+
+    let writer = {
+        let (path, new) = (path.clone(), Arc::clone(&new));
+        lc_sched::spawn(move || {
+            write_atomic_blob(&path, &new, FaultSite::CheckpointWrite, None)
+                .expect("publish new checkpoint");
+        })
+    };
+    let reader = {
+        let (path, old, new) = (path.clone(), Arc::clone(&old), Arc::clone(&new));
+        // The reader's own clock: each bump is a decision point, so the
+        // explorer can place each observation anywhere in the writer's
+        // publication protocol.
+        let clock = AtomicU64::new(0);
+        lc_sched::spawn(move || {
+            for _ in 0..2 {
+                clock.fetch_add(1, Ordering::SeqCst);
+                let bytes = std::fs::read(&path).expect("checkpoint file exists");
+                let which = if bytes == *old {
+                    0
+                } else if bytes == *new {
+                    1
+                } else {
+                    2
+                };
+                lc_sched::annotate([op::CP_OBSERVE, which, bytes.len() as u64, 0]);
+                assert!(
+                    which < 2,
+                    "torn checkpoint observed: {} bytes that are neither the \
+                     old nor the new blob — atomic publication violated",
+                    bytes.len()
+                );
+            }
+        })
+    };
+    writer.join();
+    reader.join();
+    let final_bytes = std::fs::read(&path).expect("checkpoint file exists");
+    assert_eq!(
+        final_bytes, *new,
+        "after the writer joins, the published checkpoint is the new blob"
+    );
+    let _ = std::fs::remove_file(&path);
 }

@@ -89,6 +89,11 @@ fn ingest_queue_producer_racing_drain_is_exhaustively_fifo() {
 }
 
 #[test]
+fn checkpoint_publication_racing_reader_is_exhaustively_atomic() {
+    assert_clean_and_multi_schedule("checkpoint");
+}
+
+#[test]
 fn exploration_counts_are_deterministic() {
     let a = explore("bloom", clean_cfg("bloom"));
     let b = explore("bloom", clean_cfg("bloom"));
@@ -197,6 +202,11 @@ fn dropped_contended_delta_mutant_is_caught_via_flush_oracle() {
 #[test]
 fn dropped_contended_frame_mutant_is_caught_via_ingest_fifo_oracle() {
     assert_mutant_caught("ingest", "ingest-drop-contended-frame");
+}
+
+#[test]
+fn torn_checkpoint_write_mutant_is_caught_via_reader_oracle() {
+    assert_mutant_caught("checkpoint", "checkpoint-torn-write");
 }
 
 #[test]
