@@ -6,8 +6,13 @@
 //! * the historical **per-event** sequential path (`on_access` loop) — the
 //!   baseline the batched path must not regress;
 //! * the **batched** sequential path (`Trace::replay`, `on_batch` blocks);
+//! * the **fused** zero-materialization path (`on_block_fused` straight
+//!   over the in-RAM SoA trace) with the skip filter on and off;
+//! * the **mmap-fused** path: decoded v3 spool segments borrowed from an
+//!   mmap view straight into the fused engine — the full
+//!   decode-to-detector pipeline with no intermediate `Vec`;
 //! * the **slot-sharded** parallel path (`analyze_trace_asymmetric`) with
-//!   coalescing on and off.
+//!   coalescing on and off, fused and materialized.
 //!
 //! Every mode must report the identical dependence count — the benchmark
 //! asserts it, so a run doubles as a coarse equivalence check (the precise
@@ -22,8 +27,8 @@ use std::time::Instant;
 use lc_bench::{ascii_table, results_dir, save_csv, save_metrics};
 use lc_profiler::raw::AsymmetricDetector;
 use lc_profiler::{
-    analyze_trace_asymmetric, AccumConfig, AsymmetricProfiler, MetricsRegistry, ParReplayConfig,
-    ProfilerConfig,
+    analyze_trace_asymmetric, AccumConfig, AsymmetricProfiler, FusedConfig, FusedScratch,
+    MetricsRegistry, ParReplayConfig, ProfilerConfig,
 };
 use lc_sigmem::SignatureConfig;
 use lc_trace::{AccessEvent, AccessKind, AccessSink, FuncId, LoopId, StampedEvent, Trace};
@@ -165,6 +170,74 @@ fn main() {
     }
     let (batched_s, best_batch) = best_batched.expect("BENCH_BATCH sweep must be non-empty");
 
+    // Fused zero-materialization path over the in-RAM SoA trace: borrowed
+    // `AccessEvent` chunks straight into `on_block_fused`, skip filter on
+    // and off.
+    let mut best_fused: Option<(f64, usize)> = None;
+    for &skip_filter in &[true, false] {
+        for &batch in &batch_sweep {
+            let (fused_s, fused_deps) = best_of_3(|| {
+                let p = make_profiler();
+                let mut scratch = FusedScratch::new(FusedConfig {
+                    skip_filter,
+                    ..FusedConfig::default()
+                });
+                let t0 = Instant::now();
+                for block in trace.access_events().chunks(batch) {
+                    p.on_block_fused(block, &mut scratch);
+                }
+                p.flush();
+                (t0.elapsed().as_secs_f64(), p.dependencies())
+            });
+            assert_eq!(base_deps, fused_deps, "fused replay changed detection");
+            rows.push(vec![
+                if skip_filter { "fused" } else { "fused-noskip" }.into(),
+                "1".into(),
+                batch.to_string(),
+                "off".into(),
+                format!("{:.2}", tput(fused_s)),
+                fused_deps.to_string(),
+            ]);
+            if skip_filter && best_fused.is_none_or(|(s, _)| fused_s < s) {
+                best_fused = Some((fused_s, batch));
+            }
+        }
+    }
+    let (fused_s, best_fused_batch) = best_fused.expect("BENCH_BATCH sweep must be non-empty");
+
+    // Mmap-fused: the trace goes to a v3 spool on disk, and decoded
+    // segments are borrowed from the mmap view straight into the fused
+    // engine — the end-to-end zero-materialization pipeline.
+    let spool_path = std::env::temp_dir().join(format!("lc_bench_fused_{}.lcspool", std::process::id()));
+    {
+        let mut w = lc_trace::SpoolV3Writer::create(&spool_path).expect("create bench spool");
+        for frame in trace.events().chunks(4096) {
+            w.append_frame(frame).expect("write bench spool");
+        }
+        w.finish().expect("finish bench spool");
+    }
+    let mmap = lc_trace::MmapTrace::open(&spool_path).expect("mmap bench spool");
+    let (mmap_fused_s, mmap_deps) = best_of_3(|| {
+        let p = make_profiler();
+        let mut scratch = FusedScratch::with_defaults();
+        let t0 = Instant::now();
+        mmap.stream_from(0, |frame| p.on_block_fused(frame, &mut scratch))
+            .expect("mmap replay");
+        p.flush();
+        (t0.elapsed().as_secs_f64(), p.dependencies())
+    });
+    assert_eq!(base_deps, mmap_deps, "mmap-fused replay changed detection");
+    drop(mmap);
+    let _ = std::fs::remove_file(&spool_path);
+    rows.push(vec![
+        "mmap-fused".into(),
+        "1".into(),
+        "4096".into(),
+        "off".into(),
+        format!("{:.2}", tput(mmap_fused_s)),
+        mmap_deps.to_string(),
+    ]);
+
     let mut reg = MetricsRegistry::new();
     reg.gauge(
         "loopcomm_bench_replay_events",
@@ -186,6 +259,16 @@ fn main() {
         "Batch size that maximised sequential batched throughput",
         best_batch as f64,
     );
+    reg.gauge(
+        "loopcomm_bench_replay_fused_mev_s",
+        "Fused zero-materialization replay throughput (best batch size), Mevents/s",
+        tput(fused_s),
+    );
+    reg.gauge(
+        "loopcomm_bench_replay_mmap_fused_mev_s",
+        "Mmap-decoded fused replay throughput, Mevents/s",
+        tput(mmap_fused_s),
+    );
 
     for &jobs in &jobs_sweep {
         for &batch in &batch_sweep {
@@ -201,6 +284,7 @@ fn main() {
                             jobs,
                             coalesce,
                             batch_events: batch,
+                            ..ParReplayConfig::default()
                         },
                     );
                     (t0.elapsed().as_secs_f64(), a.report.dependencies)
@@ -227,6 +311,68 @@ fn main() {
         eprintln!("  swept jobs={jobs}");
     }
 
+    // Temporal-locality sweep: the `loopcomm synth --addr-reuse` /
+    // `--working-set` knobs drive the shared `lc_trace::synth_event`
+    // generator, so this sweep measures exactly the traces the CLI can
+    // fabricate. As reuse grows, reads revisit a 64-entry hot set and the
+    // fused engine's memo + skip caches should pull away from the
+    // materialized batched path; rows land in the CSV with the reuse
+    // probability folded into the mode column (working set stays at the
+    // generator default, 65 536 addresses).
+    let reuse_sweep: Vec<f64> = std::env::var("BENCH_REUSE")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.parse().ok()).collect())
+        .unwrap_or_else(|| vec![0.0, 0.5, 0.9, 0.99]);
+    for &reuse in &reuse_sweep {
+        let t = Trace::new(
+            (0..events)
+                .map(|i| lc_trace::synth_event(i, 42, THREADS as u32, 65_536, reuse))
+                .collect(),
+        );
+        let (b_s, b_deps) = best_of_3(|| {
+            let p = make_profiler();
+            let t0 = Instant::now();
+            t.replay_batched(&p, best_batch);
+            (t0.elapsed().as_secs_f64(), p.dependencies())
+        });
+        rows.push(vec![
+            format!("batched@reuse={reuse}"),
+            "1".into(),
+            best_batch.to_string(),
+            "off".into(),
+            format!("{:.2}", tput(b_s)),
+            b_deps.to_string(),
+        ]);
+        for skip_filter in [true, false] {
+            let (f_s, f_deps) = best_of_3(|| {
+                let p = make_profiler();
+                let mut scratch = FusedScratch::new(FusedConfig {
+                    skip_filter,
+                    ..FusedConfig::default()
+                });
+                let t0 = Instant::now();
+                for block in t.access_events().chunks(best_fused_batch) {
+                    p.on_block_fused(block, &mut scratch);
+                }
+                p.flush();
+                (t0.elapsed().as_secs_f64(), p.dependencies())
+            });
+            assert_eq!(b_deps, f_deps, "fused replay changed detection at reuse={reuse}");
+            rows.push(vec![
+                format!(
+                    "{}@reuse={reuse}",
+                    if skip_filter { "fused" } else { "fused-noskip" }
+                ),
+                "1".into(),
+                best_fused_batch.to_string(),
+                "off".into(),
+                format!("{:.2}", tput(f_s)),
+                f_deps.to_string(),
+            ]);
+        }
+        eprintln!("  swept addr-reuse={reuse}");
+    }
+
     println!(
         "{}",
         ascii_table(
@@ -245,13 +391,18 @@ fn main() {
     // plus the acceptance ratio (batched sequential vs per-event — the
     // "batching must win on one core" bar enforced by CI's perf gate).
     let ratio = per_event_s / batched_s;
+    let fused_ratio = batched_s / fused_s;
     let baseline = format!(
         "{{\n  \"bench\": \"replay_scaling\",\n  \"events\": {events},\n  \
          \"per_event_mev_s\": {:.4},\n  \"batched_mev_s\": {:.4},\n  \
-         \"batched_over_per_event\": {ratio:.4},\n  \"batch\": {best_batch},\n  \
-         \"deps\": {base_deps}\n}}\n",
+         \"fused_mev_s\": {:.4},\n  \"mmap_fused_mev_s\": {:.4},\n  \
+         \"batched_over_per_event\": {ratio:.4},\n  \
+         \"fused_over_batched\": {fused_ratio:.4},\n  \"batch\": {best_batch},\n  \
+         \"fused_batch\": {best_fused_batch},\n  \"deps\": {base_deps}\n}}\n",
         tput(per_event_s),
         tput(batched_s),
+        tput(fused_s),
+        tput(mmap_fused_s),
     );
     let path = results_dir().join("BENCH_replay.json");
     if let Some(dir) = path.parent() {
@@ -261,8 +412,44 @@ fn main() {
         Ok(()) => println!("[baseline] {}", path.display()),
         Err(e) => eprintln!("[baseline] failed to write {}: {e}", path.display()),
     }
+
+    // Append this run to the historical log: one JSON object per line,
+    // every headline metric, so trends survive the in-place rewrite of
+    // BENCH_replay.json above. CI uploads the file as an artifact; local
+    // runs accumulate a per-host record.
+    let commit = std::env::var("GITHUB_SHA").unwrap_or_else(|_| "local".into());
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let line = format!(
+        "{{\"unix\": {unix}, \"commit\": \"{commit}\", \"events\": {events}, \
+         \"per_event_mev_s\": {:.4}, \"batched_mev_s\": {:.4}, \
+         \"fused_mev_s\": {:.4}, \"mmap_fused_mev_s\": {:.4}, \
+         \"batched_over_per_event\": {ratio:.4}, \
+         \"fused_over_batched\": {fused_ratio:.4}}}\n",
+        tput(per_event_s),
+        tput(batched_s),
+        tput(fused_s),
+        tput(mmap_fused_s),
+    );
+    let hist = results_dir().join("BENCH_history.jsonl");
+    use std::io::Write as _;
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&hist)
+        .and_then(|mut f| f.write_all(line.as_bytes()))
+    {
+        Ok(()) => println!("[history] appended to {}", hist.display()),
+        Err(e) => eprintln!("[history] failed to append {}: {e}", hist.display()),
+    }
     println!(
         "\nbatched/per-event speed ratio: {ratio:.3}x at batch={best_batch} \
+         (CI's perf gate fails below 1.0)"
+    );
+    println!(
+        "fused/batched speed ratio: {fused_ratio:.3}x at batch={best_fused_batch} \
          (CI's perf gate fails below 1.0)"
     );
 }

@@ -248,6 +248,8 @@ impl Checkpoint {
             sig: self.sig,
             prof,
             accum,
+            fused: Some(crate::fused::FusedConfig::default()),
+            fused_scratch: Vec::new(),
         })
     }
 

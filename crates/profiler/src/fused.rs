@@ -1,0 +1,633 @@
+//! The fused replay engine: borrowed event blocks straight into
+//! Algorithm 1, with per-consumer caches in front of the signatures.
+//!
+//! [`CommProfiler::on_block_fused`] is the zero-materialization sibling of
+//! the batched [`lc_trace::AccessSink::on_batch`] path. It consumes any
+//! event representation through [`lc_trace::AsAccess`] (bare
+//! [`lc_trace::AccessEvent`] slices out of the in-RAM SoA trace, or
+//! [`lc_trace::StampedEvent`] segments decoded from a v3 spool), so the
+//! decode → `Vec` → re-stamp → batch copy chain of the pre-fused pipeline
+//! disappears entirely. On top of the tile/prefetch machinery it shares
+//! with `on_batch`, the fused path adds three single-consumer
+//! optimizations, all held in a caller-owned [`FusedScratch`]:
+//!
+//! * **Hash memoization** — a direct-mapped `addr → fmix64(addr)` cache.
+//!   The mapping is a pure function, so entries never need invalidation;
+//!   a hit replaces the multiply/xor chain with one load and compare.
+//! * **Idempotent-access skip filter** — a direct-mapped cache of
+//!   "thread `tid` inserted *address* `a` into the read signature" facts.
+//!   A repeat read whose entry is still valid is a detector no-op by
+//!   Algorithm 1: the read-signature membership test would suppress the
+//!   dependence regardless of the recorded writer, and re-inserting the
+//!   reader changes nothing. The cached fact is **address-exact** — the
+//!   membership probe keys on the address, so two addresses sharing a
+//!   signature slot must never satisfy each other's entries — while
+//!   *invalidation* happens at the coarser granularity at which
+//!   `clear_addr` forgets readers (`ReaderSet::elision_class_hashed`
+//!   names it). The *only* event that can falsify a cached fact is a
+//!   write whose read-signature clear covers the address's class, so
+//!   every write bumps a per-class generation stamp and entries validate
+//!   by stamp equality. Implementations that cannot name their clear
+//!   granularity return `None` and elision is disabled — conservative by
+//!   default.
+//! * **Batched dependence recording** — detected dependences aggregate by
+//!   `(loop, src, dst)` in the scratch and land in the shard layer with
+//!   one lock acquisition per block ([`crate::shards::ShardSet::record_deps`])
+//!   instead of one per dependence.
+//!
+//! All three are report-invisible: elided reads are still counted as
+//! accesses, suppressed-dependence reads produce no dependence on either
+//! path, and delta aggregation commutes. The `fused_replay_equivalence`
+//! differential suite pins fused output byte-identical to the
+//! materialized path across sources, batch sizes and detectors.
+//!
+//! **Concurrency contract:** a `FusedScratch` belongs to exactly one
+//! consumer, and that consumer must observe *every* write to the address
+//! classes whose reads it elides. Single-threaded replay satisfies this
+//! trivially; the parallel path satisfies it by routing events to workers
+//! by address class, so a class's reads and writes always meet the same
+//! scratch (see `parallel.rs`). Feeding one class's reads and writes to
+//! different scratches would elide past an unseen invalidation — the
+//! `skipfilter` lc-sched scenario models exactly that failure via the
+//! `skipfilter-stale-elide` mutant, which skips the stamp validation.
+
+use lc_sigmem::murmur::fmix64;
+use lc_sigmem::{ReaderSet, WriterMap};
+use lc_trace::{AccessKind, AsAccess, LoopId};
+
+use crate::profiler::{CommProfiler, Counters, PREFETCH_AHEAD, TILE};
+use crate::shards::pack_key;
+use crate::sync::Ordering;
+
+/// Fibonacci multiplier for spreading elision classes over the
+/// direct-mapped tables (classes are dense small integers for the
+/// signature implementation — low bits alone would alias in strides).
+const MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Second multiplier folding the thread id into skip-entry indices.
+const MIX_TID: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+/// Geometry of the per-consumer fused caches. The defaults keep the
+/// whole scratch (memo + skip + stamps ≈ 1.3 MiB) inside a typical L2;
+/// `sig_layout_cachesim` sweeps the trade-off.
+#[derive(Clone, Copy, Debug)]
+pub struct FusedConfig {
+    /// Direct-mapped `addr → fmix64` memo entries (power of two).
+    pub memo_entries: usize,
+    /// Direct-mapped skip-filter entries (power of two).
+    pub skip_entries: usize,
+    /// Per-class generation-stamp buckets (power of two). Two classes
+    /// sharing a bucket over-invalidate — a throughput cost, never a
+    /// correctness one.
+    pub stamp_entries: usize,
+    /// Master switch for the skip filter (the memo cache has no
+    /// correctness dimension and stays on).
+    pub skip_filter: bool,
+}
+
+impl Default for FusedConfig {
+    fn default() -> Self {
+        Self {
+            memo_entries: 1 << 14,
+            skip_entries: 1 << 12,
+            stamp_entries: 1 << 12,
+            skip_filter: true,
+        }
+    }
+}
+
+/// Observability counters for one scratch's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FusedStats {
+    /// Reads/writes whose hash came out of the memo cache.
+    pub memo_hits: u64,
+    /// Hashes computed and installed.
+    pub memo_misses: u64,
+    /// Reads elided entirely (no signature traffic).
+    pub elided_reads: u64,
+    /// Generation-stamp bumps (writes to elidable classes).
+    pub stamp_bumps: u64,
+    /// `record_deps` batches handed to the shard layer.
+    pub dep_batches: u64,
+}
+
+/// Caller-owned working state for the fused hot loop: the memo cache,
+/// the skip filter with its generation stamps, and the per-block
+/// dependence aggregation buffer. One instance per consumer — never
+/// shared across threads (see the module docs for why).
+pub struct FusedScratch {
+    memo: Box<[MemoEntry]>,
+    memo_mask: usize,
+    skip: Box<[SkipEntry]>,
+    skip_mask: usize,
+    stamps: Box<[u64]>,
+    stamps_mask: usize,
+    skip_filter: bool,
+    /// `(packed key, bytes)` aggregated for the block in flight.
+    deps: Vec<(u64, u64)>,
+    /// Direct-mapped dedup hints into `deps` (`u16::MAX` = empty).
+    dep_hint: Box<[u16]>,
+    /// Dependences the current aggregation covers.
+    pending_deps: u64,
+    /// In-order `(src, dst, bytes)` for the phase accumulator, drained
+    /// once per block under a single lock.
+    phase_deps: Vec<(u32, u32, u64)>,
+    /// Lifetime counters.
+    pub stats: FusedStats,
+}
+
+/// One memo-cache line entry: `(addr, fmix64(addr))` packed so a probe
+/// touches a single cache line.
+#[derive(Clone, Copy)]
+struct MemoEntry {
+    addr: u64,
+    hash: u64,
+}
+
+/// One skip-filter entry, packed for single-line probes: the cached fact
+/// is "thread `tid` inserted `addr` into the read signature while class
+/// generation `stamp` was current". Padded to 32 bytes so an entry never
+/// straddles a cache line.
+#[derive(Clone, Copy)]
+#[repr(align(32))]
+struct SkipEntry {
+    addr: u64,
+    stamp: u64,
+    tid: u32,
+}
+
+/// Aggregation keys held before an early in-block flush. Sized to hold
+/// the full live key set of a dependence-dense block (threads² × a few
+/// loops) so early drains stay rare.
+const DEP_SLOTS: usize = 512;
+
+/// Direct-mapped `key → deps index` hints backing the O(1) dedup in
+/// [`FusedScratch::push_dep`]. A hint evicted by a colliding key only
+/// costs a duplicate `(key, bytes)` entry — the shard layer's own dedup
+/// folds it — never a lost delta.
+const DEP_HINTS: usize = 1024;
+
+impl FusedScratch {
+    /// Build a scratch with the given cache geometry.
+    pub fn new(cfg: FusedConfig) -> Self {
+        assert!(cfg.memo_entries.is_power_of_two());
+        assert!(cfg.skip_entries.is_power_of_two());
+        assert!(cfg.stamp_entries.is_power_of_two());
+        // `!0` can never equal a real 8-byte-aligned address class index,
+        // and no real event carries tid `u32::MAX`, so the fresh tables
+        // hit on nothing.
+        Self {
+            memo: vec![MemoEntry { addr: u64::MAX, hash: 0 }; cfg.memo_entries]
+                .into_boxed_slice(),
+            memo_mask: cfg.memo_entries - 1,
+            skip: vec![
+                SkipEntry {
+                    addr: u64::MAX,
+                    stamp: u64::MAX,
+                    tid: u32::MAX,
+                };
+                cfg.skip_entries
+            ]
+            .into_boxed_slice(),
+            skip_mask: cfg.skip_entries - 1,
+            stamps: vec![0; cfg.stamp_entries].into_boxed_slice(),
+            stamps_mask: cfg.stamp_entries - 1,
+            skip_filter: cfg.skip_filter,
+            deps: Vec::with_capacity(DEP_SLOTS),
+            dep_hint: vec![u16::MAX; DEP_HINTS].into_boxed_slice(),
+            pending_deps: 0,
+            phase_deps: Vec::new(),
+            stats: FusedStats::default(),
+        }
+    }
+
+    /// Default-geometry scratch.
+    pub fn with_defaults() -> Self {
+        Self::new(FusedConfig::default())
+    }
+
+    /// Invalidate every skip-filter entry — the epoch boundary hook
+    /// (checkpoint restore, detector reset). The memo cache survives:
+    /// `addr → fmix64(addr)` is a pure function.
+    pub fn bump_epoch(&mut self) {
+        for e in self.skip.iter_mut() {
+            e.stamp = u64::MAX;
+        }
+    }
+
+    /// Heap footprint of the scratch tables.
+    pub fn memory_bytes(&self) -> usize {
+        self.memo.len() * std::mem::size_of::<MemoEntry>()
+            + self.skip.len() * std::mem::size_of::<SkipEntry>()
+            + self.stamps.len() * 8
+    }
+
+    #[inline(always)]
+    fn stamp_idx(&self, class: u64) -> usize {
+        ((class.wrapping_mul(MIX)) >> 32) as usize & self.stamps_mask
+    }
+
+    #[inline(always)]
+    fn skip_idx(&self, h: u64, tid: u32) -> usize {
+        // `h` is already fmix64-mixed; fold the tid in so the same
+        // address read by two threads lands in distinct entries.
+        ((h.wrapping_add((tid as u64).wrapping_mul(MIX_TID))) >> 32) as usize & self.skip_mask
+    }
+
+    /// Aggregate one dependence for the block in flight: O(1) dedup via
+    /// the hint table instead of a linear scan (dependence-dense blocks
+    /// carry hundreds of live keys).
+    #[inline]
+    fn push_dep(&mut self, key: u64, bytes: u64) {
+        self.pending_deps += 1;
+        let b = (key.wrapping_mul(MIX) >> 32) as usize & (DEP_HINTS - 1);
+        let i = self.dep_hint[b] as usize;
+        if let Some(e) = self.deps.get_mut(i) {
+            if e.0 == key {
+                e.1 += bytes;
+                return;
+            }
+        }
+        self.dep_hint[b] = self.deps.len() as u16;
+        self.deps.push((key, bytes));
+    }
+}
+
+impl<R: ReaderSet, W: WriterMap> CommProfiler<R, W> {
+    /// Fused batched delivery: identical semantics to
+    /// [`lc_trace::AccessSink::on_batch`] — strict per-event Algorithm 1
+    /// in stream order — with the memo/skip/dep-batching layers of the
+    /// module docs in front. Generic over [`AsAccess`] so SoA trace
+    /// slices and decoded spool segments both feed it without copying.
+    ///
+    /// With telemetry enabled the call degrades to the instrumented
+    /// per-event path (the fused caches would make the probe counters
+    /// lie), preserving the zero-cost-when-off contract.
+    pub fn on_block_fused<T: AsAccess>(&self, evs: &[T], scratch: &mut FusedScratch) {
+        if evs.is_empty() {
+            return;
+        }
+        if let Some(t) = &self.telemetry {
+            t.bump(evs[0].access().tid, crate::telemetry::Stat::SinkBatch);
+            for rec in evs {
+                self.on_access_instrumented(rec.access(), t);
+            }
+            return;
+        }
+        let mut hashes = [0u64; TILE];
+        match &self.counters {
+            Counters::Sharded(s) => {
+                for tile in evs.chunks(TILE) {
+                    let n = tile.len();
+                    self.fill_hashes(tile, &mut hashes[..n], scratch);
+                    let mut i = 0;
+                    while i < n {
+                        let tid = tile[i].access().tid;
+                        let mut j = i + 1;
+                        while j < n && tile[j].access().tid == tid {
+                            j += 1;
+                        }
+                        s.count_accesses(tid, (j - i) as u64);
+                        for k in i..j {
+                            if let Some(&h) = hashes[..n].get(k + PREFETCH_AHEAD) {
+                                self.detector.prefetch(h);
+                            }
+                            let ev = tile[k].access();
+                            if let Some((key, src, dst, bytes)) =
+                                self.fused_step(ev, hashes[k], scratch)
+                            {
+                                scratch.push_dep(key, bytes);
+                                if self.phases.is_some() {
+                                    scratch.phase_deps.push((src, dst, bytes));
+                                }
+                                if scratch.deps.len() >= DEP_SLOTS {
+                                    self.drain_scratch_deps(tid, scratch);
+                                }
+                            }
+                        }
+                        i = j;
+                    }
+                }
+                if scratch.pending_deps > 0 {
+                    self.drain_scratch_deps(evs[0].access().tid, scratch);
+                }
+            }
+            Counters::Shared { accesses, deps } => {
+                accesses.fetch_add(evs.len() as u64, Ordering::Relaxed);
+                let mut found = 0u64;
+                for tile in evs.chunks(TILE) {
+                    let n = tile.len();
+                    self.fill_hashes(tile, &mut hashes[..n], scratch);
+                    for (k, rec) in tile.iter().enumerate() {
+                        if let Some(&h) = hashes[..n].get(k + PREFETCH_AHEAD) {
+                            self.detector.prefetch(h);
+                        }
+                        let ev = rec.access();
+                        if let Some((_, src, dst, bytes)) = self.fused_step(ev, hashes[k], scratch)
+                        {
+                            found += 1;
+                            self.global_ref().add(src, dst, bytes);
+                            if self.config.track_nested {
+                                if let Some((m, _, _)) = self.loops.get_or_insert_lossy(ev.loop_id)
+                                {
+                                    m.add(src, dst, bytes);
+                                }
+                            }
+                            if self.phases.is_some() {
+                                scratch.phase_deps.push((src, dst, bytes));
+                            }
+                        }
+                    }
+                }
+                if found > 0 {
+                    deps.fetch_add(found, Ordering::Relaxed);
+                }
+            }
+        }
+        if let Some(p) = &self.phases {
+            if !scratch.phase_deps.is_empty() {
+                let mut g = p.lock();
+                for &(src, dst, bytes) in &scratch.phase_deps {
+                    g.add(src, dst, bytes);
+                }
+                scratch.phase_deps.clear();
+            }
+        }
+    }
+
+    /// Memo-assisted hash gather for one tile.
+    #[inline]
+    fn fill_hashes<T: AsAccess>(&self, tile: &[T], hashes: &mut [u64], scratch: &mut FusedScratch) {
+        for (hh, rec) in hashes.iter_mut().zip(tile) {
+            let a = rec.access().addr;
+            let idx = ((a >> 3) as usize) & scratch.memo_mask;
+            let m = &mut scratch.memo[idx];
+            if m.addr == a {
+                *hh = m.hash;
+                scratch.stats.memo_hits += 1;
+            } else {
+                let h = fmix64(a);
+                m.addr = a;
+                m.hash = h;
+                *hh = h;
+                scratch.stats.memo_misses += 1;
+            }
+        }
+    }
+
+    /// One event through the skip filter and (unless elided) the
+    /// detector. Returns the detected dependence as
+    /// `(packed key, src, dst, bytes)`.
+    #[inline(always)]
+    fn fused_step(
+        &self,
+        ev: &lc_trace::AccessEvent,
+        h: u64,
+        scratch: &mut FusedScratch,
+    ) -> Option<(u64, u32, u32, u64)> {
+        match ev.kind {
+            AccessKind::Read => {
+                if scratch.skip_filter {
+                    if let Some(c) = self.detector.read_sig().elision_class_hashed(ev.addr, h) {
+                        let gen = scratch.stamps[scratch.stamp_idx(c)];
+                        let e = scratch.skip_idx(h, ev.tid);
+                        // The entry must match the exact address: the
+                        // membership probe is address-keyed, so a
+                        // same-class neighbour's fact proves nothing
+                        // about this read.
+                        if scratch.skip[e].tid == ev.tid && scratch.skip[e].addr == ev.addr {
+                            // Mutant seam: `skipfilter-stale-elide` trusts
+                            // the entry without the generation check, so a
+                            // write between install and reuse goes
+                            // unnoticed — the `skipfilter` lc-sched
+                            // scenario's differential oracle catches the
+                            // suppressed dependence.
+                            #[allow(unused_mut)]
+                            let mut valid = scratch.skip[e].stamp == gen;
+                            #[cfg(feature = "sched")]
+                            if lc_sched::mutant_active("skipfilter-stale-elide") {
+                                valid = true;
+                            }
+                            if valid {
+                                // Thread is still in the read-sig class:
+                                // the membership probe would suppress any
+                                // dependence and the re-insert is a no-op.
+                                scratch.stats.elided_reads += 1;
+                                return None;
+                            }
+                        }
+                        let dep = self
+                            .detector
+                            .on_access_hashed(ev.tid, ev.addr, h, ev.size, ev.kind);
+                        // The insert above put `(addr, tid)` into the
+                        // signature; that fact stays true until class
+                        // `c`'s generation moves.
+                        scratch.skip[e] = SkipEntry {
+                            addr: ev.addr,
+                            stamp: gen,
+                            tid: ev.tid,
+                        };
+                        return dep.map(|d| {
+                            (
+                                pack_key(self.nested_loop(ev.loop_id), d.src, d.dst),
+                                d.src,
+                                d.dst,
+                                d.bytes,
+                            )
+                        });
+                    }
+                }
+                self.detector
+                    .on_access_hashed(ev.tid, ev.addr, h, ev.size, ev.kind)
+                    .map(|d| {
+                        (
+                            pack_key(self.nested_loop(ev.loop_id), d.src, d.dst),
+                            d.src,
+                            d.dst,
+                            d.bytes,
+                        )
+                    })
+            }
+            AccessKind::Write => {
+                self.detector
+                    .on_access_hashed(ev.tid, ev.addr, h, ev.size, ev.kind);
+                if scratch.skip_filter {
+                    if let Some(c) = self.detector.read_sig().elision_class_hashed(ev.addr, h) {
+                        let si = scratch.stamp_idx(c);
+                        scratch.stamps[si] = scratch.stamps[si].wrapping_add(1);
+                        scratch.stats.stamp_bumps += 1;
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    #[inline]
+    fn nested_loop(&self, loop_id: LoopId) -> LoopId {
+        if self.config.track_nested {
+            loop_id
+        } else {
+            LoopId::NONE
+        }
+    }
+
+    /// Hand the aggregated block dependences to `tid`'s shard in one
+    /// lock acquisition. Which shard receives them is unobservable in any
+    /// read path (counters and matrices merge across shards), mirroring
+    /// the `seed_counts` contract.
+    #[inline]
+    fn drain_scratch_deps(&self, tid: u32, scratch: &mut FusedScratch) {
+        if let Counters::Sharded(s) = &self.counters {
+            s.record_deps(tid, scratch.pending_deps, &scratch.deps, self.flush_target());
+            scratch.stats.dep_batches += 1;
+        }
+        scratch.deps.clear();
+        scratch.pending_deps = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::{AsymmetricProfiler, ProfilerConfig};
+    use lc_sigmem::SignatureConfig;
+    use lc_trace::{AccessEvent, AccessKind, AccessSink, FuncId, LoopId};
+
+    fn ev(tid: u32, addr: u64, kind: AccessKind) -> AccessEvent {
+        AccessEvent {
+            tid,
+            addr,
+            size: 8,
+            kind,
+            loop_id: LoopId(1),
+            parent_loop: LoopId::NONE,
+            func: FuncId::NONE,
+            site: 0,
+        }
+    }
+
+    fn profiler() -> AsymmetricProfiler {
+        AsymmetricProfiler::asymmetric(
+            SignatureConfig::paper_default(64, 4),
+            ProfilerConfig::nested(4),
+        )
+    }
+
+    fn tiny_scratch(skip_filter: bool) -> FusedScratch {
+        FusedScratch::new(FusedConfig {
+            memo_entries: 1 << 4,
+            skip_entries: 1 << 4,
+            stamp_entries: 1 << 4,
+            skip_filter,
+        })
+    }
+
+    /// Idempotent re-reads are elided, and the elision is unobservable:
+    /// the fused run's totals equal a per-event materialized run's.
+    #[test]
+    fn elision_is_unobservable_and_counted() {
+        let stream = [
+            ev(0, 0x40, AccessKind::Read),
+            ev(0, 0x40, AccessKind::Read), // elidable: same thread, no write between
+            ev(1, 0x40, AccessKind::Write),
+            ev(0, 0x40, AccessKind::Read), // NOT elidable: carries the RAW dep 1 -> 0
+            ev(0, 0x40, AccessKind::Read), // elidable again
+        ];
+        let fused = profiler();
+        let mut scratch = tiny_scratch(true);
+        fused.on_block_fused(&stream, &mut scratch);
+        fused.flush();
+
+        let mat = profiler();
+        for e in &stream {
+            mat.on_access(e);
+        }
+        mat.flush();
+
+        assert_eq!(fused.dependencies(), mat.dependencies());
+        assert_eq!(fused.dependencies(), 1, "exactly the post-write RAW");
+        assert_eq!(fused.global_matrix(), mat.global_matrix());
+        assert_eq!(scratch.stats.elided_reads, 2, "both idempotent re-reads");
+        assert!(scratch.stats.stamp_bumps >= 1, "the write bumped a stamp");
+    }
+
+    /// With the filter off, nothing is elided and results still match.
+    #[test]
+    fn skip_filter_off_elides_nothing() {
+        let stream = [
+            ev(0, 0x40, AccessKind::Read),
+            ev(0, 0x40, AccessKind::Read),
+            ev(1, 0x40, AccessKind::Write),
+            ev(0, 0x40, AccessKind::Read),
+        ];
+        let p = profiler();
+        let mut scratch = tiny_scratch(false);
+        p.on_block_fused(&stream, &mut scratch);
+        p.flush();
+        assert_eq!(scratch.stats.elided_reads, 0);
+        assert_eq!(p.dependencies(), 1);
+    }
+
+    /// The memo cache is a pure-function cache: hits + misses cover every
+    /// event, and a revisited address hits.
+    #[test]
+    fn memo_counters_cover_the_stream() {
+        let stream = [
+            ev(0, 0x40, AccessKind::Read),
+            ev(0, 0x48, AccessKind::Read),
+            ev(0, 0x40, AccessKind::Read),
+            ev(0, 0x48, AccessKind::Write),
+        ];
+        let p = profiler();
+        let mut scratch = tiny_scratch(true);
+        p.on_block_fused(&stream, &mut scratch);
+        let s = scratch.stats;
+        assert_eq!(s.memo_hits + s.memo_misses, stream.len() as u64);
+        assert_eq!(s.memo_misses, 2, "two distinct addresses");
+    }
+
+    /// `bump_epoch` invalidates every cached skip fact (entries survive
+    /// in the table but their stamps can no longer validate), so the
+    /// first re-read after an epoch boundary goes through the detector.
+    #[test]
+    fn bump_epoch_invalidates_skip_entries() {
+        let p = profiler();
+        let mut scratch = tiny_scratch(true);
+        p.on_block_fused(
+            &[ev(0, 0x40, AccessKind::Read), ev(0, 0x40, AccessKind::Read)],
+            &mut scratch,
+        );
+        assert_eq!(scratch.stats.elided_reads, 1);
+        scratch.bump_epoch();
+        p.on_block_fused(&[ev(0, 0x40, AccessKind::Read)], &mut scratch);
+        assert_eq!(
+            scratch.stats.elided_reads, 1,
+            "the first post-epoch read must not be elided"
+        );
+        p.on_block_fused(&[ev(0, 0x40, AccessKind::Read)], &mut scratch);
+        assert_eq!(
+            scratch.stats.elided_reads, 2,
+            "the fact is re-established and elides again"
+        );
+    }
+
+    /// `memory_bytes` tracks the configured geometry exactly.
+    #[test]
+    fn memory_bytes_matches_geometry() {
+        let scratch = FusedScratch::new(FusedConfig {
+            memo_entries: 1 << 6,
+            skip_entries: 1 << 5,
+            stamp_entries: 1 << 4,
+            skip_filter: true,
+        });
+        assert_eq!(
+            scratch.memory_bytes(),
+            (1 << 6) * std::mem::size_of::<MemoEntry>()
+                + (1 << 5) * std::mem::size_of::<SkipEntry>()
+                + (1 << 4) * 8
+        );
+        let default = FusedScratch::with_defaults();
+        assert!(default.memory_bytes() >= (1 << 14) * 16);
+    }
+}

@@ -24,6 +24,7 @@
 use lc_sigmem::{murmur::fmix64, SignatureConfig, SlotRouter};
 use lc_trace::{AccessEvent, AccessSink, StampedEvent};
 
+use crate::fused::{FusedConfig, FusedScratch};
 use crate::parallel::merge_reports;
 use crate::profiler::{AsymmetricProfiler, PerfectProfiler, ProfileReport, ProfilerConfig};
 use crate::raw::{AsymmetricDetector, PerfectDetector};
@@ -64,6 +65,12 @@ pub struct IncrementalAnalyzer {
     pub(crate) sig: Option<SignatureConfig>,
     pub(crate) prof: ProfilerConfig,
     pub(crate) accum: AccumConfig,
+    /// Fused-engine geometry; `None` falls back to the `on_batch` path.
+    pub(crate) fused: Option<FusedConfig>,
+    /// One fused scratch per worker, built lazily on the first fused
+    /// frame (so unfused tenants pay nothing) and epoch-bumped on
+    /// checkpoint restore by construction (fresh tables hold no facts).
+    pub(crate) fused_scratch: Vec<FusedScratch>,
 }
 
 impl IncrementalAnalyzer {
@@ -100,6 +107,8 @@ impl IncrementalAnalyzer {
             sig: Some(sig),
             prof,
             accum,
+            fused: Some(FusedConfig::default()),
+            fused_scratch: Vec::new(),
         }
     }
 
@@ -126,6 +135,8 @@ impl IncrementalAnalyzer {
             sig: None,
             prof,
             accum,
+            fused: Some(FusedConfig::default()),
+            fused_scratch: Vec::new(),
         }
     }
 
@@ -143,6 +154,15 @@ impl IncrementalAnalyzer {
         }
     }
 
+    /// Override the fused-engine configuration (`None` disables the
+    /// fused path and restores the pre-fused routed `on_batch`
+    /// delivery). Discards any existing scratches, which is always sound:
+    /// fresh tables cache no facts.
+    pub fn set_fused(&mut self, fused: Option<FusedConfig>) {
+        self.fused = fused;
+        self.fused_scratch.clear();
+    }
+
     /// Which detector this analyzer runs.
     pub fn kind(&self) -> DetectorKind {
         match self.workers {
@@ -155,6 +175,27 @@ impl IncrementalAnalyzer {
     /// same address-class function the offline parallel path uses, in
     /// frame order, and delivered through the tiled batch path.
     pub fn on_frame(&mut self, frame: &[StampedEvent]) {
+        if let Some(cfg) = self.fused {
+            if self.fused_scratch.is_empty() {
+                self.fused_scratch = (0..self.jobs).map(|_| FusedScratch::new(cfg)).collect();
+            }
+            if self.jobs == 1 {
+                // The single-worker fast path is the fused pipeline in its
+                // purest form: the decoded frame feeds the detector in
+                // place — no routing, no copy, no re-stamping.
+                match &self.workers {
+                    Workers::Asymmetric { profilers, .. } => {
+                        profilers[0].on_block_fused(frame, &mut self.fused_scratch[0]);
+                    }
+                    Workers::Perfect { profilers } => {
+                        profilers[0].on_block_fused(frame, &mut self.fused_scratch[0]);
+                    }
+                }
+                self.frames += 1;
+                self.events += frame.len() as u64;
+                return;
+            }
+        }
         for s in &mut self.scratch {
             s.clear();
         }
@@ -171,18 +212,29 @@ impl IncrementalAnalyzer {
                 }
             }
         }
+        // Multi-worker delivery: routed sub-batches, fused per worker when
+        // enabled. Routing is by address class, so each worker's scratch
+        // observes every write that can invalidate its cached facts.
         match &self.workers {
             Workers::Asymmetric { profilers, .. } => {
-                for (p, batch) in profilers.iter().zip(&self.scratch) {
+                for (w, (p, batch)) in profilers.iter().zip(&self.scratch).enumerate() {
                     if !batch.is_empty() {
-                        p.on_batch(batch);
+                        if self.fused.is_some() {
+                            p.on_block_fused(batch, &mut self.fused_scratch[w]);
+                        } else {
+                            p.on_batch(batch);
+                        }
                     }
                 }
             }
             Workers::Perfect { profilers } => {
-                for (p, batch) in profilers.iter().zip(&self.scratch) {
+                for (w, (p, batch)) in profilers.iter().zip(&self.scratch).enumerate() {
                     if !batch.is_empty() {
-                        p.on_batch(batch);
+                        if self.fused.is_some() {
+                            p.on_block_fused(batch, &mut self.fused_scratch[w]);
+                        } else {
+                            p.on_batch(batch);
+                        }
                     }
                 }
             }
@@ -314,6 +366,7 @@ mod tests {
                         jobs,
                         coalesce: false,
                         batch_events: 512,
+                        ..ParReplayConfig::sequential()
                     },
                 );
                 assert_matches(&inc.report(), &offline.report);
@@ -338,6 +391,7 @@ mod tests {
                     jobs,
                     coalesce: false,
                     batch_events: 128,
+                    ..ParReplayConfig::sequential()
                 },
             );
             assert_matches(&inc.report(), &offline.report);

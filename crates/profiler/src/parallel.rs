@@ -18,8 +18,11 @@
 //! than one job rather than silently producing scrambled windows.
 
 use lc_sigmem::{murmur::fmix64, ReaderSet, SignatureConfig, SlotRouter, WriterMap};
-use lc_trace::{AccessSink, ParReplayOptions, ParReplayStats, Trace, REPLAY_BATCH_EVENTS};
+use lc_trace::{
+    coalesce_events, AccessSink, ParReplayOptions, ParReplayStats, Trace, REPLAY_BATCH_EVENTS,
+};
 
+use crate::fused::{FusedConfig, FusedScratch};
 use crate::profiler::{CommProfiler, ProfileReport, ProfilerConfig};
 use crate::raw::{AsymmetricDetector, PerfectDetector, RawDetector};
 use crate::shards::{AccumConfig, RegistryFull};
@@ -34,6 +37,15 @@ pub struct ParReplayConfig {
     pub coalesce: bool,
     /// Events per [`AccessSink::on_batch`] block.
     pub batch_events: usize,
+    /// Drive the fused zero-materialization engine
+    /// ([`CommProfiler::on_block_fused`]) instead of the `AccessSink`
+    /// batched path. Byte-identical output (the `fused_replay_equivalence`
+    /// suite's claim); the default since the fused path is strictly
+    /// faster.
+    pub fused: bool,
+    /// Enable the idempotent-access skip filter inside the fused engine
+    /// (ignored when `fused` is off).
+    pub skip_filter: bool,
 }
 
 impl Default for ParReplayConfig {
@@ -42,18 +54,31 @@ impl Default for ParReplayConfig {
             jobs: 1,
             coalesce: true,
             batch_events: REPLAY_BATCH_EVENTS,
+            fused: true,
+            skip_filter: true,
         }
     }
 }
 
 impl ParReplayConfig {
-    /// Sequential, uncoalesced — byte-identical to [`Trace::replay`] into
-    /// a single profiler (the pre-parallel analysis path).
+    /// Sequential, uncoalesced, unfused — byte-identical to
+    /// [`Trace::replay`] into a single profiler (the pre-parallel
+    /// analysis path, kept as the differential baseline).
     pub fn sequential() -> Self {
         Self {
             jobs: 1,
             coalesce: false,
             batch_events: REPLAY_BATCH_EVENTS,
+            fused: false,
+            skip_filter: false,
+        }
+    }
+
+    /// The [`FusedConfig`] this run's fused consumers use.
+    pub fn fused_config(&self) -> FusedConfig {
+        FusedConfig {
+            skip_filter: self.skip_filter,
+            ..FusedConfig::default()
         }
     }
 }
@@ -175,12 +200,16 @@ where
          stream; use jobs = 1 for phase tracking"
     );
     let profilers: Vec<CommProfiler<R, W>> = (0..jobs).map(|_| make()).collect();
-    let sinks: Vec<&dyn AccessSink> = profilers.iter().map(|p| p as &dyn AccessSink).collect();
-    let opts = ParReplayOptions {
-        batch_events: par.batch_events,
-        coalesce_class: par.coalesce.then_some(class),
+    let replay = if par.fused {
+        fused_replay(trace, &profilers, worker_of, class, par)
+    } else {
+        let sinks: Vec<&dyn AccessSink> = profilers.iter().map(|p| p as &dyn AccessSink).collect();
+        let opts = ParReplayOptions {
+            batch_events: par.batch_events,
+            coalesce_class: par.coalesce.then_some(class),
+        };
+        trace.par_replay(&sinks, worker_of, &opts)
     };
-    let replay = trace.par_replay(&sinks, worker_of, &opts);
 
     let mut overflow = None;
     let mut degraded = false;
@@ -203,6 +232,84 @@ where
         degraded,
         replay,
     }
+}
+
+/// Drive the fused engine over the trace: borrowed SoA slices straight
+/// into [`CommProfiler::on_block_fused`], one [`FusedScratch`] per worker.
+///
+/// `jobs == 1` without coalescing is the true zero-materialization path —
+/// the profiler reads the trace's own storage. Coalescing (a materializing
+/// transform by nature) and multi-worker partitioning build the same
+/// per-worker streams the non-fused path builds, so replay statistics and
+/// reports match it field for field; only the consumption changes.
+///
+/// Skip-filter soundness across workers: `worker_of` routes by address
+/// class — the same granularity [`lc_sigmem::ReaderSet::elision_class_hashed`]
+/// names — so every write that can invalidate a cached membership fact
+/// reaches the scratch that caches it (the fused module's concurrency
+/// contract).
+fn fused_replay<R, W>(
+    trace: &Trace,
+    profilers: &[CommProfiler<R, W>],
+    worker_of: &(dyn Fn(u64) -> usize + Sync),
+    class: &(dyn Fn(u64) -> u64 + Sync),
+    par: &ParReplayConfig,
+) -> ParReplayStats
+where
+    R: ReaderSet,
+    W: WriterMap,
+    RawDetector<R, W>: Send + Sync,
+{
+    let jobs = profilers.len();
+    let batch = par.batch_events.max(1);
+    let fused_cfg = par.fused_config();
+    let mut stats = ParReplayStats {
+        jobs,
+        ..ParReplayStats::default()
+    };
+
+    if jobs == 1 && !par.coalesce {
+        let evs = trace.access_events();
+        let mut scratch = FusedScratch::new(fused_cfg);
+        for chunk in evs.chunks(batch) {
+            profilers[0].on_block_fused(chunk, &mut scratch);
+        }
+        profilers[0].flush_pending();
+        stats.replayed_events = evs.len() as u64;
+        stats.batches = evs.len().div_ceil(batch) as u64;
+        return stats;
+    }
+
+    let mut parts = trace.partition(jobs, worker_of);
+    if par.coalesce {
+        for p in &mut parts {
+            stats.coalesce.merge(coalesce_events(p, class));
+        }
+    }
+    for p in &parts {
+        stats.replayed_events += p.len() as u64;
+        stats.batches += p.len().div_ceil(batch) as u64;
+    }
+    if jobs == 1 {
+        let mut scratch = FusedScratch::new(fused_cfg);
+        for chunk in parts[0].chunks(batch) {
+            profilers[0].on_block_fused(chunk, &mut scratch);
+        }
+        profilers[0].flush_pending();
+        return stats;
+    }
+    std::thread::scope(|s| {
+        for (part, p) in parts.iter().zip(profilers) {
+            s.spawn(move || {
+                let mut scratch = FusedScratch::new(fused_cfg);
+                for chunk in part.chunks(batch) {
+                    p.on_block_fused(chunk, &mut scratch);
+                }
+                p.flush_pending();
+            });
+        }
+    });
+    stats
 }
 
 /// Sum two per-worker reports. Every field is a commutative accumulation:
@@ -292,6 +399,7 @@ mod tests {
                     jobs,
                     coalesce: true,
                     batch_events: 64,
+                    ..ParReplayConfig::sequential()
                 },
             );
             assert_same(&seq, &par);
@@ -319,6 +427,7 @@ mod tests {
                         jobs,
                         coalesce,
                         batch_events: 128,
+                        ..ParReplayConfig::sequential()
                     },
                 );
                 assert_same(&seq, &par);
@@ -347,6 +456,7 @@ mod tests {
                 jobs: 1,
                 coalesce: true,
                 batch_events: REPLAY_BATCH_EVENTS,
+                ..ParReplayConfig::sequential()
             },
         );
         assert_same(&plain, &coalesced);
@@ -373,6 +483,7 @@ mod tests {
                 jobs: 2,
                 coalesce: false,
                 batch_events: 64,
+                ..ParReplayConfig::sequential()
             },
         );
     }

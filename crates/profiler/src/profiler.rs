@@ -59,7 +59,7 @@ impl ProfilerConfig {
 }
 
 /// Counter accumulation: sharded per-thread or legacy shared atomics.
-enum Counters {
+pub(crate) enum Counters {
     Sharded(Box<ShardSet>),
     Shared {
         accesses: AtomicU64,
@@ -69,14 +69,14 @@ enum Counters {
 
 /// The profiler, generic over the signature implementation.
 pub struct CommProfiler<R: ReaderSet, W: WriterMap> {
-    detector: RawDetector<R, W>,
-    config: ProfilerConfig,
+    pub(crate) detector: RawDetector<R, W>,
+    pub(crate) config: ProfilerConfig,
     accum: AccumConfig,
     global: CommMatrix,
-    loops: LoopRegistry,
-    counters: Counters,
-    phases: Option<Mutex<PhaseAccumulator>>,
-    telemetry: Option<Telemetry>,
+    pub(crate) loops: LoopRegistry,
+    pub(crate) counters: Counters,
+    pub(crate) phases: Option<Mutex<PhaseAccumulator>>,
+    pub(crate) telemetry: Option<Telemetry>,
     faults: Option<std::sync::Arc<FaultInjector>>,
 }
 
@@ -294,7 +294,7 @@ impl<R: ReaderSet, W: WriterMap> CommProfiler<R, W> {
     }
 
     /// The destination buffered deltas drain into.
-    fn flush_target(&self) -> FlushTarget<'_> {
+    pub(crate) fn flush_target(&self) -> FlushTarget<'_> {
         FlushTarget {
             track_nested: self.config.track_nested,
             global: &self.global,
@@ -486,12 +486,20 @@ impl<R: ReaderSet, W: WriterMap> CommProfiler<R, W> {
 /// Events per batched-delivery tile: addresses are gathered and hashed
 /// in blocks of this size before detection. Sized so the two scratch
 /// arrays (4 KiB) stay comfortably in L1 next to the tile's events.
-const TILE: usize = 256;
+pub(crate) const TILE: usize = 256;
 
 /// How many events ahead of the detection cursor signature slot lines
 /// are prefetched. Far enough to cover an L2 hit, near enough that the
 /// lines survive in L1 until the probe lands.
-const PREFETCH_AHEAD: usize = 8;
+pub(crate) const PREFETCH_AHEAD: usize = 8;
+
+/// Shared `global` matrix accessor for the sibling fused module (the
+/// field itself stays private to keep the flush discipline in one file).
+impl<R: ReaderSet, W: WriterMap> CommProfiler<R, W> {
+    pub(crate) fn global_ref(&self) -> &CommMatrix {
+        &self.global
+    }
+}
 
 impl<R: ReaderSet, W: WriterMap> CommProfiler<R, W> {
     /// Metrics-on access path: probe the detector, classify the outcome,
@@ -499,7 +507,7 @@ impl<R: ReaderSet, W: WriterMap> CommProfiler<R, W> {
     /// [`TelemetryConfig::sample_every`]. Accumulation is identical to the
     /// plain path — the `telemetry_differential` test proves the outputs
     /// are byte-for-byte the same.
-    fn on_access_instrumented(&self, ev: &AccessEvent, t: &Telemetry) {
+    pub(crate) fn on_access_instrumented(&self, ev: &AccessEvent, t: &Telemetry) {
         let t0 = t.should_sample(ev.tid).then(std::time::Instant::now);
         let (dep, probe) = self
             .detector

@@ -172,23 +172,20 @@ impl<R: ReaderSet, W: WriterMap> RawDetector<R, W> {
         debug_assert_eq!(h, lc_sigmem::murmur::fmix64(addr), "stale hash for addr");
         match kind {
             AccessKind::Read => {
-                let dep = match self.write_sig.last_writer_hashed(addr, h) {
-                    Some(writer) => {
-                        if writer != tid && !self.read_sig.contains_hashed(addr, h, tid) {
-                            Some(Dependence {
-                                src: writer,
-                                dst: tid,
-                                bytes: size as u64,
-                            })
-                        } else {
-                            None
-                        }
-                    }
-                    None => None,
-                };
-                // First-read-only bookkeeping (see module docs).
-                self.read_sig.insert_hashed(addr, h, tid);
-                dep
+                // Membership test and first-read bookkeeping in one
+                // signature traversal (see module docs): `was_present` is
+                // the pre-insert state, exactly what the old
+                // `contains` + unconditional `insert` pair observed.
+                let writer = self.write_sig.last_writer_hashed(addr, h);
+                let was_present = self.read_sig.insert_contains_hashed(addr, h, tid);
+                match writer {
+                    Some(writer) if writer != tid && !was_present => Some(Dependence {
+                        src: writer,
+                        dst: tid,
+                        bytes: size as u64,
+                    }),
+                    _ => None,
+                }
             }
             AccessKind::Write => {
                 // A new value invalidates the reader history: subsequent

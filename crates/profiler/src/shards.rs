@@ -95,7 +95,7 @@ impl AccumConfig {
 /// (the matrix dimension caps them at 2^16 threads, far above the paper's
 /// scale); the loop id occupies the high 32 bits.
 #[inline]
-fn pack_key(loop_id: LoopId, src: u32, dst: u32) -> u64 {
+pub(crate) fn pack_key(loop_id: LoopId, src: u32, dst: u32) -> u64 {
     debug_assert!(src < (1 << 16) && dst < (1 << 16));
     ((loop_id.0 as u64) << 32) | ((src as u64) << 16) | dst as u64
 }
@@ -131,6 +131,24 @@ impl DeltaBuffer {
             }
         }
         self.entries.push((key, bytes));
+    }
+
+    /// Aggregate a batch of already-aggregated deltas covering `n_deps`
+    /// dependences. `pending` advances by the *dependence* count, not the
+    /// entry count, so the epoch trigger fires at the same cadence as
+    /// `n_deps` individual [`Self::push`] calls would.
+    #[inline]
+    fn push_n(&mut self, n_deps: u64, deltas: &[(u64, u64)]) {
+        self.pending += n_deps;
+        'next: for &(key, bytes) in deltas {
+            for e in &mut self.entries {
+                if e.0 == key {
+                    e.1 += bytes;
+                    continue 'next;
+                }
+            }
+            self.entries.push((key, bytes));
+        }
     }
 
     #[inline]
@@ -350,6 +368,52 @@ impl ShardSet {
             if let Some(t) = target.telemetry {
                 // Epoch takes precedence: a buffer can hit both limits at
                 // once, and the epoch is the *designed* trigger.
+                let reason = if buf.pending >= self.cfg.flush_epoch {
+                    Stat::FlushEpoch
+                } else {
+                    Stat::FlushFull
+                };
+                t.bump(tid, reason);
+                t.observe(tid, HistId::FlushOccupancy, buf.entries.len() as u64);
+            }
+            self.guarded_drain(&mut buf, target, tid);
+        }
+    }
+
+    /// Count and buffer a whole batch of dependences on `tid`'s shard in
+    /// **one** lock acquisition — the fused replay path aggregates each
+    /// block's dependences by `(loop, src, dst)` key (see
+    /// [`pack_key`]) and lands them here, so the per-dependence
+    /// lock/unlock of [`Self::record_dep`] is paid once per block
+    /// instead. `n_deps` is the true dependence count the `deltas`
+    /// aggregate (it drives the counter and the epoch trigger); the
+    /// fully-flushed result is byte-identical to `n_deps` individual
+    /// `record_dep` calls because delta aggregation and matrix addition
+    /// both commute.
+    #[inline]
+    pub fn record_deps(&self, tid: u32, n_deps: u64, deltas: &[(u64, u64)], target: FlushTarget<'_>) {
+        if n_deps == 0 {
+            return;
+        }
+        let shard = self.shard(tid);
+        shard.deps.fetch_add(n_deps, Ordering::Relaxed);
+        // Same fault mutant as `record_dep`: drop the whole batch when the
+        // shard buffer is contended. The lossless flush oracle catches it.
+        #[cfg(feature = "sched")]
+        if lc_sched::mutant_active("shards-drop-contended-delta") {
+            let Some(mut buf) = shard.buf.try_lock() else {
+                return;
+            };
+            buf.push_n(n_deps, deltas);
+            if buf.needs_flush(&self.cfg) {
+                self.guarded_drain(&mut buf, target, tid);
+            }
+            return;
+        }
+        let mut buf = shard.buf.lock();
+        buf.push_n(n_deps, deltas);
+        if buf.needs_flush(&self.cfg) {
+            if let Some(t) = target.telemetry {
                 let reason = if buf.pending >= self.cfg.flush_epoch {
                     Stat::FlushEpoch
                 } else {

@@ -93,8 +93,24 @@ impl ReaderSet for PerfectReaderSet {
         self.shards[shard(addr)].lock().remove(&addr);
     }
 
+    fn insert_contains_hashed(&self, addr: u64, _h: u64, tid: u32) -> bool {
+        assert!(tid < MAX_PERFECT_THREADS);
+        let mut m = self.shards[shard(addr)].lock();
+        let e = m.entry(addr).or_insert(0);
+        let present = *e & (1u128 << tid) != 0;
+        *e |= 1u128 << tid;
+        present
+    }
+
     fn memory_bytes(&self) -> usize {
         self.tracked_addresses() * BYTES_PER_ENTRY
+    }
+
+    /// Exact per-address storage: `clear_addr` forgets exactly one
+    /// address, so the address is its own class.
+    #[inline]
+    fn elision_class_hashed(&self, addr: u64, _h: u64) -> Option<u64> {
+        Some(addr)
     }
 }
 

@@ -17,11 +17,17 @@
 //!
 //! Two further hot-path economies over the original implementation:
 //!
-//! * **Per-tid hash caching.** Filter probes need the Kirsch–Mitzenmacher
-//!   base pair `(ha, hb)` of the *thread id*, not the address. Thread ids
-//!   are dense and tiny, so the pair is precomputed for every `tid <
-//!   threads` at construction — zero `fmix64` evaluations per probe on the
-//!   common path (previously up to `2k`).
+//! * **Per-tid probe masks.** Filter probes need the Kirsch–Mitzenmacher
+//!   probe bits of the *thread id*, not the address — and for a fixed
+//!   geometry those `k` bit positions are a constant per tid, all inside
+//!   one cache-line-local block. They are folded into per-word OR masks at
+//!   construction (for every `tid < threads`), so an insert is at most
+//!   `block_bits/64` check-before-set word operations instead of `k`
+//!   atomic RMWs, and a membership query is the same number of plain word
+//!   loads instead of `k` bit tests. The resulting bit state and
+//!   membership answers are identical to the per-probe schedule
+//!   ([`crate::BloomGeometry::probe_bit`]), which out-of-range tids still
+//!   take.
 //! * **Hashed entry points.** [`ReaderSet::insert_hashed`] and friends
 //!   accept `fmix64(addr)` computed once by the caller (batched replay
 //!   hashes whole address blocks via [`crate::murmur::hash_block`]), so the
@@ -29,18 +35,51 @@
 //!   consultations the detector makes.
 
 use crate::bloom::hash_pair;
-use crate::concurrent_bloom::BloomGeometry;
+use crate::concurrent_bloom::{BloomGeometry, BLOOM_BLOCK_BITS};
 use crate::murmur::fmix64;
 use crate::slot::{slot_of_hash, FilterArena, FilterRef};
 use crate::traits::ReaderSet;
+
+/// Per-word probe masks of one thread id: the union of its `k` probe bits,
+/// folded by word. All probes of one item land inside a single
+/// cache-line-local block (≤ 512 bits = 8 words), so a fixed-size mask
+/// array plus the block's first word fully describe the probe set.
+#[derive(Clone, Copy, Debug)]
+struct TidMasks {
+    /// First filter word of this tid's block.
+    base_word: u32,
+    /// Live words in `masks` (`block_bits / 64`).
+    n_words: u32,
+    /// OR mask per block word; a word whose mask is zero is never touched.
+    masks: [u64; BLOOM_BLOCK_BITS / 64],
+}
+
+impl TidMasks {
+    fn for_item(geometry: &BloomGeometry, item: u64) -> Self {
+        let (ha, hb) = hash_pair(item);
+        let words_per_block = geometry.block_bits / 64;
+        let mut masks = [0u64; BLOOM_BLOCK_BITS / 64];
+        let mut base_word = 0u32;
+        for i in 0..geometry.k {
+            let bit = geometry.probe_bit(ha, hb, i);
+            base_word = (bit / 64 / words_per_block * words_per_block) as u32;
+            masks[bit / 64 % words_per_block] |= 1u64 << (bit % 64);
+        }
+        Self {
+            base_word,
+            n_words: words_per_block as u32,
+            masks,
+        }
+    }
+}
 
 /// The two-level concurrent read signature.
 #[derive(Debug)]
 pub struct ReadSignature {
     arena: FilterArena,
     geometry: BloomGeometry,
-    /// Precomputed `(ha, hb)` base hash pair per thread id.
-    tid_hashes: Box<[(u64, u64)]>,
+    /// Precomputed probe-bit word masks per thread id.
+    tid_masks: Box<[TidMasks]>,
 }
 
 impl ReadSignature {
@@ -52,33 +91,44 @@ impl ReadSignature {
         Self {
             arena: FilterArena::new(n_slots, geometry.words_per_filter()),
             geometry,
-            tid_hashes: (0..threads as u64).map(hash_pair).collect(),
-        }
-    }
-
-    /// The Kirsch–Mitzenmacher base pair for a thread id — cached for ids
-    /// below the configured thread count, computed on the fly otherwise
-    /// (same formula either way, so membership answers are identical).
-    #[inline]
-    fn tid_hash(&self, tid: u32) -> (u64, u64) {
-        match self.tid_hashes.get(tid as usize) {
-            Some(&pair) => pair,
-            None => hash_pair(tid as u64),
+            tid_masks: (0..threads as u64)
+                .map(|t| TidMasks::for_item(&geometry, t))
+                .collect(),
         }
     }
 
     #[inline]
     fn set_tid(&self, f: FilterRef<'_>, tid: u32) {
-        let (ha, hb) = self.tid_hash(tid);
-        for i in 0..self.geometry.k {
-            f.set_bit(self.geometry.probe_bit(ha, hb, i));
+        match self.tid_masks.get(tid as usize) {
+            Some(m) => {
+                for (i, &mask) in m.masks[..m.n_words as usize].iter().enumerate() {
+                    if mask != 0 {
+                        f.or_word_missing(m.base_word as usize + i, mask);
+                    }
+                }
+            }
+            None => {
+                // Out-of-range tid: same probe schedule, computed on demand.
+                let (ha, hb) = hash_pair(tid as u64);
+                for i in 0..self.geometry.k {
+                    f.set_bit(self.geometry.probe_bit(ha, hb, i));
+                }
+            }
         }
     }
 
     #[inline]
     fn has_tid(&self, f: FilterRef<'_>, tid: u32) -> bool {
-        let (ha, hb) = self.tid_hash(tid);
-        (0..self.geometry.k).all(|i| f.get_bit(self.geometry.probe_bit(ha, hb, i)))
+        match self.tid_masks.get(tid as usize) {
+            Some(m) => m.masks[..m.n_words as usize]
+                .iter()
+                .enumerate()
+                .all(|(i, &mask)| mask == 0 || f.word_covers(m.base_word as usize + i, mask)),
+            None => {
+                let (ha, hb) = hash_pair(tid as u64);
+                (0..self.geometry.k).all(|i| f.get_bit(self.geometry.probe_bit(ha, hb, i)))
+            }
+        }
     }
 
     /// Number of first-level slots.
@@ -213,6 +263,37 @@ impl ReaderSet for ReadSignature {
         }
     }
 
+    /// One slot resolution and one word pass: each probe word is loaded
+    /// once, coverage is tested against the precomputed tid mask, and the
+    /// atomic OR fires only for words with missing bits — exactly
+    /// `contains` + `insert` fused.
+    #[inline]
+    fn insert_contains_hashed(&self, _addr: u64, h: u64, tid: u32) -> bool {
+        let f = self
+            .arena
+            .filter_or_alloc(slot_of_hash(h, self.arena.n_filters()));
+        match self.tid_masks.get(tid as usize) {
+            Some(m) => {
+                let mut present = true;
+                for (i, &mask) in m.masks[..m.n_words as usize].iter().enumerate() {
+                    if mask != 0 && !f.word_covers(m.base_word as usize + i, mask) {
+                        present = false;
+                        f.or_word_missing(m.base_word as usize + i, mask);
+                    }
+                }
+                present
+            }
+            None => {
+                let (ha, hb) = hash_pair(tid as u64);
+                let mut present = true;
+                for i in 0..self.geometry.k {
+                    present &= f.set_bit(self.geometry.probe_bit(ha, hb, i));
+                }
+                present
+            }
+        }
+    }
+
     #[inline]
     fn clear_addr_hashed(&self, _addr: u64, h: u64) {
         if let Some(f) = self.arena.filter(slot_of_hash(h, self.arena.n_filters())) {
@@ -223,6 +304,14 @@ impl ReaderSet for ReadSignature {
     #[inline]
     fn prefetch(&self, h: u64) {
         self.arena.prefetch(slot_of_hash(h, self.arena.n_filters()));
+    }
+
+    /// One Bloom filter per first-level slot, and `clear_addr_hashed`
+    /// clears that whole filter — the slot index *is* the clear
+    /// granularity.
+    #[inline]
+    fn elision_class_hashed(&self, _addr: u64, h: u64) -> Option<u64> {
+        Some(slot_of_hash(h, self.arena.n_filters()) as u64)
     }
 
     fn memory_bytes(&self) -> usize {
@@ -310,6 +399,28 @@ mod tests {
         ref_sig.clear_addr(addrs[0]);
         for tid in 0..8u32 {
             assert_eq!(sig.contains(addrs[0], tid), ref_sig.contains(addrs[0], tid));
+        }
+    }
+
+    #[test]
+    fn masked_probes_set_exactly_the_canonical_probe_bits() {
+        // The per-tid word masks must reproduce probe_bit's bit set
+        // exactly — for single-block and multi-block geometries alike.
+        for threads in [2usize, 8, 32, 64, 256] {
+            let sig = ReadSignature::new(4, threads, 0.001);
+            let g = sig.geometry();
+            for tid in 0..threads as u32 {
+                sig.insert(0x40, tid);
+                let f = sig.arena.filter(slot_of_hash(fmix64(0x40), 4)).unwrap();
+                let (ha, hb) = hash_pair(tid as u64);
+                let expect: std::collections::BTreeSet<usize> =
+                    (0..g.k).map(|i| g.probe_bit(ha, hb, i)).collect();
+                let got: std::collections::BTreeSet<usize> =
+                    (0..g.m_bits).filter(|&b| f.get_bit(b)).collect();
+                assert_eq!(got, expect, "threads={threads} tid={tid}");
+                assert!(sig.contains(0x40, tid));
+                f.clear();
+            }
         }
     }
 

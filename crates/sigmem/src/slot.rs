@@ -173,6 +173,27 @@ impl FilterRef<'_> {
         self.word(bit / 64).load(Ordering::Relaxed) & (1u64 << (bit % 64)) != 0
     }
 
+    /// OR a whole probe `mask` into word `i`, skipping the RMW when every
+    /// masked bit is already set. The final bit state is identical to
+    /// setting each bit of the mask individually; the read-then-maybe-RMW
+    /// shape trades one relaxed load for the (much more expensive) atomic
+    /// on the common already-inserted path. A concurrent `clear` between
+    /// the check and the skip mirrors the documented benign clear/insert
+    /// race of the signature itself.
+    #[inline]
+    pub fn or_word_missing(&self, i: usize, mask: u64) {
+        let w = self.word(i);
+        if w.load(Ordering::Relaxed) & mask != mask {
+            crate::atomic_bits::fetch_or_bit(w, mask);
+        }
+    }
+
+    /// Whether every bit of `mask` is set in word `i`.
+    #[inline]
+    pub fn word_covers(&self, i: usize, mask: u64) -> bool {
+        self.word(i).load(Ordering::Relaxed) & mask == mask
+    }
+
     /// Zero every bit of this filter (and only this filter).
     pub fn clear(&self) {
         for i in 0..self.n_words {

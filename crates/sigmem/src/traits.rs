@@ -43,6 +43,19 @@ pub trait ReaderSet: Send + Sync {
         self.contains(addr, tid)
     }
 
+    /// Combined membership-test-and-insert: returns whether `(addr, tid)`
+    /// was already present, and ensures it is present afterwards — the
+    /// read path of Algorithm 1 in one signature traversal. The default
+    /// composes [`Self::contains_hashed`] and [`Self::insert_hashed`];
+    /// implementations override it to resolve the slot once and fold the
+    /// probe into the insert's word pass.
+    #[inline]
+    fn insert_contains_hashed(&self, addr: u64, h: u64, tid: u32) -> bool {
+        let present = self.contains_hashed(addr, h, tid);
+        self.insert_hashed(addr, h, tid);
+        present
+    }
+
     /// [`Self::clear_addr`] with `h = fmix64(addr)` precomputed.
     #[inline]
     fn clear_addr_hashed(&self, addr: u64, h: u64) {
@@ -56,6 +69,25 @@ pub trait ReaderSet: Send + Sync {
     #[inline]
     fn prefetch(&self, h: u64) {
         let _ = h;
+    }
+
+    /// The *elision class* of `addr` — the exact granularity at which
+    /// [`Self::clear_addr`] forgets readers. Two addresses share a class
+    /// iff clearing one clears the other, and [`Self::insert`] is
+    /// idempotent within a class (re-inserting an already-present
+    /// `(class, tid)` pair changes nothing observable).
+    ///
+    /// The fused replay path caches "thread `tid` is a member of class
+    /// `c`" and elides the whole membership-probe/insert round trip for
+    /// repeat reads until a write to class `c` invalidates the entry, so a
+    /// wrong (too fine) class here would let stale elisions suppress real
+    /// dependences. Implementations that cannot name their clear
+    /// granularity return `None` (the default), which disables elision
+    /// entirely — always sound, never wrong.
+    #[inline]
+    fn elision_class_hashed(&self, addr: u64, h: u64) -> Option<u64> {
+        let _ = (addr, h);
+        None
     }
 }
 

@@ -75,6 +75,47 @@ pub struct StampedEvent {
     pub event: AccessEvent,
 }
 
+/// Deterministic synthetic event: a cheap xorshift-style mix of the index
+/// and seed drives tid, address, kind, and loop id. Pure function of
+/// `(i, seed, threads, working_set, addr_reuse)` so independently
+/// generated spools agree — `loopcomm synth`, the replay-scaling bench,
+/// and any test can fabricate the identical stream. With probability
+/// `addr_reuse` the address is drawn from a fixed 64-entry hot set
+/// instead of the uniform working set — the temporal-locality knob the
+/// fused engine's memo and skip caches are sized against. The defaults
+/// (`working_set = 65_536`, `addr_reuse = 0.0`) reproduce the historical
+/// spool byte-for-byte.
+pub fn synth_event(i: u64, seed: u64, threads: u32, working_set: u64, addr_reuse: f64) -> StampedEvent {
+    let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed | 1);
+    x ^= x >> 29;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 32;
+    let kind = if x & 3 == 0 {
+        AccessKind::Write
+    } else {
+        AccessKind::Read
+    };
+    let hot = addr_reuse > 0.0 && (((x >> 41) & 0xFFFF) as f64) < addr_reuse * 65_536.0;
+    let slot = if hot {
+        (x >> 9) % 64
+    } else {
+        (x >> 9) % working_set.max(1)
+    };
+    StampedEvent {
+        seq: i,
+        event: AccessEvent {
+            tid: ((x >> 2) % threads as u64) as u32,
+            addr: 0x1_0000 + slot * 8,
+            size: 8,
+            kind,
+            loop_id: LoopId(((x >> 25) % 8) as u32 + 1),
+            parent_loop: LoopId::NONE,
+            func: FuncId::NONE,
+            site: 0,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

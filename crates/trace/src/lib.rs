@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod block_source;
 pub mod ctx;
 pub mod event;
 pub mod loops;
@@ -40,8 +41,9 @@ pub mod trace_compress;
 pub mod trace_io;
 pub mod wire;
 
+pub use block_source::{AsAccess, BlockSource, EventBlock, FileBlockSource, TraceBlocks};
 pub use ctx::TraceCtx;
-pub use event::{AccessEvent, AccessKind, FuncId, LoopId, StampedEvent};
+pub use event::{synth_event, AccessEvent, AccessKind, FuncId, LoopId, StampedEvent};
 pub use loops::{enter_func, enter_loop, FuncGuard, LoopGuard, LoopTable};
 pub use memory::{AddressSpace, TracedBuffer, Word};
 pub use net::{connect_stream, stream_trace, NetSink, StreamStats};
@@ -65,7 +67,7 @@ pub use spool_v3::{
     index_path, write_trace_spool_v3, MmapTrace, SegmentEntry, SpoolV3Writer, V3Index, PAGE_BYTES,
 };
 pub use trace_compress::{load_trace_compressed, save_trace_compressed};
-pub use trace_io::{load_trace, read_trace, save_trace, write_trace};
+pub use trace_io::{load_trace, open_block_source, read_trace, save_trace, write_trace};
 pub use wire::{
     decode_hello, encode_hello, read_hello, valid_tenant, FrameDecoder, WireError, WireSummary,
 };

@@ -69,7 +69,8 @@ pub struct CoalesceStats {
 }
 
 impl CoalesceStats {
-    fn merge(&mut self, other: CoalesceStats) {
+    /// Accumulate another pre-pass's folding counts into this one.
+    pub fn merge(&mut self, other: CoalesceStats) {
         self.runs_folded += other.runs_folded;
         self.events_folded += other.events_folded;
     }

@@ -31,6 +31,11 @@ use lc_profiler::classify::{synthetic_dataset, NearestCentroid};
 use lc_profiler::{greedy_mapping, MachineTopology, NestedReport, ThreadMapping};
 use loopcomm::prelude::*;
 
+/// Upper bound for `--batch`: past this a "batch" is no longer a cache
+/// tiling knob but an accidental whole-trace materialization, so absurd
+/// values are rejected at parse time rather than silently clamped.
+const MAX_BATCH_EVENTS: usize = 1 << 24;
+
 struct Options {
     threads: usize,
     size: InputSize,
@@ -44,6 +49,18 @@ struct Options {
     jobs: usize,
     batch: usize,
     no_coalesce: bool,
+    /// `analyze`: run the fused zero-materialization replay engine
+    /// (default). `--no-fused` restores the materialized batched path.
+    fused: bool,
+    /// `analyze`: enable the idempotent-access skip filter inside the
+    /// fused engine (default). `--no-skip-filter` keeps the fused
+    /// pipeline but probes the detector on every read.
+    skip_filter: bool,
+    /// `synth`: probability in [0,1] that an event reuses an address
+    /// from a small hot set instead of the uniform working set.
+    addr_reuse: f64,
+    /// `synth`: distinct 8-byte addresses in the uniform working set.
+    working_set: u64,
     perfect: bool,
     /// `serve`: ingest endpoints (`unix:<path>` or TCP `host:port`).
     listen: Vec<String>,
@@ -165,9 +182,15 @@ fn usage() -> ! {
          \x20                  a truncated or corrupted trace instead of failing\n\
          \x20 --jobs N         (analyze) worker threads for slot-sharded\n\
          \x20                  parallel replay (default 1; results identical)\n\
-         \x20 --batch N        (analyze) events per on_batch replay block\n\
-         \x20                  (default 1024; throughput knob, results identical)\n\
+         \x20 --batch N        (analyze) events per replay block, valid range\n\
+         \x20                  1..=16777216 (default 1024; throughput knob,\n\
+         \x20                  results identical)\n\
          \x20 --no-coalesce    (analyze) disable the run-coalescing pre-pass\n\
+         \x20 --no-fused       (analyze) materialized batched replay instead\n\
+         \x20                  of the fused zero-copy engine (results\n\
+         \x20                  identical; the fused engine is the default)\n\
+         \x20 --no-skip-filter (analyze) fused engine without the\n\
+         \x20                  idempotent-access skip filter\n\
          \x20 --perfect        (analyze, serve) exact perfect-signature\n\
          \x20                  baseline detector instead of the asymmetric\n\
          \x20                  signatures\n\
@@ -188,6 +211,10 @@ fn usage() -> ! {
          \x20 --v3             (record, synth) page-aligned indexed spool\n\
          \x20                  format v3 (O(1) seek, mmap replay, salvage)\n\
          \x20 --events N       (synth) events to generate (default 1000000)\n\
+         \x20 --addr-reuse P   (synth) probability an event reuses a hot\n\
+         \x20                  address (64-entry hot set; default 0.0)\n\
+         \x20 --working-set N  (synth) distinct 8-byte addresses in the\n\
+         \x20                  uniform working set (default 65536)\n\
          \x20 --durable-dir D  (serve) spill + checkpoint tenants under D;\n\
          \x20                  restart and eviction resume from disk\n\
          \x20 --tenant-idle-secs S  (serve) evict tenants idle >= S seconds\n\
@@ -232,6 +259,10 @@ fn parse_options(args: &[String]) -> Options {
         jobs: 1,
         batch: lc_trace::REPLAY_BATCH_EVENTS,
         no_coalesce: false,
+        fused: true,
+        skip_filter: true,
+        addr_reuse: 0.0,
+        working_set: 65_536,
         perfect: false,
         listen: Vec::new(),
         http: None,
@@ -275,8 +306,50 @@ fn parse_options(args: &[String]) -> Options {
             "--spool" => o.spool = true,
             "--salvage" => o.salvage = true,
             "--jobs" => o.jobs = val().parse().expect("--jobs N"),
-            "--batch" => o.batch = val().parse().expect("--batch N"),
+            "--batch" => {
+                let raw = val();
+                let v: usize = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --batch expects an integer, got `{raw}`");
+                    std::process::exit(2);
+                });
+                if !(1..=MAX_BATCH_EVENTS).contains(&v) {
+                    eprintln!(
+                        "error: --batch must be in 1..={MAX_BATCH_EVENTS} (got {v}); \
+                         the default is {}",
+                        lc_trace::REPLAY_BATCH_EVENTS
+                    );
+                    std::process::exit(2);
+                }
+                o.batch = v;
+            }
             "--no-coalesce" => o.no_coalesce = true,
+            "--fused" => o.fused = true,
+            "--no-fused" => o.fused = false,
+            "--no-skip-filter" => o.skip_filter = false,
+            "--addr-reuse" => {
+                let raw = val();
+                let v: f64 = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --addr-reuse expects a probability, got `{raw}`");
+                    std::process::exit(2);
+                });
+                if !(0.0..=1.0).contains(&v) {
+                    eprintln!("error: --addr-reuse must be in 0.0..=1.0 (got {v})");
+                    std::process::exit(2);
+                }
+                o.addr_reuse = v;
+            }
+            "--working-set" => {
+                let raw = val();
+                let v: u64 = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --working-set expects an integer, got `{raw}`");
+                    std::process::exit(2);
+                });
+                if v == 0 {
+                    eprintln!("error: --working-set must be >= 1");
+                    std::process::exit(2);
+                }
+                o.working_set = v;
+            }
             "--perfect" => o.perfect = true,
             "--listen" => o.listen.push(val()),
             "--http" => o.http = Some(val()),
@@ -758,6 +831,15 @@ fn analyze_streaming(name: &str, o: &Options) {
         )
     });
 
+    if !o.fused {
+        analyzer.set_fused(None);
+    } else if !o.skip_filter {
+        analyzer.set_fused(Some(lc_profiler::FusedConfig {
+            skip_filter: false,
+            ..lc_profiler::FusedConfig::default()
+        }));
+    }
+
     let cp_dir = o.checkpoint.as_deref().map(std::path::Path::new);
     let every = o.every.max(1);
     let start = analyzer.events().min(total);
@@ -779,7 +861,7 @@ fn analyze_streaming(name: &str, o: &Options) {
             });
         }
         Source::Mem(t) => {
-            for frame in t.events()[start as usize..].chunks(o.batch.max(1)) {
+            for frame in t.events()[start as usize..].chunks(o.batch) {
                 analyzer.on_frame(frame);
                 if let Some(dir) = cp_dir {
                     if analyzer.events() - last_cp >= every {
@@ -824,33 +906,7 @@ fn analyze_streaming(name: &str, o: &Options) {
     }
 }
 
-/// Deterministic synthetic event: a cheap xorshift-style mix of the index
-/// and seed drives tid, address, kind, and loop id. Pure function of
-/// `(i, seed, threads)` so independently generated spools agree.
-fn synth_event(i: u64, seed: u64, threads: u32) -> lc_trace::StampedEvent {
-    let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed | 1);
-    x ^= x >> 29;
-    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x ^= x >> 32;
-    let kind = if x & 3 == 0 {
-        lc_trace::AccessKind::Write
-    } else {
-        lc_trace::AccessKind::Read
-    };
-    lc_trace::StampedEvent {
-        seq: i,
-        event: lc_trace::AccessEvent {
-            tid: ((x >> 2) % threads as u64) as u32,
-            addr: 0x1_0000 + ((x >> 9) % 65_536) * 8,
-            size: 8,
-            kind,
-            loop_id: lc_trace::LoopId(((x >> 25) % 8) as u32 + 1),
-            parent_loop: lc_trace::LoopId::NONE,
-            func: lc_trace::FuncId::NONE,
-            site: 0,
-        },
-    }
-}
+use lc_trace::synth_event;
 
 /// `loopcomm synth <file>` — stream a deterministic synthetic spool to
 /// disk without ever materializing it in memory, so CI can fabricate
@@ -870,7 +926,7 @@ fn synth_cmd(name: &str, o: &Options) {
         while i < o.events {
             buf.clear();
             while buf.len() < frame && i < o.events {
-                buf.push(synth_event(i, o.seed, threads));
+                buf.push(synth_event(i, o.seed, threads, o.working_set, o.addr_reuse));
                 i += 1;
             }
             w.append_frame(&buf).unwrap_or_else(|e| {
@@ -894,7 +950,7 @@ fn synth_cmd(name: &str, o: &Options) {
         while i < o.events {
             buf.clear();
             while buf.len() < frame && i < o.events {
-                buf.push(synth_event(i, o.seed, threads));
+                buf.push(synth_event(i, o.seed, threads, o.working_set, o.addr_reuse));
                 i += 1;
             }
             w.append_frame(&buf).unwrap_or_else(|e| {
@@ -1274,7 +1330,9 @@ fn run(cmd: &str, name: &str, args: &[String], o: &Options) {
             let par = lc_profiler::ParReplayConfig {
                 jobs: o.jobs.max(1),
                 coalesce: !o.no_coalesce,
-                batch_events: o.batch.max(1),
+                batch_events: o.batch,
+                fused: o.fused,
+                skip_filter: o.skip_filter,
             };
             let analysis = if o.perfect {
                 lc_profiler::analyze_trace_perfect(&trace, prof_cfg, accum, &par)
@@ -1295,8 +1353,9 @@ fn run(cmd: &str, name: &str, args: &[String], o: &Options) {
             }
             let rep = &analysis.replay;
             println!(
-                "replay: {} job(s), {} batch(es), {} event(s) analyzed \
+                "replay[{}]: {} job(s), {} batch(es), {} event(s) analyzed \
                  ({} folded away in {} coalesced run(s))",
+                if o.fused { "fused" } else { "batched" },
                 rep.jobs,
                 rep.batches,
                 rep.replayed_events,

@@ -218,6 +218,13 @@ pub struct SpillWriter {
     faults: Option<Arc<FaultInjector>>,
     open: Option<SpoolV3Writer>,
     generation: u64,
+    /// Whether any spilled frame awaits replay (open or sealed, this
+    /// incarnation or a previous one). While true, `Tenant::enqueue` must
+    /// keep spilling instead of re-entering the queue: a frame admitted
+    /// to the queue would be analyzed *before* the spilled frames that
+    /// precede it in arrival order, and replay order is the byte-identity
+    /// guarantee. Cleared only by `replay_spills` deleting the files.
+    pending: bool,
 }
 
 impl SpillWriter {
@@ -225,11 +232,26 @@ impl SpillWriter {
     pub fn new(dir: PathBuf, faults: Option<Arc<FaultInjector>>) -> Self {
         let generation = next_generation(&dir);
         Self {
-            dir,
             faults,
             open: None,
             generation,
+            pending: !spill_files(&dir).is_empty(),
+            dir,
         }
+    }
+
+    /// True while spilled frames await replay — the tenant's signal to
+    /// keep routing new frames to disk so arrival order is preserved.
+    pub fn has_pending(&self) -> bool {
+        self.pending
+    }
+
+    /// Recompute `pending` from disk, after a catch-up replay deleted the
+    /// sealed generations it consumed. Frames appended *during* that
+    /// replay live in a newer generation (open or sealed), so pending
+    /// stays true until the spool directory is really empty.
+    pub fn refresh_pending(&mut self) {
+        self.pending = self.open.is_some() || !spill_files(&self.dir).is_empty();
     }
 
     /// Append one overflowed frame to the open generation.
@@ -239,7 +261,9 @@ impl SpillWriter {
             let path = spill_path(&self.dir, self.generation);
             self.open = Some(SpoolV3Writer::create_with(&path, self.faults.clone())?);
         }
-        self.open.as_mut().unwrap().append_frame(frame)
+        self.open.as_mut().unwrap().append_frame(frame)?;
+        self.pending = true;
+        Ok(())
     }
 
     /// Seal the open generation (write its index durably) and advance, so

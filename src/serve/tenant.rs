@@ -59,10 +59,17 @@ pub struct TenantStats {
     /// handler panic).
     pub conns_faulted: AtomicU64,
     /// Frames currently spilled to the durable spool, awaiting replay at
-    /// the tenant's next restore (durable tenants only).
+    /// the drain's next catch-up pass or the tenant's next restore
+    /// (durable tenants only).
     pub frames_spilled: AtomicU64,
     /// Events in the spilled frames.
     pub events_spilled: AtomicU64,
+    /// Frames that ever took the spill path this incarnation (monotonic;
+    /// not persisted — a diagnostic that overflow happened, even after
+    /// catch-up replay returns `frames_spilled` to zero).
+    pub frames_spilled_total: AtomicU64,
+    /// Events in those frames (monotonic, not persisted).
+    pub events_spilled_total: AtomicU64,
 }
 
 /// The on-disk half of a durable tenant: its directory and spill writer.
@@ -142,9 +149,15 @@ impl Tenant {
     /// Without durability a full queue blocks (backpressure to this
     /// tenant's producers only). A durable tenant never stalls producers:
     /// overflow frames spill to its v3 spool instead, counted spilled and
-    /// replayed into the analyzer at the next restore. A frame neither
-    /// queued nor spilled is counted lost — so `received == analyzed +
-    /// spilled + lost` at every quiescent point.
+    /// replayed into the analyzer at the drain's next catch-up pass (or
+    /// the tenant's next restore, if the server dies first). Spilling is
+    /// **sticky**: once one frame has spilled, every later frame spills
+    /// too (the spill lock serializes the decision), so the analyzer sees
+    /// a live prefix and the spool holds the contiguous suffix — replay
+    /// in generation order reproduces exact arrival order, which the
+    /// byte-identity guarantee requires. A frame neither queued nor
+    /// spilled is counted lost — so `received == analyzed + spilled +
+    /// lost` at every quiescent point.
     pub fn enqueue(&self, frame: Vec<StampedEvent>) {
         let events = frame.len() as u64;
         self.stats.frames_received.fetch_add(1, Ordering::Relaxed);
@@ -153,26 +166,45 @@ impl Tenant {
             .fetch_add(events, Ordering::Relaxed);
         self.last_activity.store(uptime_ms(), Ordering::Relaxed);
         let lost = match &self.durable {
-            Some(d) => match self.queue.try_push(frame) {
-                Ok(()) => false,
-                Err(PushError::Full(frame)) => match d.spill.lock().append(&frame) {
-                    Ok(()) => {
-                        self.stats.frames_spilled.fetch_add(1, Ordering::Relaxed);
-                        self.stats
-                            .events_spilled
-                            .fetch_add(events, Ordering::Relaxed);
-                        false
+            Some(d) => {
+                let mut spill = d.spill.lock();
+                let overflow = if spill.has_pending() {
+                    // Earlier frames are already on disk awaiting replay;
+                    // admitting this one to the queue would analyze it
+                    // ahead of them.
+                    Some(frame)
+                } else {
+                    match self.queue.try_push(frame) {
+                        Ok(()) => None,
+                        Err(PushError::Full(frame)) | Err(PushError::Closed(frame)) => Some(frame),
                     }
-                    Err(e) => {
-                        eprintln!(
-                            "warning: tenant `{}`: spill write failed ({e}); frame lost",
-                            self.name
-                        );
-                        true
-                    }
-                },
-                Err(PushError::Closed(_)) => true,
-            },
+                };
+                match overflow {
+                    None => false,
+                    Some(frame) => match spill.append(&frame) {
+                        Ok(()) => {
+                            self.stats.frames_spilled.fetch_add(1, Ordering::Relaxed);
+                            self.stats
+                                .events_spilled
+                                .fetch_add(events, Ordering::Relaxed);
+                            self.stats
+                                .frames_spilled_total
+                                .fetch_add(1, Ordering::Relaxed);
+                            self.stats
+                                .events_spilled_total
+                                .fetch_add(events, Ordering::Relaxed);
+                            false
+                        }
+                        Err(e) => {
+                            eprintln!(
+                                "warning: tenant `{}`: spill write failed ({e}); frame lost",
+                                self.name
+                            );
+                            true
+                        }
+                    },
+                }
+            }
             None => !self.queue.push_blocking(frame),
         };
         if lost {
@@ -206,8 +238,103 @@ impl Tenant {
         Ok(true)
     }
 
+    /// Pop the next frame, interleaving spill catch-up: whenever the
+    /// queue runs dry while spilled frames await replay, drain them from
+    /// disk before blocking again. The queue holds only frames *older*
+    /// than the oldest spill (enqueue spills sticky), so "queue first,
+    /// then spool" is exact arrival order. Returns `None` once the queue
+    /// is closed and drained — the drain thread's exit condition.
+    fn next_frame(&self) -> Option<Vec<StampedEvent>> {
+        loop {
+            if let Some(frame) = self.queue.try_pop() {
+                return Some(frame);
+            }
+            if self.queue.is_closed() {
+                // Re-check after observing closed: a racing push may have
+                // landed between the failed pop and the flag read. Spills
+                // beyond this point stay on disk for the next restore.
+                return self.queue.try_pop();
+            }
+            if self.spill_pending() {
+                self.spill_catch_up();
+                continue;
+            }
+            super::sync::backoff();
+        }
+    }
+
+    /// Whether spilled frames await replay (always false when not
+    /// durable).
+    fn spill_pending(&self) -> bool {
+        self.durable
+            .as_ref()
+            .is_some_and(|d| d.spill.lock().has_pending())
+    }
+
+    /// Replay every sealed spill generation into the live analyzer, in
+    /// order, then delete the replayed files and move their counts from
+    /// `spilled` to analyzed. Runs on the drain thread with the queue
+    /// empty; concurrent enqueues keep spilling into a *newer* generation
+    /// (sticky), so the replayed files are immutable and the order
+    /// invariant holds. Crash-consistency matches restore: a file is
+    /// deleted only after its frames reached the analyzer, and the
+    /// checkpoint on disk still precedes those frames, so a crash between
+    /// replay and the next checkpoint re-replays from the old checkpoint
+    /// instead of double-counting.
+    fn spill_catch_up(&self) {
+        let Some(d) = &self.durable else { return };
+        self.in_flight.store(true, Ordering::Release);
+        let files = {
+            let mut spill = d.spill.lock();
+            if let Err(e) = spill.seal() {
+                eprintln!(
+                    "warning: tenant `{}`: cannot seal spill for catch-up ({e}); \
+                     frames stay spooled for the next restore",
+                    self.name
+                );
+                spill.refresh_pending();
+                self.in_flight.store(false, Ordering::Release);
+                return;
+            }
+            durable::spill_files(&d.dir)
+        };
+        for path in files {
+            match lc_trace::MmapTrace::open(&path) {
+                Ok(m) => {
+                    let mut rf = 0u64;
+                    let mut re = 0u64;
+                    let res = m.stream_from(0, |frame| {
+                        self.analyzer.lock().on_frame(frame);
+                        rf += 1;
+                        re += frame.len() as u64;
+                    });
+                    if let Err(e) = res {
+                        eprintln!(
+                            "warning: tenant `{}`: spill catch-up of {} stopped early: {e}",
+                            self.name,
+                            path.display()
+                        );
+                    }
+                    self.stats.frames_spilled.fetch_sub(rf, Ordering::Relaxed);
+                    self.stats.events_spilled.fetch_sub(re, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    eprintln!(
+                        "warning: tenant `{}`: unreadable spill {}: {e}",
+                        self.name,
+                        path.display()
+                    );
+                }
+            }
+            std::fs::remove_file(&path).ok();
+            std::fs::remove_file(lc_trace::index_path(&path)).ok();
+        }
+        d.spill.lock().refresh_pending();
+        self.in_flight.store(false, Ordering::Release);
+    }
+
     fn drain_loop(&self, faults: Option<Arc<FaultInjector>>) {
-        while let Some(frame) = self.queue.pop_blocking() {
+        while let Some(frame) = self.next_frame() {
             self.in_flight.store(true, Ordering::Release);
             let events = frame.len() as u64;
             let action = faults
@@ -245,12 +372,14 @@ impl Tenant {
         }
     }
 
-    /// True when no connection is open, no frame is queued, and the drain
-    /// is idle — every received frame is either analyzed or counted lost.
+    /// True when no connection is open, no frame is queued or spooled,
+    /// and the drain is idle — every received frame is either analyzed or
+    /// counted lost.
     pub fn quiet(&self) -> bool {
         self.stats.conns_active.load(Ordering::Acquire) == 0
             && self.queue.is_empty()
             && !self.in_flight.load(Ordering::Acquire)
+            && !self.spill_pending()
     }
 
     /// Poll until [`Tenant::quiet`] or the deadline passes. Returns

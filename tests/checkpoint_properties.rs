@@ -138,7 +138,7 @@ proptest! {
 
         // Offline parallel replay (the coalesce axis lives here).
         let prof = ProfilerConfig { threads: THREADS as usize, track_nested: true, phase_window: None };
-        let par = ParReplayConfig { jobs, coalesce, batch_events: batch.max(1) };
+        let par = ParReplayConfig { jobs, coalesce, batch_events: batch.max(1), ..ParReplayConfig::sequential() };
         let offline = match kind {
             DetectorKind::Asymmetric => analyze_trace_asymmetric(
                 &trace,

@@ -1,0 +1,85 @@
+//! CLI argument validation: malformed flags must fail loudly at parse
+//! time with actionable messages, never silently clamp or panic deep in
+//! the replay path.
+
+use std::process::{Command, Output};
+
+fn loopcomm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_loopcomm"))
+        .args(args)
+        .output()
+        .expect("spawn loopcomm")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn batch_zero_is_rejected_with_documented_range() {
+    // `--batch 0` would mean "blocks of nothing" — the replay loop used to
+    // clamp it silently; now it is a parse-time error stating the range.
+    let out = loopcomm(&["analyze", "whatever.lctrace", "--batch", "0"]);
+    assert!(!out.status.success(), "--batch 0 must fail");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit with 2");
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("--batch must be in 1..="),
+        "error must state the valid range, got: {err}"
+    );
+    assert!(
+        err.contains("the default is"),
+        "error must point at the default, got: {err}"
+    );
+}
+
+#[test]
+fn absurd_batch_is_rejected_not_clamped() {
+    // Past 2^24 a "batch" is a whole-trace materialization, which defeats
+    // the cache-tiling purpose of the knob; reject rather than clamp.
+    let out = loopcomm(&["analyze", "whatever.lctrace", "--batch", "999999999"]);
+    assert!(!out.status.success(), "absurd --batch must fail");
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("--batch must be in 1..=") && err.contains("got 999999999"),
+        "error must echo the rejected value, got: {err}"
+    );
+}
+
+#[test]
+fn non_integer_batch_is_rejected() {
+    let out = loopcomm(&["analyze", "whatever.lctrace", "--batch", "lots"]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("--batch expects an integer"),
+        "non-integer must name the flag, got: {err}"
+    );
+}
+
+#[test]
+fn synth_addr_reuse_out_of_range_is_rejected() {
+    // --addr-reuse is a probability; 1.5 is a typo'd percentage.
+    let out = loopcomm(&["synth", "out.lctrace", "--addr-reuse", "1.5"]);
+    assert!(!out.status.success(), "--addr-reuse 1.5 must fail");
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("--addr-reuse"),
+        "error must name the flag, got: {err}"
+    );
+}
+
+#[test]
+fn synth_working_set_zero_is_rejected() {
+    let out = loopcomm(&["synth", "out.lctrace", "--working-set", "0"]);
+    assert!(!out.status.success(), "--working-set 0 must fail");
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("--working-set"),
+        "error must name the flag, got: {err}"
+    );
+}

@@ -81,6 +81,7 @@ fn sweep_asymmetric(trace: &Trace, threads: usize, slots: usize) {
                     jobs,
                     coalesce,
                     batch_events: 256,
+                    ..ParReplayConfig::sequential()
                 },
             );
             let what = format!("asymmetric jobs={jobs} coalesce={coalesce}");
@@ -116,6 +117,7 @@ fn sweep_perfect(trace: &Trace, threads: usize) {
                     jobs,
                     coalesce,
                     batch_events: 256,
+                    ..ParReplayConfig::sequential()
                 },
             );
             let what = format!("perfect jobs={jobs} coalesce={coalesce}");
@@ -212,7 +214,7 @@ proptest! {
             &trace, sig, prof, AccumConfig::default(), &ParReplayConfig::sequential());
         for jobs in JOBS {
             for coalesce in [false, true] {
-                let cfg = ParReplayConfig { jobs, coalesce, batch_events: 64 };
+                let cfg = ParReplayConfig { jobs, coalesce, batch_events: 64, ..ParReplayConfig::sequential() };
                 let par_p = analyze_trace_perfect(
                     &trace, prof, AccumConfig::default(), &cfg);
                 prop_assert_eq!(&seq_p.report.global, &par_p.report.global);

@@ -90,6 +90,7 @@ fn offline_canonical(trace: &Trace, jobs: usize) -> String {
             jobs,
             coalesce: false,
             batch_events: 512,
+            ..ParReplayConfig::sequential()
         },
     );
     canonical_report(&analysis.report, trace.len() as u64)
@@ -110,20 +111,34 @@ fn http_get(addr: &str, path: &str) -> (u16, String) {
     (status, body.to_string())
 }
 
-fn wait_tenant_quiet(server: &Server, tenant: &str) -> Arc<Tenant> {
+/// Wait until the tenant exists and has received at least `events`
+/// stream events. `stream_trace` returning only means the bytes reached
+/// the socket; the server may not have decoded them yet, so tests must
+/// anchor on the received ledger before asserting anything else.
+fn wait_tenant_received(server: &Server, tenant: &str, events: u64) -> Arc<Tenant> {
     let start = Instant::now();
     loop {
         if let Some(t) = server.shared().tenant(tenant) {
-            if t.wait_quiet(QUIESCE) {
+            if t.stats.events_received.load(Ordering::Relaxed) >= events {
                 return t;
             }
         }
         assert!(
             start.elapsed() < QUIESCE,
-            "tenant `{tenant}` never quiesced"
+            "tenant `{tenant}` never received {events} events"
         );
         std::thread::sleep(Duration::from_millis(5));
     }
+}
+
+/// Wait until the tenant has received `events` *and* gone quiet (queue
+/// drained, no spill pending, drain idle). The received floor closes the
+/// startup race where a just-created tenant looks quiet before the first
+/// frame arrives.
+fn wait_tenant_quiet(server: &Server, tenant: &str, events: u64) -> Arc<Tenant> {
+    let t = wait_tenant_received(server, tenant, events);
+    assert!(t.wait_quiet(QUIESCE), "tenant `{tenant}` never quiesced");
+    t
 }
 
 /// The exact-accounting contract: at a quiescent point every received
@@ -164,23 +179,86 @@ fn durable_config(dir: &Path, queue_frames: usize) -> ServeConfig {
     }
 }
 
-/// Queue overflow spills to disk (no producer stall, no loss), the ledger
-/// stays exact, and a restarted server replays every spilled frame into
-/// the analyzer.
+/// Queue overflow spills to disk (no producer stall, no loss), and once
+/// the stall clears, the drain's catch-up pass replays the spilled
+/// frames into the live analyzer **in arrival order** — the quiesced
+/// report is byte-identical to offline analysis, the ledger is exact,
+/// and the spool is empty again.
+#[test]
+fn overflow_spills_then_catch_up_replays_in_order() {
+    let dir = scratch_dir("catchup");
+    let trace = synthetic_trace(2_000);
+    let total_events = trace.len() as u64;
+
+    // A one-frame queue plus an injected 300 ms stall on the first drain:
+    // the producer finishes the whole stream while the drain sleeps, so
+    // nearly every frame takes the spill path; the drain then catches up.
+    let stall = Arc::new(FaultInjector::new(FaultPlan {
+        seed: 0,
+        rules: vec![FaultRule::once(
+            FaultSite::TenantFlush,
+            FaultAction::Stall { ms: 300 },
+            0,
+        )],
+    }));
+    let mut server = Server::start(ServeConfig {
+        faults: Some(stall),
+        ..durable_config(&dir, 1)
+    })
+    .expect("start server");
+    let addr = server.ingest_addrs()[0].clone();
+    stream_trace(&trace, &addr, "catchup", 16, None).expect("stream");
+    let t = wait_tenant_quiet(&server, "catchup", total_events);
+    assert!(
+        t.stats.frames_spilled_total.load(Ordering::Relaxed) > 0,
+        "queue overflow must spill"
+    );
+    assert_eq!(t.stats.frames_lost.load(Ordering::Relaxed), 0);
+    assert_eq!(
+        t.stats.frames_spilled.load(Ordering::Relaxed),
+        0,
+        "catch-up must drain the spool"
+    );
+    assert_eq!(
+        t.events_analyzed(),
+        total_events,
+        "catch-up replays every spilled event into the live analyzer"
+    );
+    assert_ledger_exact(&t);
+    assert_eq!(
+        t.canonical(),
+        offline_canonical(&trace, 1),
+        "live prefix + replayed spill suffix must equal in-order analysis"
+    );
+    let spool_dir = durable::tenant_dir(&dir, "catchup");
+    assert!(
+        !std::fs::read_dir(&spool_dir)
+            .expect("tenant dir exists")
+            .filter_map(|e| e.ok())
+            .any(|e| e.file_name().to_string_lossy().starts_with("spill-")),
+        "replayed spill files are deleted"
+    );
+    drop(t);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A server that dies while spilled frames are still on disk replays
+/// them at the next restart, byte-identically and with an exact ledger.
 #[test]
 fn overflow_spills_to_disk_and_replays_on_restart() {
     let dir = scratch_dir("spill");
     let trace = synthetic_trace(2_000);
     let total_events = trace.len() as u64;
 
-    // A one-frame queue plus an injected 800 ms stall on the first drain:
-    // the producer finishes the whole stream while the drain sleeps, so
-    // nearly every frame takes the spill path.
+    // A 1500 ms stall keeps the drain asleep long past the end of the
+    // stream, so shutdown lands before any catch-up pass: the spilled
+    // frames must survive on disk for the next incarnation.
     let stall = Arc::new(FaultInjector::new(FaultPlan {
         seed: 0,
         rules: vec![FaultRule::once(
             FaultSite::TenantFlush,
-            FaultAction::Stall { ms: 800 },
+            FaultAction::Stall { ms: 1500 },
             0,
         )],
     }));
@@ -191,14 +269,14 @@ fn overflow_spills_to_disk_and_replays_on_restart() {
     .expect("start server");
     let addr = server.ingest_addrs()[0].clone();
     stream_trace(&trace, &addr, "spiller", 16, None).expect("stream");
-    let t = wait_tenant_quiet(&server, "spiller");
-    let spilled_frames = t.stats.frames_spilled.load(Ordering::Relaxed);
-    let spilled_events = t.stats.events_spilled.load(Ordering::Relaxed);
-    let analyzed_events = t.events_analyzed();
-    assert!(spilled_frames > 0, "queue overflow must spill");
+    // Anchor on the received ledger only — the drain is mid-stall, so
+    // waiting for quiet here would let it catch up and defeat the test.
+    let t = wait_tenant_received(&server, "spiller", total_events);
+    assert!(
+        t.stats.frames_spilled.load(Ordering::Relaxed) > 0,
+        "queue overflow must spill"
+    );
     assert_eq!(t.stats.frames_lost.load(Ordering::Relaxed), 0);
-    assert_eq!(analyzed_events + spilled_events, total_events);
-    assert_ledger_exact(&t);
     let spool_dir = durable::tenant_dir(&dir, "spiller");
     assert!(
         std::fs::read_dir(&spool_dir)
@@ -208,14 +286,14 @@ fn overflow_spills_to_disk_and_replays_on_restart() {
         "spilled frames live in a spill spool on disk"
     );
     drop(t);
-    server.shutdown();
+    server.shutdown(); // joins the stalled drain, checkpoints, keeps spills
 
     // Restart: the hello restores the checkpointed ledger and replays the
     // spilled frames into the analyzer before any new frame flows.
     let mut server = Server::start(durable_config(&dir, 64)).expect("restart server");
     let addr = server.ingest_addrs()[0].clone();
     stream_trace(&Trace::new(Vec::new()), &addr, "spiller", 16, None).expect("re-hello");
-    let t = wait_tenant_quiet(&server, "spiller");
+    let t = wait_tenant_quiet(&server, "spiller", total_events);
     assert_eq!(
         t.events_analyzed(),
         total_events,
@@ -228,6 +306,11 @@ fn overflow_spills_to_disk_and_replays_on_restart() {
     assert_eq!(t.stats.frames_spilled.load(Ordering::Relaxed), 0);
     assert_eq!(t.stats.events_lost.load(Ordering::Relaxed), 0);
     assert_ledger_exact(&t);
+    assert_eq!(
+        t.canonical(),
+        offline_canonical(&trace, 1),
+        "checkpointed prefix + restart-replayed suffix must equal in-order analysis"
+    );
     drop(t);
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
@@ -248,7 +331,7 @@ fn restart_resumes_tenants_byte_identically() {
     let mut server = Server::start(durable_config(&dir, 64)).expect("start server");
     let addr = server.ingest_addrs()[0].clone();
     stream_trace(&first, &addr, "resume", 256, None).expect("stream first half");
-    let t = wait_tenant_quiet(&server, "resume");
+    let t = wait_tenant_quiet(&server, "resume", half as u64);
     assert_eq!(t.events_analyzed(), half as u64);
     drop(t);
     server.shutdown(); // checkpoints every durable tenant
@@ -257,7 +340,7 @@ fn restart_resumes_tenants_byte_identically() {
     let addr = server.ingest_addrs()[0].clone();
     let http = server.http_addr().expect("http enabled").to_string();
     stream_trace(&second, &addr, "resume", 256, None).expect("stream second half");
-    let t = wait_tenant_quiet(&server, "resume");
+    let t = wait_tenant_quiet(&server, "resume", trace.len() as u64);
     assert_eq!(
         t.events_analyzed(),
         trace.len() as u64,
@@ -295,7 +378,7 @@ fn idle_tenant_is_reaped_and_resumes_from_disk() {
     let addr = server.ingest_addrs()[0].clone();
     let http = server.http_addr().expect("http enabled").to_string();
     stream_trace(&first, &addr, "idle", 256, None).expect("stream first half");
-    wait_tenant_quiet(&server, "idle");
+    wait_tenant_quiet(&server, "idle", half as u64);
 
     // The reaper must evict the quiet tenant shortly after the idle
     // deadline; /tenants then reports it evicted.
@@ -322,7 +405,7 @@ fn idle_tenant_is_reaped_and_resumes_from_disk() {
     // A new hello resumes the tenant from disk; the finished analysis is
     // byte-identical to an uninterrupted offline run.
     stream_trace(&second, &addr, "idle", 256, None).expect("stream second half");
-    let t = wait_tenant_quiet(&server, "idle");
+    let t = wait_tenant_quiet(&server, "idle", trace.len() as u64);
     assert_eq!(t.events_analyzed(), trace.len() as u64);
     assert_ledger_exact(&t);
     assert_eq!(

@@ -51,6 +51,7 @@ fn offline_canonical(trace: &Trace, detector: DetectorKind, jobs: usize) -> Stri
         jobs,
         coalesce: false,
         batch_events: 512,
+        ..ParReplayConfig::sequential()
     };
     let analysis = match detector {
         DetectorKind::Asymmetric => analyze_trace_asymmetric(
