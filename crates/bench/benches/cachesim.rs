@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-use lc_cachesim::{simulate, CacheConfig};
+use lc_cachesim::{simulate, CacheConfig, CoherenceBackend, CoherenceConfig};
 use lc_profiler::{MachineTopology, ThreadMapping};
 use lc_trace::{RecordingSink, TraceCtx};
 use lc_workloads::{by_name, InputSize, RunConfig};
@@ -31,5 +31,31 @@ fn bench_cachesim(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cachesim);
+/// Throughput of the coherence *analysis backend* (per-loop matrices,
+/// false-sharing byte split) — the `--coherence` cost the CLI pays on top
+/// of the RAW profile, measured on the same recorded traces.
+fn bench_coherence_backend(c: &mut Criterion) {
+    let threads = 8;
+    let mut g = c.benchmark_group("coherence_backend_events_per_sec");
+    g.sample_size(10);
+    for name in ["ocean_cp", "radix", "fs_unpadded"] {
+        let rec = Arc::new(RecordingSink::new());
+        let ctx = TraceCtx::new(rec.clone(), threads);
+        by_name(name)
+            .unwrap()
+            .run(&ctx, &RunConfig::new(threads, InputSize::SimDev, 1));
+        let trace = rec.finish();
+        g.throughput(Throughput::Elements(trace.len() as u64));
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut backend = CoherenceBackend::new(CoherenceConfig::default(), threads);
+                backend.on_block(trace.access_events());
+                backend.report()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cachesim, bench_coherence_backend);
 criterion_main!(benches);

@@ -208,7 +208,8 @@ fn main() {
     // Mmap-fused: the trace goes to a v3 spool on disk, and decoded
     // segments are borrowed from the mmap view straight into the fused
     // engine — the end-to-end zero-materialization pipeline.
-    let spool_path = std::env::temp_dir().join(format!("lc_bench_fused_{}.lcspool", std::process::id()));
+    let spool_path =
+        std::env::temp_dir().join(format!("lc_bench_fused_{}.lcspool", std::process::id()));
     {
         let mut w = lc_trace::SpoolV3Writer::create(&spool_path).expect("create bench spool");
         for frame in trace.events().chunks(4096) {
@@ -357,7 +358,10 @@ fn main() {
                 p.flush();
                 (t0.elapsed().as_secs_f64(), p.dependencies())
             });
-            assert_eq!(b_deps, f_deps, "fused replay changed detection at reuse={reuse}");
+            assert_eq!(
+                b_deps, f_deps,
+                "fused replay changed detection at reuse={reuse}"
+            );
             rows.push(vec![
                 format!(
                     "{}@reuse={reuse}",

@@ -1,0 +1,1243 @@
+//! Coherence-traffic analysis backend — per-loop MESI matrices and
+//! false-sharing detection over the instrumentation event stream.
+//!
+//! The paper's §III premise is that shared-memory communication *is*
+//! coherence traffic. [`CoherenceBackend`] makes that measurable as a
+//! second analysis backend next to the RAW profiler: it consumes the same
+//! ordered event stream (per event, per [`lc_trace::BlockSource`] tile, or
+//! behind an [`lc_trace::AccessSink`] via [`SharedCoherence`]), maintains
+//! one private MESI cache per thread plus an idealized full-map directory,
+//! and attributes every coherence action to the innermost loop of the
+//! access that caused it — the same attribution rule the profiler uses for
+//! RAW dependences, so the two reports line up cell for cell.
+//!
+//! ## Attribution rules (DESIGN.md §16)
+//!
+//! * **Invalidations** `inval[w][v] += 1` when thread `w`'s write
+//!   invalidates thread `v`'s copy, in the loop of the write.
+//! * **Transfers** are *first-touch, word-granular*: when thread `c` first
+//!   touches an 8-byte word last written by `w ≠ c` (since that write),
+//!   `transfers[w][c] += 8` in the loop of the touching access. Word
+//!   writer/toucher state lives in the directory and never evicts — the
+//!   exact mirror of the RAW detector's write-signature / read-signature
+//!   pair, which is what makes the differential invariant
+//!   `raw[w][c] ≤ transfers[w][c]` hold per loop on word-grain traces.
+//! * **False sharing**: an invalidation is false sharing when the written
+//!   words intersect nothing its victim ever touched; a fill's
+//!   remote-written words that the access didn't ask for become a pending
+//!   set, and whatever is still untouched when the copy dies (invalidation
+//!   or eviction) counts as false-shared bytes, attributed to the loop of
+//!   the fill that pulled them.
+//!
+//! ## Determinism
+//!
+//! All state is keyed by cache line, and lines couple only through LRU
+//! replacement within one cache set. [`analyze_trace_coherence`] therefore
+//! partitions events by **set index** ([`CacheConfig::set_of`]): each
+//! worker replays its sets' full event subsequence in recorded order, and
+//! the merged report is a commutative sum over disjoint state — byte
+//! identical across `--jobs {1,2,4}` and any block split.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Mutex;
+
+use lc_profiler::DenseMatrix;
+use lc_trace::{AccessEvent, AccessKind, AccessSink, AsAccess, BlockSource, EventBlock, LoopId};
+
+use crate::cache::{Cache, CacheConfig, Mesi};
+
+/// Directory sharer masks are 64-bit; the backend refuses larger fleets.
+pub const MAX_COHERENCE_THREADS: usize = 64;
+
+/// Sentinel for "no writer yet" in the per-word last-writer array.
+const NO_WRITER: u32 = u32::MAX;
+
+/// Word granularity of producer attribution, in bytes. Matches the
+/// instrumentation layer's natural access grain (`TracedBuffer<u64>`).
+pub const WORD_BYTES: u64 = 8;
+
+/// Cap on sample addresses kept per offending false-sharing line.
+const FS_ADDR_SAMPLES: usize = 4;
+
+/// User-facing cache geometry for the coherence backend — the knobs behind
+/// `--line-size`, `--cache-kib`, and `--assoc`. Validated by
+/// [`CoherenceConfig::validate`] *before* any [`CacheConfig`] is built, so
+/// the CLI can reject bad values with a clear message instead of tripping
+/// the constructor's assertions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoherenceConfig {
+    /// Cache line size in bytes (power of two, 16..=512).
+    pub line_bytes: u64,
+    /// Per-core cache capacity in KiB (power of two, 1..=65536).
+    pub cache_kib: u64,
+    /// Associativity (power of two, 1..=64).
+    pub assoc: usize,
+}
+
+impl Default for CoherenceConfig {
+    /// Matches [`CacheConfig::small_l1`]: 16 KiB, 4-way, 64-byte lines.
+    fn default() -> Self {
+        Self {
+            line_bytes: 64,
+            cache_kib: 16,
+            assoc: 4,
+        }
+    }
+}
+
+impl CoherenceConfig {
+    /// Check every range and cross constraint; `Err` carries a message
+    /// phrased for CLI users ("--line-size must be ...").
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.line_bytes.is_power_of_two() || !(16..=512).contains(&self.line_bytes) {
+            return Err(format!(
+                "--line-size must be a power of two in 16..=512, got {}",
+                self.line_bytes
+            ));
+        }
+        if !self.cache_kib.is_power_of_two() || !(1..=65536).contains(&self.cache_kib) {
+            return Err(format!(
+                "--cache-kib must be a power of two in 1..=65536, got {}",
+                self.cache_kib
+            ));
+        }
+        if !self.assoc.is_power_of_two() || !(1..=64).contains(&self.assoc) {
+            return Err(format!(
+                "--assoc must be a power of two in 1..=64, got {}",
+                self.assoc
+            ));
+        }
+        let way_bytes = self.assoc as u64 * self.line_bytes;
+        if self.cache_kib * 1024 < way_bytes {
+            return Err(format!(
+                "--cache-kib {} KiB cannot hold one set of {} ways x {} B lines \
+                 (need at least {} KiB)",
+                self.cache_kib,
+                self.assoc,
+                self.line_bytes,
+                way_bytes.div_ceil(1024)
+            ));
+        }
+        Ok(())
+    }
+
+    /// The validated geometry as a [`CacheConfig`]. Panics on invalid
+    /// values — call [`CoherenceConfig::validate`] first.
+    pub fn cache_config(&self) -> CacheConfig {
+        self.validate().expect("validated CoherenceConfig");
+        CacheConfig {
+            sets: (self.cache_kib * 1024 / (self.assoc as u64 * self.line_bytes)) as usize,
+            ways: self.assoc,
+            line_bytes: self.line_bytes,
+        }
+    }
+
+    fn words_per_line(&self) -> usize {
+        (self.line_bytes / WORD_BYTES) as usize
+    }
+}
+
+/// Snooped-bus transaction kinds, the columns of the per-thread bus-traffic
+/// matrix.
+pub const BUS_OPS: [&str; 4] = ["busrd", "busrdx", "busupgr", "writeback"];
+
+#[derive(Clone, Copy)]
+enum BusOp {
+    Rd = 0,
+    RdX = 1,
+    Upgr = 2,
+    Wb = 3,
+}
+
+/// Per-thread bus transaction counts: `threads` rows × [`BUS_OPS`] columns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BusCounts {
+    threads: usize,
+    counts: Vec<u64>,
+}
+
+impl BusCounts {
+    /// All-zero counts for `threads` rows.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            counts: vec![0; threads * BUS_OPS.len()],
+        }
+    }
+
+    fn bump(&mut self, tid: usize, op: BusOp) {
+        self.counts[tid * BUS_OPS.len() + op as usize] += 1;
+    }
+
+    /// Count for `(thread, op-column)`.
+    pub fn get(&self, tid: usize, op: usize) -> u64 {
+        self.counts[tid * BUS_OPS.len() + op]
+    }
+
+    /// True when no transaction was recorded.
+    pub fn is_zero(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Cell-wise sum (the `--jobs` merge).
+    pub fn accumulate(&mut self, other: &BusCounts) {
+        assert_eq!(self.threads, other.threads);
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// One comma-joined row per thread, matching [`DenseMatrix::to_csv`]'s
+    /// shape so the canonical report renders uniformly.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for t in 0..self.threads {
+            let row: Vec<String> = (0..BUS_OPS.len())
+                .map(|o| self.get(t, o).to_string())
+                .collect();
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One offending cache line in the false-sharing report.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FsLine {
+    /// False-sharing classified coherence events on this line
+    /// (invalidations + pending-set flushes).
+    pub events: u64,
+    /// Remote-written bytes pulled into a copy and never touched.
+    pub false_bytes: u64,
+    /// First-touch attributed (actually communicated) bytes.
+    pub true_bytes: u64,
+    /// Bitmask of threads involved in the line's false sharing.
+    pub threads: u64,
+    /// Up to four sample addresses whose accesses triggered the events.
+    pub addrs: BTreeSet<u64>,
+}
+
+impl FsLine {
+    fn note_addr(&mut self, addr: u64) {
+        if self.addrs.len() < FS_ADDR_SAMPLES {
+            self.addrs.insert(addr);
+        }
+    }
+
+    fn merge(&mut self, other: &FsLine) {
+        self.events += other.events;
+        self.false_bytes += other.false_bytes;
+        self.true_bytes += other.true_bytes;
+        self.threads |= other.threads;
+        for &a in &other.addrs {
+            self.note_addr(a);
+        }
+    }
+}
+
+/// Coherence traffic attributed to one loop (or to the whole program).
+#[derive(Clone, Debug)]
+pub struct LoopCoh {
+    /// `[writer][victim]` invalidation counts.
+    pub invalidations: DenseMatrix,
+    /// `[producer][consumer]` first-touch transfer bytes (word granular).
+    pub transfers: DenseMatrix,
+    /// Per-thread bus transactions.
+    pub bus: BusCounts,
+    /// Invalidations classified as false sharing.
+    pub fs_invalidations: u64,
+    /// Bytes pulled by fills and never touched before the copy died.
+    pub false_bytes: u64,
+    /// Offending lines, keyed by line number.
+    pub lines: BTreeMap<u64, FsLine>,
+}
+
+impl LoopCoh {
+    fn new(threads: usize) -> Self {
+        Self {
+            invalidations: DenseMatrix::zero(threads),
+            transfers: DenseMatrix::zero(threads),
+            bus: BusCounts::new(threads),
+            fs_invalidations: 0,
+            false_bytes: 0,
+            lines: BTreeMap::new(),
+        }
+    }
+
+    /// First-touch attributed bytes — the "true sharing" side of the split.
+    pub fn true_bytes(&self) -> u64 {
+        self.transfers.total()
+    }
+
+    /// `false_bytes / (false_bytes + true_bytes)`, 0 when idle.
+    pub fn false_sharing_ratio(&self) -> f64 {
+        let t = self.true_bytes() + self.false_bytes;
+        if t == 0 {
+            0.0
+        } else {
+            self.false_bytes as f64 / t as f64
+        }
+    }
+
+    /// True when the loop saw no coherence traffic at all.
+    pub fn is_zero(&self) -> bool {
+        self.invalidations.is_zero()
+            && self.transfers.is_zero()
+            && self.bus.is_zero()
+            && self.fs_invalidations == 0
+            && self.false_bytes == 0
+            && self.lines.is_empty()
+    }
+
+    /// Commutative cell-wise merge (the `--jobs` reduction).
+    pub fn accumulate(&mut self, other: &LoopCoh) {
+        self.invalidations.accumulate(&other.invalidations);
+        self.transfers.accumulate(&other.transfers);
+        self.bus.accumulate(&other.bus);
+        self.fs_invalidations += other.fs_invalidations;
+        self.false_bytes += other.false_bytes;
+        for (line, fs) in &other.lines {
+            self.lines.entry(*line).or_default().merge(fs);
+        }
+    }
+}
+
+/// The backend's full output: global and per-loop coherence traffic plus
+/// stream-level counters.
+#[derive(Clone, Debug)]
+pub struct CoherenceReport {
+    /// Matrix dimension.
+    pub threads: usize,
+    /// Geometry the simulation ran under.
+    pub config: CoherenceConfig,
+    /// Instrumented accesses observed.
+    pub accesses: u64,
+    /// Line-accesses that hit a valid private copy.
+    pub hits: u64,
+    /// Line fills (read or write-allocate misses).
+    pub fills: u64,
+    /// Fills served from memory (no other valid copy).
+    pub mem_fills: u64,
+    /// Fills served cache-to-cache.
+    pub c2c_fills: u64,
+    /// Copies invalidated by remote writes.
+    pub invalidations: u64,
+    /// Dirty lines written back (eviction or downgrade flush).
+    pub writebacks: u64,
+    /// Whole-program traffic.
+    pub global: LoopCoh,
+    /// Per-loop traffic, innermost attribution, keyed by loop UID
+    /// (`LoopId::NONE` collects accesses outside any loop).
+    pub loops: BTreeMap<u32, LoopCoh>,
+}
+
+impl CoherenceReport {
+    /// Total false-sharing classified events (invalidations + flushes).
+    pub fn false_sharing_events(&self) -> u64 {
+        self.global.fs_invalidations + self.global.lines.values().map(|l| l.events).sum::<u64>()
+    }
+
+    /// The scale-free coherence features the §VI classifier consumes:
+    /// `(invalidations/access, false-sharing ratio, transfer locality)`.
+    /// Transfer locality is the fraction of transfer volume between
+    /// adjacent thread ids — near 1 for neighbor pipelines, near `2/t` for
+    /// uniform all-to-all traffic.
+    pub fn features(&self) -> (f64, f64, f64) {
+        let inval_per_access = if self.accesses == 0 {
+            0.0
+        } else {
+            self.invalidations as f64 / self.accesses as f64
+        };
+        let fs_ratio = self.global.false_sharing_ratio();
+        let m = &self.global.transfers;
+        let total = m.total();
+        let locality = if total == 0 {
+            0.0
+        } else {
+            let mut near = 0u64;
+            for i in 0..self.threads {
+                for j in 0..self.threads {
+                    if i.abs_diff(j) == 1 {
+                        near += m.get(i, j);
+                    }
+                }
+            }
+            near as f64 / total as f64
+        };
+        (inval_per_access, fs_ratio, locality)
+    }
+
+    /// Merge another shard's report (commutative, associative).
+    pub fn accumulate(&mut self, other: &CoherenceReport) {
+        assert_eq!(self.threads, other.threads);
+        assert_eq!(self.config, other.config);
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.fills += other.fills;
+        self.mem_fills += other.mem_fills;
+        self.c2c_fills += other.c2c_fills;
+        self.invalidations += other.invalidations;
+        self.writebacks += other.writebacks;
+        self.global.accumulate(&other.global);
+        for (id, lc) in &other.loops {
+            self.loops
+                .entry(*id)
+                .or_insert_with(|| LoopCoh::new(self.threads))
+                .accumulate(lc);
+        }
+    }
+}
+
+/// Full-map directory entry for one line. `word_writer` and `touched`
+/// never reset on eviction — they mirror the RAW detector's signature
+/// memory, which also survives capacity pressure.
+struct LineDir {
+    /// Bitmask of threads holding a valid copy (any MESI state).
+    sharers: u64,
+    /// Thread holding the line Modified, if any.
+    owner: Option<u32>,
+    /// Last writer of each 8-byte word (`NO_WRITER` when unwritten).
+    word_writer: Box<[u32]>,
+    /// Per word: bitmask of threads that accessed it since its last write.
+    touched: Box<[u64]>,
+}
+
+impl LineDir {
+    fn new(words: usize) -> Self {
+        Self {
+            sharers: 0,
+            owner: None,
+            word_writer: vec![NO_WRITER; words].into_boxed_slice(),
+            touched: vec![0u64; words].into_boxed_slice(),
+        }
+    }
+}
+
+/// Remote-written words a fill pulled in without the triggering access
+/// asking for them; flushed to `false_bytes` when the copy dies untouched.
+#[derive(Clone, Copy)]
+struct Pending {
+    mask: u64,
+    loop_id: LoopId,
+    trigger_addr: u64,
+}
+
+/// One line-granular slice of an access: the context every protocol step
+/// needs (requesting thread, line, loop, trigger address, covered words).
+#[derive(Clone, Copy)]
+struct Req {
+    c: usize,
+    line: u64,
+    lid: LoopId,
+    addr: u64,
+    w0: usize,
+    w1: usize,
+}
+
+/// Per-core MESI simulation over the instrumentation event stream. Not
+/// thread-safe by itself — wrap in [`SharedCoherence`] for sink use, or
+/// let [`analyze_trace_coherence`] shard it deterministically.
+pub struct CoherenceBackend {
+    cfg: CoherenceConfig,
+    threads: usize,
+    caches: Vec<Cache>,
+    dir: HashMap<u64, LineDir>,
+    pending: Vec<BTreeMap<u64, Pending>>,
+    accesses: u64,
+    hits: u64,
+    fills: u64,
+    mem_fills: u64,
+    c2c_fills: u64,
+    invalidations: u64,
+    writebacks: u64,
+    global: LoopCoh,
+    loops: BTreeMap<u32, LoopCoh>,
+}
+
+impl CoherenceBackend {
+    /// New backend for `threads` cores under `cfg` (validated here).
+    pub fn new(cfg: CoherenceConfig, threads: usize) -> Self {
+        assert!(
+            (1..=MAX_COHERENCE_THREADS).contains(&threads),
+            "coherence backend supports 1..={MAX_COHERENCE_THREADS} threads, got {threads}"
+        );
+        let ccfg = cfg.cache_config();
+        Self {
+            cfg,
+            threads,
+            caches: (0..threads).map(|_| Cache::new(ccfg)).collect(),
+            dir: HashMap::new(),
+            pending: vec![BTreeMap::new(); threads],
+            accesses: 0,
+            hits: 0,
+            fills: 0,
+            mem_fills: 0,
+            c2c_fills: 0,
+            invalidations: 0,
+            writebacks: 0,
+            global: LoopCoh::new(threads),
+            loops: BTreeMap::new(),
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// MESI state of `line` in every thread's cache — the property-test
+    /// inspection hook.
+    pub fn line_states(&self, line: u64) -> Vec<Option<Mesi>> {
+        self.caches.iter().map(|c| c.state(line)).collect()
+    }
+
+    /// Observe one access in stream order.
+    pub fn on_access(&mut self, ev: &AccessEvent) {
+        let tid = ev.tid as usize;
+        if tid >= self.threads {
+            return;
+        }
+        self.accesses += 1;
+        let lb = self.cfg.line_bytes;
+        let size = (ev.size.max(1)) as u64;
+        let first = ev.addr / lb;
+        let last = (ev.addr + size - 1) / lb;
+        for line in first..=last {
+            let lo = ev.addr.max(line * lb) - line * lb;
+            let hi = (ev.addr + size).min((line + 1) * lb) - line * lb;
+            self.line_access(ev, line, lo, hi);
+        }
+    }
+
+    /// Observe a block of accesses — semantically one [`Self::on_access`]
+    /// per event, so reports are identical for any block split. Generic
+    /// over [`AsAccess`] to consume stamped serve frames without copying.
+    pub fn on_block<E: AsAccess>(&mut self, evs: &[E]) {
+        for e in evs {
+            self.on_access(e.access());
+        }
+    }
+
+    /// Consume one [`BlockSource`] tile (the `on_block_fused`-shaped entry).
+    pub fn on_event_block(&mut self, block: &EventBlock<'_>) {
+        match block {
+            EventBlock::Plain(evs) => self.on_block(evs),
+            EventBlock::Stamped(evs) => self.on_block(evs),
+        }
+    }
+
+    /// Stream an entire source through the backend with zero extra
+    /// materialization; returns the number of events consumed.
+    pub fn consume_source(&mut self, src: &mut dyn BlockSource) -> std::io::Result<u64> {
+        src.stream_blocks(0, &mut |b| self.on_event_block(&b))
+    }
+
+    /// Flush still-resident pending sets and produce the report. The
+    /// backend stays usable (serve snapshots call this repeatedly); the
+    /// flush happens on a copy of the accumulators, so pulled-but-unused
+    /// bytes of *live* copies are charged in every snapshot but never
+    /// double-charged in the backend itself.
+    pub fn report(&self) -> CoherenceReport {
+        let mut global = self.global.clone();
+        let mut loops = self.loops.clone();
+        for (tid, per_line) in self.pending.iter().enumerate() {
+            for (&line, p) in per_line {
+                if p.mask == 0 {
+                    continue;
+                }
+                let writers = self.pending_writer_mask(line, p.mask);
+                let bytes = p.mask.count_ones() as u64 * WORD_BYTES;
+                for lc in [
+                    &mut global,
+                    loops_entry(&mut loops, p.loop_id, self.threads),
+                ] {
+                    lc.false_bytes += bytes;
+                    let fsl = lc.lines.entry(line).or_default();
+                    fsl.events += 1;
+                    fsl.false_bytes += bytes;
+                    fsl.threads |= (1 << tid) | writers;
+                    fsl.note_addr(p.trigger_addr);
+                }
+            }
+        }
+        CoherenceReport {
+            threads: self.threads,
+            config: self.cfg,
+            accesses: self.accesses,
+            hits: self.hits,
+            fills: self.fills,
+            mem_fills: self.mem_fills,
+            c2c_fills: self.c2c_fills,
+            invalidations: self.invalidations,
+            writebacks: self.writebacks,
+            global,
+            loops,
+        }
+    }
+
+    fn pending_writer_mask(&self, line: u64, mask: u64) -> u64 {
+        let Some(dir) = self.dir.get(&line) else {
+            return 0;
+        };
+        let mut writers = 0u64;
+        for (w, &wr) in dir.word_writer.iter().enumerate() {
+            if mask >> w & 1 == 1 && wr != NO_WRITER {
+                writers |= 1 << wr;
+            }
+        }
+        writers
+    }
+
+    fn line_access(&mut self, ev: &AccessEvent, line: u64, lo: u64, hi: u64) {
+        let c = ev.tid as usize;
+        let wpl = self.cfg.words_per_line();
+        let rq = Req {
+            c,
+            line,
+            lid: ev.loop_id,
+            addr: ev.addr,
+            w0: (lo / WORD_BYTES) as usize,
+            w1: (((hi - 1) / WORD_BYTES) as usize).min(wpl - 1),
+        };
+        // Own the directory entry for the duration: eviction bookkeeping
+        // may need `&mut` access to a *different* line's entry.
+        let mut dir = self.dir.remove(&line).unwrap_or_else(|| LineDir::new(wpl));
+        let held = self.caches[c].state(line);
+        match ev.kind {
+            AccessKind::Read => {
+                if let Some(state) = held {
+                    self.hits += 1;
+                    self.caches[c].insert(line, state); // LRU refresh
+                } else {
+                    self.read_fill(rq, &mut dir);
+                }
+                self.attribute(rq, &mut dir);
+            }
+            AccessKind::Write => {
+                match held {
+                    Some(Mesi::Modified) => {
+                        self.hits += 1;
+                        self.caches[c].insert(line, Mesi::Modified);
+                    }
+                    Some(Mesi::Exclusive) => {
+                        // Silent E→M upgrade: no bus transaction.
+                        self.hits += 1;
+                        self.caches[c].insert(line, Mesi::Modified);
+                        dir.owner = Some(c as u32);
+                    }
+                    Some(Mesi::Shared) => {
+                        self.hits += 1;
+                        self.bus(c, rq.lid, BusOp::Upgr);
+                        self.invalidate_others(rq, &mut dir);
+                        self.caches[c].insert(line, Mesi::Modified);
+                        dir.sharers = 1 << c;
+                        dir.owner = Some(c as u32);
+                    }
+                    None => {
+                        self.bus(c, rq.lid, BusOp::RdX);
+                        self.fills += 1;
+                        let others = dir.sharers & !(1u64 << c);
+                        if others != 0 {
+                            self.c2c_fills += 1;
+                        } else {
+                            self.mem_fills += 1;
+                        }
+                        self.invalidate_others(rq, &mut dir);
+                        if let Some((vline, vstate)) = self.caches[c].insert(line, Mesi::Modified) {
+                            self.evict(c, vline, vstate, rq.lid);
+                        }
+                        dir.sharers = 1 << c;
+                        dir.owner = Some(c as u32);
+                        self.set_pending(rq, &dir);
+                    }
+                }
+                // First-touch attribution must see the *previous* word
+                // writers; the write's own updates come after.
+                self.attribute(rq, &mut dir);
+                for w in rq.w0..=rq.w1 {
+                    dir.word_writer[w] = c as u32;
+                    dir.touched[w] = 1 << c;
+                }
+            }
+        }
+        self.dir.insert(line, dir);
+    }
+
+    fn read_fill(&mut self, rq: Req, dir: &mut LineDir) {
+        let Req { c, line, lid, .. } = rq;
+        self.bus(c, lid, BusOp::Rd);
+        self.fills += 1;
+        let others = dir.sharers & !(1u64 << c);
+        if let Some(o) = dir.owner {
+            let o = o as usize;
+            if o != c {
+                // M holder flushes and downgrades to Shared.
+                self.caches[o].set_state(line, Some(Mesi::Shared));
+                self.bus(o, lid, BusOp::Wb);
+                self.writebacks += 1;
+                dir.owner = None;
+            }
+        } else {
+            // An Exclusive holder snoops the BusRd and downgrades.
+            let mut rest = others;
+            while rest != 0 {
+                let h = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                if self.caches[h].state(line) == Some(Mesi::Exclusive) {
+                    self.caches[h].set_state(line, Some(Mesi::Shared));
+                }
+            }
+        }
+        if others != 0 {
+            self.c2c_fills += 1;
+        } else {
+            self.mem_fills += 1;
+        }
+        let state = if others == 0 {
+            Mesi::Exclusive
+        } else {
+            Mesi::Shared
+        };
+        if let Some((vline, vstate)) = self.caches[c].insert(line, state) {
+            self.evict(c, vline, vstate, lid);
+        }
+        dir.sharers |= 1 << c;
+        self.set_pending(rq, dir);
+    }
+
+    /// Record the remote-written words this fill pulled in beyond what the
+    /// triggering access covers and the consumer has already used.
+    fn set_pending(&mut self, rq: Req, dir: &LineDir) {
+        let mut mask = 0u64;
+        for (w, &writer) in dir.word_writer.iter().enumerate() {
+            if writer != NO_WRITER
+                && writer as usize != rq.c
+                && !(rq.w0..=rq.w1).contains(&w)
+                && dir.touched[w] >> rq.c & 1 == 0
+            {
+                mask |= 1 << w;
+            }
+        }
+        if mask != 0 {
+            self.pending[rq.c].insert(
+                rq.line,
+                Pending {
+                    mask,
+                    loop_id: rq.lid,
+                    trigger_addr: rq.addr,
+                },
+            );
+        }
+    }
+
+    fn invalidate_others(&mut self, rq: Req, dir: &mut LineDir) {
+        let Req { c, line, lid, .. } = rq;
+        let mut victims = dir.sharers & !(1u64 << c);
+        while victims != 0 {
+            let h = victims.trailing_zeros() as usize;
+            victims &= victims - 1;
+            self.invalidations += 1;
+            // False sharing: the written words intersect nothing the
+            // victim ever touched — it held the line for other data.
+            let true_sharing = (rq.w0..=rq.w1).any(|w| dir.touched[w] >> h & 1 == 1);
+            let prev = self.caches[h].set_state(line, None);
+            if prev == Some(Mesi::Modified) {
+                // BusRdX/BusUpgr to a dirty line: the owner supplies the
+                // data and retires its copy.
+                self.bus(h, lid, BusOp::Wb);
+                self.writebacks += 1;
+            }
+            let flushed = self.flush_pending(h, line, dir);
+            for lc in [
+                &mut self.global,
+                loops_entry(&mut self.loops, lid, self.threads),
+            ] {
+                lc.invalidations.bump(c, h, 1);
+                if !true_sharing {
+                    lc.fs_invalidations += 1;
+                    let fsl = lc.lines.entry(line).or_default();
+                    fsl.events += 1;
+                    fsl.threads |= (1 << c) | (1 << h);
+                    fsl.note_addr(rq.addr);
+                }
+            }
+            if let Some((bytes, ploop, paddr, writers)) = flushed {
+                self.charge_false_bytes(line, h, bytes, ploop, paddr, writers);
+            }
+        }
+        dir.owner = None;
+        dir.sharers &= 1 << c;
+    }
+
+    /// Remove and return `h`'s pending set on `line`, if any:
+    /// `(bytes, fill loop, trigger addr, writer mask)`.
+    fn flush_pending(
+        &mut self,
+        h: usize,
+        line: u64,
+        dir: &LineDir,
+    ) -> Option<(u64, LoopId, u64, u64)> {
+        let p = self.pending[h].remove(&line)?;
+        if p.mask == 0 {
+            return None;
+        }
+        let mut writers = 0u64;
+        for (w, &wr) in dir.word_writer.iter().enumerate() {
+            if p.mask >> w & 1 == 1 && wr != NO_WRITER {
+                writers |= 1 << wr;
+            }
+        }
+        Some((
+            p.mask.count_ones() as u64 * WORD_BYTES,
+            p.loop_id,
+            p.trigger_addr,
+            writers,
+        ))
+    }
+
+    fn charge_false_bytes(
+        &mut self,
+        line: u64,
+        holder: usize,
+        bytes: u64,
+        fill_loop: LoopId,
+        trigger_addr: u64,
+        writers: u64,
+    ) {
+        for lc in [
+            &mut self.global,
+            loops_entry(&mut self.loops, fill_loop, self.threads),
+        ] {
+            lc.false_bytes += bytes;
+            let fsl = lc.lines.entry(line).or_default();
+            fsl.events += 1;
+            fsl.false_bytes += bytes;
+            fsl.threads |= (1 << holder) | writers;
+            fsl.note_addr(trigger_addr);
+        }
+    }
+
+    /// First-touch producer attribution over the accessed words.
+    fn attribute(&mut self, rq: Req, dir: &mut LineDir) {
+        let Req {
+            c,
+            line,
+            lid,
+            w0,
+            w1,
+            ..
+        } = rq;
+        let mut clear = 0u64;
+        for w in w0..=w1 {
+            let writer = dir.word_writer[w];
+            if writer != NO_WRITER && writer as usize != c && dir.touched[w] >> c & 1 == 0 {
+                for lc in [
+                    &mut self.global,
+                    loops_entry(&mut self.loops, lid, self.threads),
+                ] {
+                    lc.transfers.bump(writer as usize, c, WORD_BYTES);
+                    lc.lines.entry(line).or_default().true_bytes += WORD_BYTES;
+                }
+            }
+            dir.touched[w] |= 1 << c;
+            clear |= 1 << w;
+        }
+        if let Some(p) = self.pending[c].get_mut(&line) {
+            p.mask &= !clear;
+            if p.mask == 0 {
+                self.pending[c].remove(&line);
+            }
+        }
+    }
+
+    fn evict(&mut self, c: usize, vline: u64, vstate: Mesi, lid: LoopId) {
+        // The victim is in the same cache set as the inserted line but is a
+        // different line, so its directory entry is still in the map even
+        // while the current line's entry is owned by the caller.
+        if let Some(d) = self.dir.get_mut(&vline) {
+            d.sharers &= !(1u64 << c);
+            if d.owner == Some(c as u32) {
+                d.owner = None;
+            }
+        }
+        if vstate == Mesi::Modified {
+            self.bus(c, lid, BusOp::Wb);
+            self.writebacks += 1;
+        }
+        let Some(p) = self.pending[c].remove(&vline) else {
+            return;
+        };
+        if p.mask == 0 {
+            return;
+        }
+        let writers = self.pending_writer_mask(vline, p.mask);
+        self.charge_false_bytes(
+            vline,
+            c,
+            p.mask.count_ones() as u64 * WORD_BYTES,
+            p.loop_id,
+            p.trigger_addr,
+            writers,
+        );
+    }
+
+    fn bus(&mut self, tid: usize, lid: LoopId, op: BusOp) {
+        self.global.bus.bump(tid, op);
+        loops_entry(&mut self.loops, lid, self.threads)
+            .bus
+            .bump(tid, op);
+    }
+}
+
+fn loops_entry(loops: &mut BTreeMap<u32, LoopCoh>, lid: LoopId, threads: usize) -> &mut LoopCoh {
+    loops.entry(lid.0).or_insert_with(|| LoopCoh::new(threads))
+}
+
+/// [`CoherenceBackend`] behind a mutex, so it can ride any
+/// [`AccessSink`] position (fork sinks, live instrumentation, serve
+/// tenants). Coherence simulation is inherently order-dependent; callers
+/// that need determinism must feed a recorded order.
+pub struct SharedCoherence(Mutex<CoherenceBackend>);
+
+impl SharedCoherence {
+    /// Wrap a backend.
+    pub fn new(backend: CoherenceBackend) -> Self {
+        Self(Mutex::new(backend))
+    }
+
+    /// Snapshot the report.
+    pub fn report(&self) -> CoherenceReport {
+        self.0.lock().expect("coherence lock").report()
+    }
+
+    /// Feed a block of any [`AsAccess`] events under one lock acquisition.
+    pub fn on_frame<E: AsAccess>(&self, evs: &[E]) {
+        self.0.lock().expect("coherence lock").on_block(evs);
+    }
+}
+
+impl AccessSink for SharedCoherence {
+    fn on_access(&self, ev: &AccessEvent) {
+        self.0.lock().expect("coherence lock").on_access(ev);
+    }
+
+    fn on_batch(&self, evs: &[AccessEvent]) {
+        self.on_frame(evs);
+    }
+}
+
+/// Deterministic, slot-sharded coherence analysis of a recorded trace.
+///
+/// `jobs == 1` streams the trace's events straight through one backend;
+/// `jobs > 1` partitions by cache-set index and merges per-worker reports
+/// by commutative summation. Both produce byte-identical canonical
+/// reports — see the module docs for the argument.
+pub fn analyze_trace_coherence(
+    trace: &lc_trace::Trace,
+    cfg: CoherenceConfig,
+    threads: usize,
+    jobs: usize,
+) -> CoherenceReport {
+    let jobs = jobs.max(1);
+    if jobs == 1 {
+        let mut b = CoherenceBackend::new(cfg, threads);
+        b.on_block(trace.access_events());
+        return b.report();
+    }
+    let ccfg = cfg.cache_config();
+    let worker_of = move |addr: u64| ccfg.set_of(ccfg.line_of(addr)) % jobs;
+    let parts = trace.partition(jobs, &worker_of);
+    let mut shards: Vec<CoherenceReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .iter()
+            .map(|part| {
+                s.spawn(move || {
+                    let mut b = CoherenceBackend::new(cfg, threads);
+                    b.on_block(part);
+                    b.report()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
+    let mut acc = shards.remove(0);
+    for r in &shards {
+        acc.accumulate(r);
+    }
+    acc
+}
+
+/// Render a [`CoherenceReport`] in the canonical line format — stable
+/// field order, loops ascending by UID, zero sections skipped — so
+/// equality of analyses can be asserted with `diff`, mirroring
+/// `lc_profiler::canonical_report`.
+pub fn canonical_coherence_report(r: &CoherenceReport) -> String {
+    let mut out = String::new();
+    out.push_str("loopcomm-coherence v1\n");
+    out.push_str(&format!("threads {}\n", r.threads));
+    out.push_str(&format!(
+        "geometry line-bytes {} cache-kib {} assoc {}\n",
+        r.config.line_bytes, r.config.cache_kib, r.config.assoc
+    ));
+    out.push_str(&format!("accesses {}\n", r.accesses));
+    out.push_str(&format!(
+        "fills {} mem {} c2c {} hits {}\n",
+        r.fills, r.mem_fills, r.c2c_fills, r.hits
+    ));
+    out.push_str(&format!(
+        "invalidations {} writebacks {}\n",
+        r.invalidations, r.writebacks
+    ));
+    out.push_str("global\n");
+    push_loop(&mut out, &r.global);
+    for (id, lc) in &r.loops {
+        if lc.is_zero() {
+            continue;
+        }
+        out.push_str(&format!("loop {id}\n"));
+        push_loop(&mut out, lc);
+    }
+    out
+}
+
+fn push_loop(out: &mut String, lc: &LoopCoh) {
+    if !lc.invalidations.is_zero() {
+        out.push_str("invalidations\n");
+        out.push_str(&lc.invalidations.to_csv());
+    }
+    if !lc.transfers.is_zero() {
+        out.push_str("transfers\n");
+        out.push_str(&lc.transfers.to_csv());
+    }
+    if !lc.bus.is_zero() {
+        out.push_str(&format!("bus {}\n", BUS_OPS.join(",")));
+        out.push_str(&lc.bus.to_csv());
+    }
+    out.push_str(&format!(
+        "false-sharing invalidations {} false-bytes {} true-bytes {}\n",
+        lc.fs_invalidations,
+        lc.false_bytes,
+        lc.true_bytes()
+    ));
+    for (line, fs) in &lc.lines {
+        let addrs: Vec<String> = fs.addrs.iter().map(|a| format!("{a:#x}")).collect();
+        out.push_str(&format!(
+            "line {:#x} events {} false {} true {} threads {:#x} addrs {}\n",
+            line,
+            fs.events,
+            fs.false_bytes,
+            fs.true_bytes,
+            fs.threads,
+            addrs.join(",")
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_trace::FuncId;
+
+    fn ev(tid: u32, addr: u64, kind: AccessKind, lid: u32) -> AccessEvent {
+        AccessEvent {
+            tid,
+            addr,
+            size: 8,
+            kind,
+            loop_id: LoopId(lid),
+            parent_loop: LoopId::NONE,
+            func: FuncId(0),
+            site: 0,
+        }
+    }
+
+    fn backend(t: usize) -> CoherenceBackend {
+        CoherenceBackend::new(CoherenceConfig::default(), t)
+    }
+
+    #[test]
+    fn producer_consumer_transfer_is_attributed() {
+        let mut b = backend(2);
+        b.on_access(&ev(0, 0x100, AccessKind::Write, 1));
+        b.on_access(&ev(1, 0x100, AccessKind::Read, 1));
+        let r = b.report();
+        assert_eq!(r.global.transfers.get(0, 1), 8);
+        assert_eq!(r.global.transfers.get(1, 0), 0);
+        assert_eq!(r.loops[&1].transfers.get(0, 1), 8);
+        // Repeated read: no further attribution (first-touch only).
+        b.on_access(&ev(1, 0x100, AccessKind::Read, 1));
+        assert_eq!(b.report().global.transfers.get(0, 1), 8);
+        // True sharing, no false bytes.
+        assert_eq!(b.report().global.false_bytes, 0);
+    }
+
+    #[test]
+    fn write_invalidates_and_counts_per_loop() {
+        let mut b = backend(2);
+        b.on_access(&ev(0, 0x40, AccessKind::Write, 3));
+        b.on_access(&ev(1, 0x40, AccessKind::Read, 3));
+        b.on_access(&ev(0, 0x40, AccessKind::Write, 4));
+        let r = b.report();
+        assert_eq!(r.invalidations, 1);
+        assert_eq!(r.global.invalidations.get(0, 1), 1);
+        assert_eq!(r.loops[&4].invalidations.get(0, 1), 1);
+        // Thread 1 had touched the written word: true sharing.
+        assert_eq!(r.global.fs_invalidations, 0);
+    }
+
+    #[test]
+    fn unpadded_counters_are_false_sharing() {
+        // Two threads bump adjacent words of one line.
+        let mut b = backend(2);
+        for round in 0..4 {
+            b.on_access(&ev(0, 0x200, AccessKind::Write, 1));
+            b.on_access(&ev(1, 0x208, AccessKind::Write, 1));
+            let _ = round;
+        }
+        let r = b.report();
+        assert!(r.global.fs_invalidations > 0, "ping-pong must be flagged");
+        assert!(r.global.false_bytes > 0, "pulled words never touched");
+        assert_eq!(r.false_sharing_events(), {
+            let from_lines: u64 = r.global.lines.values().map(|l| l.events).sum();
+            r.global.fs_invalidations + from_lines
+        });
+        let (_, fs_ratio, _) = r.features();
+        assert!(
+            fs_ratio > 0.5,
+            "split should be false-dominated: {fs_ratio}"
+        );
+    }
+
+    #[test]
+    fn padded_counters_are_clean() {
+        let mut b = backend(2);
+        for _ in 0..4 {
+            b.on_access(&ev(0, 0x200, AccessKind::Write, 1));
+            b.on_access(&ev(1, 0x240, AccessKind::Write, 1));
+        }
+        let r = b.report();
+        assert_eq!(r.invalidations, 0);
+        assert_eq!(r.global.false_bytes, 0);
+        assert_eq!(r.global.fs_invalidations, 0);
+    }
+
+    #[test]
+    fn mesi_single_writer_invariant() {
+        let mut b = backend(3);
+        b.on_access(&ev(0, 0x80, AccessKind::Write, 0));
+        b.on_access(&ev(1, 0x80, AccessKind::Write, 0));
+        let states = b.line_states(2);
+        assert_eq!(states[0], None, "writer 1 must invalidate writer 0");
+        assert_eq!(states[1], Some(Mesi::Modified));
+        // A read downgrades M to S.
+        b.on_access(&ev(2, 0x80, AccessKind::Read, 0));
+        let states = b.line_states(2);
+        assert_eq!(states[1], Some(Mesi::Shared));
+        assert_eq!(states[2], Some(Mesi::Shared));
+    }
+
+    #[test]
+    fn exclusive_then_silent_upgrade() {
+        let mut b = backend(2);
+        b.on_access(&ev(0, 0x80, AccessKind::Read, 0));
+        assert_eq!(b.line_states(2)[0], Some(Mesi::Exclusive));
+        b.on_access(&ev(0, 0x80, AccessKind::Write, 0));
+        assert_eq!(b.line_states(2)[0], Some(Mesi::Modified));
+        let r = b.report();
+        // No upgrade transaction was needed.
+        assert_eq!(r.global.bus.get(0, 2), 0);
+        assert_eq!(r.global.bus.get(0, 0), 1); // one BusRd
+    }
+
+    #[test]
+    fn sharded_analysis_is_byte_identical() {
+        // Pseudo-random multi-line stream.
+        let mut evs = Vec::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for i in 0..4000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let tid = (x % 4) as u32;
+            let addr = (x >> 8) % 4096 * 8;
+            let kind = if x >> 20 & 1 == 1 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            evs.push(lc_trace::StampedEvent {
+                seq: i,
+                event: ev(tid, addr, kind, (x >> 24 & 3) as u32),
+            });
+        }
+        let trace = lc_trace::Trace::new(evs);
+        let base = canonical_coherence_report(&analyze_trace_coherence(
+            &trace,
+            CoherenceConfig::default(),
+            4,
+            1,
+        ));
+        for jobs in [2, 3, 4, 7] {
+            let r = canonical_coherence_report(&analyze_trace_coherence(
+                &trace,
+                CoherenceConfig::default(),
+                4,
+                jobs,
+            ));
+            assert_eq!(base, r, "jobs={jobs} diverged");
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_geometry() {
+        let ok = CoherenceConfig::default();
+        assert!(ok.validate().is_ok());
+        for bad in [
+            CoherenceConfig {
+                line_bytes: 48,
+                ..ok
+            },
+            CoherenceConfig {
+                line_bytes: 8,
+                ..ok
+            },
+            CoherenceConfig {
+                line_bytes: 1024,
+                ..ok
+            },
+            CoherenceConfig { cache_kib: 3, ..ok },
+            CoherenceConfig { cache_kib: 0, ..ok },
+            CoherenceConfig { assoc: 3, ..ok },
+            CoherenceConfig { assoc: 128, ..ok },
+            CoherenceConfig {
+                cache_kib: 1,
+                assoc: 64,
+                line_bytes: 512,
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn straddling_access_splits_across_lines() {
+        let mut b = backend(2);
+        // A 16-byte write whose tail crosses into the next line.
+        b.on_access(&AccessEvent {
+            size: 16,
+            ..ev(0, 0x78, AccessKind::Write, 1)
+        });
+        b.on_access(&AccessEvent {
+            size: 16,
+            ..ev(1, 0x78, AccessKind::Read, 1)
+        });
+        let r = b.report();
+        // Both lines filled by each side: 2 writes-fills + 2 read-fills.
+        assert_eq!(r.fills, 4);
+        assert_eq!(r.global.transfers.get(0, 1), 16);
+    }
+}

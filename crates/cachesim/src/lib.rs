@@ -10,6 +10,10 @@
 //!   thread→core [`lc_profiler::ThreadMapping`], maintain coherence with an
 //!   idealized full-map directory, and report hits/misses/invalidations
 //!   plus topology-weighted cache-to-cache transfer cost.
+//! * [`CoherenceBackend`] / [`analyze_trace_coherence`] — a second
+//!   analysis backend over the instrumentation event stream: per-loop
+//!   invalidation/transfer/bus-traffic matrices and a false-sharing
+//!   detector, deterministic under set-sharded `--jobs` parallelism.
 //!
 //! Together with `lc_profiler::mapping` this closes the loop the paper
 //! draws: profile → communication matrix → placement → fewer remote
@@ -17,8 +21,14 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cache;
 pub mod coherence;
 
+pub use backend::{
+    analyze_trace_coherence, canonical_coherence_report, BusCounts, CoherenceBackend,
+    CoherenceConfig, CoherenceReport, FsLine, LoopCoh, SharedCoherence, BUS_OPS,
+    MAX_COHERENCE_THREADS, WORD_BYTES,
+};
 pub use cache::{Cache, CacheConfig, Mesi};
 pub use coherence::{simulate, CoherenceSim, SimStats};

@@ -7,13 +7,22 @@
 //!   paper's ">97% accuracy" claim.
 //! * [`rules`] — the "algorithmic methods" half: explicit, auditable
 //!   decision rules that need no training data.
+//! * [`coherence`] — coherence-backend features (invalidation rate,
+//!   false-sharing ratio, transfer locality) and the extended 13-feature
+//!   model that separates true- from false-sharing variants.
 
 pub mod classifier;
+pub mod coherence;
 pub mod features;
 pub mod patterns;
 pub mod rules;
 
 pub use classifier::{synthetic_dataset, Evaluation, NearestCentroid, Sample};
+pub use coherence::{
+    extend as extend_features, extract_extended, synthetic_ext_dataset, CoherenceFeatures,
+    ExtNearestCentroid, ExtSample, SharingVariant, COHERENCE_FEATURE_NAMES, N_COH_FEATURES,
+    N_EXT_FEATURES,
+};
 pub use features::{extract, FEATURE_NAMES, N_FEATURES};
 pub use patterns::{generate, PatternClass};
 pub use rules::{classify_matrix as classify_by_rules, rule_accuracy, RuleVerdict};

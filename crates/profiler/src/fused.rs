@@ -177,8 +177,14 @@ impl FusedScratch {
         // and no real event carries tid `u32::MAX`, so the fresh tables
         // hit on nothing.
         Self {
-            memo: vec![MemoEntry { addr: u64::MAX, hash: 0 }; cfg.memo_entries]
-                .into_boxed_slice(),
+            memo: vec![
+                MemoEntry {
+                    addr: u64::MAX,
+                    hash: 0
+                };
+                cfg.memo_entries
+            ]
+            .into_boxed_slice(),
             memo_mask: cfg.memo_entries - 1,
             skip: vec![
                 SkipEntry {
@@ -479,7 +485,12 @@ impl<R: ReaderSet, W: WriterMap> CommProfiler<R, W> {
     #[inline]
     fn drain_scratch_deps(&self, tid: u32, scratch: &mut FusedScratch) {
         if let Counters::Sharded(s) = &self.counters {
-            s.record_deps(tid, scratch.pending_deps, &scratch.deps, self.flush_target());
+            s.record_deps(
+                tid,
+                scratch.pending_deps,
+                &scratch.deps,
+                self.flush_target(),
+            );
             scratch.stats.dep_batches += 1;
         }
         scratch.deps.clear();

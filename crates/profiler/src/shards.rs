@@ -391,7 +391,13 @@ impl ShardSet {
     /// `record_dep` calls because delta aggregation and matrix addition
     /// both commute.
     #[inline]
-    pub fn record_deps(&self, tid: u32, n_deps: u64, deltas: &[(u64, u64)], target: FlushTarget<'_>) {
+    pub fn record_deps(
+        &self,
+        tid: u32,
+        n_deps: u64,
+        deltas: &[(u64, u64)],
+        target: FlushTarget<'_>,
+    ) {
         if n_deps == 0 {
             return;
         }

@@ -84,11 +84,7 @@ pub trait BlockSource {
     fn len_hint(&self) -> Option<u64>;
 
     /// Stream blocks from event offset `from` to the end.
-    fn stream_blocks(
-        &mut self,
-        from: u64,
-        f: &mut dyn FnMut(EventBlock<'_>),
-    ) -> io::Result<u64>;
+    fn stream_blocks(&mut self, from: u64, f: &mut dyn FnMut(EventBlock<'_>)) -> io::Result<u64>;
 }
 
 /// Zero-copy block view of an in-RAM [`Trace`]: blocks are `block_events`-
@@ -113,11 +109,7 @@ impl BlockSource for TraceBlocks<'_> {
         Some(self.trace.len() as u64)
     }
 
-    fn stream_blocks(
-        &mut self,
-        from: u64,
-        f: &mut dyn FnMut(EventBlock<'_>),
-    ) -> io::Result<u64> {
+    fn stream_blocks(&mut self, from: u64, f: &mut dyn FnMut(EventBlock<'_>)) -> io::Result<u64> {
         let events = self.trace.access_events();
         let from = (from as usize).min(events.len());
         for chunk in events[from..].chunks(self.block_events) {
@@ -139,11 +131,7 @@ impl BlockSource for MmapTrace {
         Some(self.events())
     }
 
-    fn stream_blocks(
-        &mut self,
-        from: u64,
-        f: &mut dyn FnMut(EventBlock<'_>),
-    ) -> io::Result<u64> {
+    fn stream_blocks(&mut self, from: u64, f: &mut dyn FnMut(EventBlock<'_>)) -> io::Result<u64> {
         // One decoded segment of reused scratch per block; `stream_from`
         // keeps RSS bounded by discarding consumed pages behind itself.
         self.stream_from(from, |evs| f(EventBlock::Stamped(evs)))
@@ -180,13 +168,11 @@ impl BlockSource for FileBlockSource {
         Some(self.events())
     }
 
-    fn stream_blocks(
-        &mut self,
-        from: u64,
-        f: &mut dyn FnMut(EventBlock<'_>),
-    ) -> io::Result<u64> {
+    fn stream_blocks(&mut self, from: u64, f: &mut dyn FnMut(EventBlock<'_>)) -> io::Result<u64> {
         match self {
-            FileBlockSource::Ram(t) => TraceBlocks::new(t, REPLAY_BATCH_EVENTS).stream_blocks(from, f),
+            FileBlockSource::Ram(t) => {
+                TraceBlocks::new(t, REPLAY_BATCH_EVENTS).stream_blocks(from, f)
+            }
             FileBlockSource::Mmap(m) => m.stream_blocks(from, f),
         }
     }

@@ -85,7 +85,13 @@ pub struct StampedEvent {
 /// fused engine's memo and skip caches are sized against. The defaults
 /// (`working_set = 65_536`, `addr_reuse = 0.0`) reproduce the historical
 /// spool byte-for-byte.
-pub fn synth_event(i: u64, seed: u64, threads: u32, working_set: u64, addr_reuse: f64) -> StampedEvent {
+pub fn synth_event(
+    i: u64,
+    seed: u64,
+    threads: u32,
+    working_set: u64,
+    addr_reuse: f64,
+) -> StampedEvent {
     let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed | 1);
     x ^= x >> 29;
     x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);

@@ -22,6 +22,11 @@
 //! | `radiosity` | Jacobi energy exchange, even all-to-all |
 //! | `volrend` | shared volume raycast, tile queue |
 //!
+//! Alongside the SPLASH set, [`false_sharing`] registers three engineered
+//! kernels (`fs_unpadded`, `fs_padded`, `fs_straddle`) whose communication
+//! is invisible to the RAW matrices but lights up the coherence backend —
+//! the ground truth for false-sharing detection.
+//!
 //! Every kernel validates its own numerical result (sorted output, residual
 //! reduction, force/energy sanity, …) so that profiling never silently
 //! measures a broken computation.
@@ -34,6 +39,7 @@ use lc_trace::TraceCtx;
 
 pub mod barnes;
 pub mod cholesky;
+pub mod false_sharing;
 pub mod fft;
 pub mod fmm;
 pub mod lu;
@@ -121,7 +127,9 @@ pub trait Workload: Send + Sync {
     fn run(&self, ctx: &Arc<TraceCtx>, cfg: &RunConfig) -> WorkloadResult;
 }
 
-/// All fourteen SPLASH-style workloads in the paper's Figure 4 order.
+/// All registered workloads: the fourteen SPLASH-style kernels in the
+/// paper's Figure 4 order, followed by the engineered false-sharing
+/// kernels the coherence backend is validated against.
 pub fn all_workloads() -> Vec<Box<dyn Workload>> {
     vec![
         Box::new(barnes::Barnes),
@@ -138,6 +146,9 @@ pub fn all_workloads() -> Vec<Box<dyn Workload>> {
         Box::new(lu::LuCb),
         Box::new(lu::LuNcb),
         Box::new(radix::Radix),
+        Box::new(false_sharing::FsCounters { padded: false }),
+        Box::new(false_sharing::FsCounters { padded: true }),
+        Box::new(false_sharing::FsStraddle),
     ]
 }
 
@@ -151,13 +162,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_fourteen_unique_names() {
+    fn registry_has_fourteen_splash_kernels_plus_fs_trio() {
         let ws = all_workloads();
-        assert_eq!(ws.len(), 14);
+        assert_eq!(ws.len(), 17, "14 SPLASH kernels + 3 false-sharing kernels");
         let mut names: Vec<&str> = ws.iter().map(|w| w.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 14);
+        assert_eq!(names.len(), 17);
+        for fs in ["fs_unpadded", "fs_padded", "fs_straddle"] {
+            assert!(by_name(fs).is_some(), "{fs} must be registered");
+        }
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! loopcomm synth    <file> [--events N] [--threads N] [--seed S] [--v3]
 //! loopcomm analyze  <file.lctrace> [--slots 2^k] [--jobs N] [--batch N] [--no-coalesce] [--perfect]
 //!                   [--checkpoint DIR [--every N]] [--resume DIR] [--mmap]
-//! loopcomm serve    [--listen ADDR]... [--http ADDR] [--jobs N] [--perfect]
+//!                   [--coherence [--line-size N] [--cache-kib N] [--assoc N] [--coherence-out P]]
+//! loopcomm serve    [--listen ADDR]... [--http ADDR] [--jobs N] [--perfect] [--coherence]
 //!                   [--durable-dir DIR] [--tenant-idle-secs S] [--tenant-max-bytes B]
 //! loopcomm stream   <file.lctrace> --connect HOST:PORT [--tenant NAME]
 //! loopcomm simulate <workload> [--threads N] [--size ...]
@@ -27,7 +28,10 @@
 
 use std::sync::Arc;
 
-use lc_profiler::classify::{synthetic_dataset, NearestCentroid};
+use lc_profiler::classify::{
+    extract_extended, synthetic_dataset, synthetic_ext_dataset, CoherenceFeatures,
+    ExtNearestCentroid, NearestCentroid,
+};
 use lc_profiler::{greedy_mapping, MachineTopology, NestedReport, ThreadMapping};
 use loopcomm::prelude::*;
 
@@ -103,6 +107,19 @@ struct Options {
     tenant_idle_secs: u64,
     /// `serve`: per-tenant analyzer memory cap in bytes (0 = uncapped).
     tenant_max_bytes: usize,
+    /// `analyze`/`serve`/`classify`: also run the MESI coherence backend
+    /// (per-loop invalidation/transfer/bus matrices, false-sharing
+    /// detection).
+    coherence: bool,
+    /// Coherence geometry: cache-line size in bytes.
+    line_size: u64,
+    /// Coherence geometry: per-core private cache capacity in KiB.
+    cache_kib: u64,
+    /// Coherence geometry: set associativity.
+    assoc: usize,
+    /// `analyze --coherence`: also write the canonical plain-text
+    /// coherence report here (byte-identical across `--jobs`).
+    coherence_out: Option<String>,
     /// Hidden test hook: a fault-plan file armed on the profiler's flush
     /// seams and the spool writer (see `lc_faults`). Deliberately absent
     /// from the usage text — it exists for the fault-matrix tests and for
@@ -194,6 +211,19 @@ fn usage() -> ! {
          \x20 --perfect        (analyze, serve) exact perfect-signature\n\
          \x20                  baseline detector instead of the asymmetric\n\
          \x20                  signatures\n\
+         \x20 --coherence      (analyze, serve, classify) also run the MESI\n\
+         \x20                  coherence backend: per-loop invalidation,\n\
+         \x20                  cache-to-cache transfer, and bus-traffic\n\
+         \x20                  matrices plus false-sharing detection\n\
+         \x20 --line-size N    (coherence) cache-line bytes, a power of two\n\
+         \x20                  in 16..=512 (default 64)\n\
+         \x20 --cache-kib N    (coherence) per-core cache KiB, a power of\n\
+         \x20                  two in 1..=65536 (default 16)\n\
+         \x20 --assoc N        (coherence) set associativity, a power of two\n\
+         \x20                  in 1..=64 (default 4)\n\
+         \x20 --coherence-out P  (analyze --coherence) write the canonical\n\
+         \x20                  coherence report — byte-identical for any\n\
+         \x20                  --jobs value\n\
          \x20 --report-out P   (analyze) also write the canonical plain-text\n\
          \x20                  report — byte-identical to the server's\n\
          \x20                  /tenants/<t>/report on the same events\n\
@@ -282,6 +312,11 @@ fn parse_options(args: &[String]) -> Options {
         durable_dir: None,
         tenant_idle_secs: 0,
         tenant_max_bytes: 0,
+        coherence: false,
+        line_size: 64,
+        cache_kib: 16,
+        assoc: 4,
+        coherence_out: None,
         fault_plan: None,
         #[cfg(feature = "sched")]
         sim: SimtestOptions::default(),
@@ -373,6 +408,11 @@ fn parse_options(args: &[String]) -> Options {
             "--tenant-max-bytes" => {
                 o.tenant_max_bytes = val().parse().expect("--tenant-max-bytes N")
             }
+            "--coherence" => o.coherence = true,
+            "--line-size" => o.line_size = parse_geometry(a, &val()),
+            "--cache-kib" => o.cache_kib = parse_geometry(a, &val()),
+            "--assoc" => o.assoc = parse_geometry(a, &val()) as usize,
+            "--coherence-out" => o.coherence_out = Some(val()),
             "--fault-plan" => o.fault_plan = Some(val()),
             #[cfg(feature = "sched")]
             "--explore" => o.sim.explore = Some(val().parse().expect("--explore N")),
@@ -410,7 +450,33 @@ fn parse_options(args: &[String]) -> Options {
             }
         }
     }
+    // Cache geometry is validated at parse time — a bad `--line-size`
+    // must be a clean usage error, not a panic inside `CacheConfig`
+    // after minutes of trace loading.
+    if let Err(e) = coherence_config(&o).validate() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     o
+}
+
+/// Parse an integer value for one of the coherence geometry flags.
+/// Range/power-of-two checks happen later in [`CoherenceConfig::validate`];
+/// this only rejects non-numbers with the flag's name in the message.
+fn parse_geometry(flag: &str, raw: &str) -> u64 {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} expects an integer, got `{raw}`");
+        std::process::exit(2);
+    })
+}
+
+/// The coherence geometry the CLI flags describe.
+fn coherence_config(o: &Options) -> lc_cachesim::CoherenceConfig {
+    lc_cachesim::CoherenceConfig {
+        line_bytes: o.line_size,
+        cache_kib: o.cache_kib,
+        assoc: o.assoc,
+    }
 }
 
 /// Arm the hidden `--fault-plan` file, if one was given. Parse errors and
@@ -777,6 +843,10 @@ fn analyze_streaming(name: &str, o: &Options) {
         Source::Mmap(m) => m.events(),
         Source::Mem(t) => t.len() as u64,
     };
+    let threads = match &source {
+        Source::Mmap(m) => mmap_threads(m),
+        Source::Mem(t) => t.stats().threads.max(1),
+    };
 
     // Resume, if a usable checkpoint exists. A missing or corrupt
     // checkpoint degrades to a from-scratch run (with a warning), never a
@@ -810,10 +880,6 @@ fn analyze_streaming(name: &str, o: &Options) {
         }
     }
     let mut analyzer = restored.unwrap_or_else(|| {
-        let threads = match &source {
-            Source::Mmap(m) => mmap_threads(m),
-            Source::Mem(t) => t.stats().threads.max(1),
-        };
         lc_profiler::IncrementalAnalyzer::new(
             if o.perfect {
                 lc_profiler::DetectorKind::Perfect
@@ -844,10 +910,25 @@ fn analyze_streaming(name: &str, o: &Options) {
     let every = o.every.max(1);
     let start = analyzer.events().min(total);
     let mut last_cp = analyzer.events();
+    // The coherence backend is not part of the checkpoint: on a resumed
+    // run it only sees the events replayed here, so flag the shortfall.
+    let mut coh = o.coherence.then(|| {
+        lc_cachesim::CoherenceBackend::new(coherence_config(o), coherence_threads(threads))
+    });
+    if coh.is_some() && start > 0 {
+        eprintln!(
+            "warning: --coherence state is not checkpointed; the coherence report \
+             covers only the {} event(s) replayed in this run",
+            total - start
+        );
+    }
     match &source {
         Source::Mmap(m) => {
             m.stream_from(start, |frame| {
                 analyzer.on_frame(frame);
+                if let Some(c) = &mut coh {
+                    c.on_block(frame);
+                }
                 if let Some(dir) = cp_dir {
                     if analyzer.events() - last_cp >= every {
                         write_checkpoint(&analyzer, dir, faults.as_ref());
@@ -863,6 +944,9 @@ fn analyze_streaming(name: &str, o: &Options) {
         Source::Mem(t) => {
             for frame in t.events()[start as usize..].chunks(o.batch) {
                 analyzer.on_frame(frame);
+                if let Some(c) = &mut coh {
+                    c.on_block(frame);
+                }
                 if let Some(dir) = cp_dir {
                     if analyzer.events() - last_cp >= every {
                         write_checkpoint(&analyzer, dir, faults.as_ref());
@@ -904,6 +988,99 @@ fn analyze_streaming(name: &str, o: &Options) {
         });
         println!("wrote canonical report: {path}");
     }
+    if let Some(c) = &coh {
+        print_coherence(&c.report(), 1, o);
+    }
+}
+
+/// Cap the coherence backend's matrix dimension, with a clean error when
+/// the trace has more threads than the full-map directory supports.
+fn coherence_threads(threads: usize) -> usize {
+    if threads > lc_cachesim::MAX_COHERENCE_THREADS {
+        eprintln!(
+            "error: --coherence supports up to {} threads (input has {threads})",
+            lc_cachesim::MAX_COHERENCE_THREADS
+        );
+        std::process::exit(2);
+    }
+    threads.max(1)
+}
+
+/// Print a [`lc_cachesim::CoherenceReport`] and honour `--coherence-out`.
+fn print_coherence(rep: &lc_cachesim::CoherenceReport, jobs: usize, o: &Options) {
+    println!(
+        "\ncoherence [{} B lines, {} KiB/core, {}-way MESI] x {} job(s):",
+        rep.config.line_bytes, rep.config.cache_kib, rep.config.assoc, jobs
+    );
+    println!(
+        "accesses {}  hits {}  fills {} (mem {}, c2c {})  invalidations {}  writebacks {}",
+        rep.accesses,
+        rep.hits,
+        rep.fills,
+        rep.mem_fills,
+        rep.c2c_fills,
+        rep.invalidations,
+        rep.writebacks
+    );
+    let (inval_rate, fs_ratio, locality) = rep.features();
+    println!(
+        "invalidations/access {inval_rate:.4}  false-sharing ratio {fs_ratio:.3}  \
+         transfer locality {locality:.3}"
+    );
+    println!(
+        "false sharing: {} event(s), {} false byte(s) vs {} true byte(s)",
+        rep.false_sharing_events(),
+        rep.global.false_bytes,
+        rep.global.true_bytes()
+    );
+    if !rep.global.transfers.is_zero() {
+        println!(
+            "\ntransfer matrix (bytes):\n{}",
+            rep.global.transfers.heatmap()
+        );
+    }
+    if !rep.global.invalidations.is_zero() {
+        println!(
+            "\ninvalidation matrix:\n{}",
+            rep.global.invalidations.heatmap()
+        );
+    }
+    // Only lines that actually false-shared; tracked-but-clean lines
+    // would read as noise here.
+    let mut flagged: Vec<_> = rep
+        .global
+        .lines
+        .iter()
+        .filter(|(_, fs)| fs.events > 0)
+        .collect();
+    flagged.sort_by_key(|(line, fs)| (std::cmp::Reverse(fs.false_bytes), **line));
+    if !flagged.is_empty() {
+        println!("\nfalse-sharing lines (top {}):", flagged.len().min(8));
+        for (line, fs) in flagged.into_iter().take(8) {
+            println!(
+                "  line {:#x}: {} event(s), {} false / {} true byte(s), threads {:#x}",
+                line, fs.events, fs.false_bytes, fs.true_bytes, fs.threads
+            );
+        }
+    }
+    if let Some(path) = &o.coherence_out {
+        let body = lc_cachesim::canonical_coherence_report(rep);
+        std::fs::write(path, body).unwrap_or_else(|e| {
+            eprintln!("cannot write coherence report to `{path}`: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote coherence report: {path}");
+    }
+}
+
+/// `loopcomm analyze --coherence` — the second backend over the same
+/// trace: set-sharded across `--jobs` workers with a deterministic merge,
+/// so the canonical report is byte-identical for any job count.
+fn run_coherence(trace: &lc_trace::Trace, threads: usize, o: &Options) {
+    let threads = coherence_threads(threads);
+    let jobs = o.jobs.max(1);
+    let rep = lc_cachesim::analyze_trace_coherence(trace, coherence_config(o), threads, jobs);
+    print_coherence(&rep, jobs, o);
 }
 
 use lc_trace::synth_event;
@@ -1007,6 +1184,10 @@ fn serve_cmd(o: &Options) -> ! {
         tenant_idle: (o.tenant_idle_secs > 0)
             .then(|| std::time::Duration::from_secs(o.tenant_idle_secs)),
         tenant_max_bytes: o.tenant_max_bytes,
+        coherence: o.coherence.then(|| {
+            coherence_threads(o.threads);
+            coherence_config(o)
+        }),
     };
     if cfg.durable_dir.is_none() && (cfg.tenant_idle.is_some() || cfg.tenant_max_bytes > 0) {
         eprintln!(
@@ -1022,7 +1203,14 @@ fn serve_cmd(o: &Options) -> ! {
         println!("ingest : {addr}");
     }
     if let Some(addr) = server.http_addr() {
-        println!("http   : http://{addr}/  (/metrics, /tenants, /tenants/<t>/report)");
+        println!(
+            "http   : http://{addr}/  (/metrics, /tenants, /tenants/<t>/report{})",
+            if o.coherence {
+                ", /tenants/<t>/coherence"
+            } else {
+                ""
+            }
+        );
     }
     if let Some(first) = server.ingest_addrs().first() {
         println!("stream with: loopcomm stream <file.lctrace> --connect {first} --tenant NAME");
@@ -1125,6 +1313,53 @@ fn run(cmd: &str, name: &str, args: &[String], o: &Options) {
             }
         }
         "classify" => {
+            if o.coherence {
+                // Extended 13-feature classification: the RAW matrix alone
+                // cannot tell a false-sharing variant from its padded twin,
+                // so record the trace once and feed both backends.
+                let workload = by_name(name).unwrap_or_else(|| {
+                    eprintln!("unknown workload `{name}` — try `loopcomm list`");
+                    std::process::exit(2);
+                });
+                let threads = coherence_threads(o.threads);
+                let rec = Arc::new(lc_trace::RecordingSink::new());
+                let prof = Arc::new(lc_profiler::PerfectProfiler::perfect(
+                    lc_profiler::ProfilerConfig {
+                        threads,
+                        track_nested: false,
+                        phase_window: None,
+                    },
+                ));
+                let fork = Arc::new(lc_trace::ForkSink::new(vec![
+                    rec.clone() as Arc<dyn lc_trace::AccessSink>,
+                    prof.clone(),
+                ]));
+                let ctx = TraceCtx::new(fork, threads);
+                workload.run(&ctx, &RunConfig::new(threads, o.size, o.seed));
+                let trace = rec.finish();
+                let rep = lc_cachesim::analyze_trace_coherence(
+                    &trace,
+                    coherence_config(o),
+                    threads,
+                    o.jobs.max(1),
+                );
+                let (inval, fs, loc) = rep.features();
+                let feats = extract_extended(
+                    &prof.global_matrix(),
+                    &CoherenceFeatures::new(inval, fs, loc),
+                );
+                let train = synthetic_ext_dataset(threads.max(8), 30, &[0.0, 0.05, 0.1], 1);
+                let model = ExtNearestCentroid::train(&train);
+                println!(
+                    "pattern/sharing variant of `{name}`: {}",
+                    model.predict(&feats)
+                );
+                println!(
+                    "coherence features: invalidations/access {inval:.4}  \
+                     false-sharing ratio {fs:.3}  transfer locality {loc:.3}"
+                );
+                return;
+            }
             let (p, _ctx) = profile(name, o, None);
             let train = synthetic_dataset(o.threads.max(8), 30, &[0.0, 0.05, 0.1], 1);
             let model = NearestCentroid::train(&train);
@@ -1394,6 +1629,9 @@ fn run(cmd: &str, name: &str, args: &[String], o: &Options) {
                     std::process::exit(1);
                 });
                 println!("wrote canonical report: {path}");
+            }
+            if o.coherence {
+                run_coherence(&trace, threads, o);
             }
         }
         "simulate" => {

@@ -40,11 +40,13 @@
 //! | [`lc_trace`] | instrumentation substrate: events, loop UIDs, traced buffers, replay |
 //! | [`lc_profiler`] | Algorithm 1, communication matrices, nested patterns, thread load, phases, classification |
 //! | [`lc_baselines`] | Memcheck/Helgrind/IPM/SD3-style comparators and exact ground truth |
-//! | [`lc_workloads`] | fourteen SPLASH-style kernels + synthetic topologies |
+//! | [`lc_workloads`] | fourteen SPLASH-style kernels, engineered false-sharing kernels + synthetic topologies |
+//! | [`lc_cachesim`] | §III cache/MESI simulator + the `--coherence` analysis backend and false-sharing detector |
 
 #![warn(missing_docs)]
 
 pub use lc_baselines;
+pub use lc_cachesim;
 pub use lc_profiler;
 pub use lc_sigmem;
 pub use lc_trace;

@@ -11,6 +11,7 @@
 //! | `/tenants/<t>/matrix` | global communication matrix CSV |
 //! | `/tenants/<t>/load` | Eq. 1 thread-load table |
 //! | `/tenants/<t>/stats` | JSON ingest counters |
+//! | `/tenants/<t>/coherence` | canonical coherence report (404 unless `--coherence`) |
 //!
 //! The canonical report is the server half of the differential contract:
 //! byte-identical to `loopcomm analyze --report-out` on the same events.
@@ -137,6 +138,20 @@ fn route(shared: &Shared, target: &str) -> (u16, &'static str, String) {
                     )
                 }
                 "stats" => (200, "application/json", tenant_stats_json(&tenant)),
+                "coherence" => {
+                    if query.split('&').any(|kv| kv == "wait=1") {
+                        tenant.wait_quiet(WAIT_QUIET_DEADLINE);
+                    }
+                    match tenant.coherence_canonical() {
+                        Some(body) => (200, "text/plain", body),
+                        None => (
+                            404,
+                            "text/plain",
+                            "coherence backend not enabled (start the server with --coherence)\n"
+                                .into(),
+                        ),
+                    }
+                }
                 other => (404, "text/plain", format!("no such view {other}\n")),
             }
         }
@@ -263,6 +278,44 @@ fn prometheus(shared: &Shared) -> String {
             t.memory_bytes()
         );
     }
+    // Coherence series appear only when the backend is on — an absent
+    // series is "not measured", not zero.
+    if shared.cfg.coherence.is_some() {
+        let coh: [(&str, &str); 4] = [
+            (
+                "loopcomm_tenant_coherence_invalidations_total",
+                "Cache copies invalidated by remote writes",
+            ),
+            (
+                "loopcomm_tenant_coherence_c2c_fills_total",
+                "Line fills served cache-to-cache",
+            ),
+            (
+                "loopcomm_tenant_coherence_false_bytes_total",
+                "Bytes pulled by fills and never touched (false sharing)",
+            ),
+            (
+                "loopcomm_tenant_coherence_true_bytes_total",
+                "First-touch attributed transfer bytes (true sharing)",
+            ),
+        ];
+        for (i, (name, help)) in coh.iter().enumerate() {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for t in shared.tenants() {
+                let Some(rep) = t.coherence_report() else {
+                    continue;
+                };
+                let v = match i {
+                    0 => rep.invalidations,
+                    1 => rep.c2c_fills,
+                    2 => rep.global.false_bytes,
+                    _ => rep.global.true_bytes(),
+                };
+                let _ = writeln!(out, "{name}{{tenant=\"{}\"}} {v}", t.name);
+            }
+        }
+    }
     out
 }
 
@@ -290,13 +343,30 @@ fn tenants_json(shared: &Shared) -> String {
 }
 
 fn tenant_stats_json(t: &Tenant) -> String {
+    // The coherence object exists only when the backend is on, so its
+    // absence is distinguishable from an idle backend.
+    let coherence = match t.coherence_report() {
+        Some(rep) => format!(
+            ",\"coherence\":{{\"accesses\":{},\"invalidations\":{},\"c2c_fills\":{},\
+             \"writebacks\":{},\"false_bytes\":{},\"true_bytes\":{},\
+             \"false_sharing_events\":{}}}",
+            rep.accesses,
+            rep.invalidations,
+            rep.c2c_fills,
+            rep.writebacks,
+            rep.global.false_bytes,
+            rep.global.true_bytes(),
+            rep.false_sharing_events()
+        ),
+        None => String::new(),
+    };
     format!(
         "{{\"tenant\":\"{}\",\"frames_received\":{},\"events_received\":{},\
          \"frames_analyzed\":{},\"events_analyzed\":{},\"frames_lost\":{},\
          \"events_lost\":{},\"frames_spilled\":{},\"events_spilled\":{},\
          \"bytes_received\":{},\"bytes_dropped\":{},\
          \"queue_frames\":{},\"conns_active\":{},\"conns_total\":{},\
-         \"conns_faulted\":{},\"memory_bytes\":{},\"dependencies\":{}}}\n",
+         \"conns_faulted\":{},\"memory_bytes\":{},\"dependencies\":{}{coherence}}}\n",
         t.name,
         t.stats.frames_received.load(Ordering::Relaxed),
         t.stats.events_received.load(Ordering::Relaxed),

@@ -102,6 +102,11 @@ pub struct ServeConfig {
     /// Evict a quiet tenant whose analyzer heap exceeds this many bytes
     /// (requires `durable_dir`; 0 = no cap).
     pub tenant_max_bytes: usize,
+    /// Run the MESI coherence backend per tenant with this geometry
+    /// (`None` = off). Coherence state is **not** checkpointed: a durable
+    /// tenant's coherence report covers only the events analyzed by the
+    /// current incarnation.
+    pub coherence: Option<lc_cachesim::CoherenceConfig>,
 }
 
 impl Default for ServeConfig {
@@ -121,6 +126,7 @@ impl Default for ServeConfig {
             durable_dir: None,
             tenant_idle: None,
             tenant_max_bytes: 0,
+            coherence: None,
         }
     }
 }
@@ -263,6 +269,16 @@ impl Shared {
             durable_side = Some(DurableTenant::new(dir, self.cfg.faults.clone()));
             seed = Some(stats);
         }
+        // Coherence is per-incarnation: it is not part of the checkpoint,
+        // so a restored tenant's coherence counters start from zero here.
+        let coherence = self.cfg.coherence.map(|ccfg| {
+            let threads = self
+                .cfg
+                .prof
+                .threads
+                .clamp(1, lc_cachesim::MAX_COHERENCE_THREADS);
+            lc_cachesim::SharedCoherence::new(lc_cachesim::CoherenceBackend::new(ccfg, threads))
+        });
         let t = Tenant::spawn(
             name.to_string(),
             analyzer,
@@ -270,6 +286,7 @@ impl Shared {
             self.cfg.faults.clone(),
             durable_side,
             seed,
+            coherence,
         );
         tenants.insert(name.to_string(), Arc::clone(&t));
         self.evicted.lock().remove(name);

@@ -104,6 +104,9 @@ pub struct Tenant {
     drain: Mutex<Option<JoinHandle<()>>>,
     /// On-disk state, when the server runs with `--durable-dir`.
     durable: Option<DurableTenant>,
+    /// Second analysis backend (`--coherence`): fed the same frames the
+    /// analyzer drains. Not checkpointed — covers this incarnation only.
+    coherence: Option<lc_cachesim::SharedCoherence>,
     /// Last enqueue/creation instant ([`uptime_ms`]) — the idle-reaper's
     /// clock.
     pub last_activity: AtomicU64,
@@ -120,6 +123,7 @@ impl Tenant {
         faults: Option<Arc<FaultInjector>>,
         durable: Option<DurableTenant>,
         seed: Option<PersistedStats>,
+        coherence: Option<lc_cachesim::SharedCoherence>,
     ) -> Arc<Self> {
         let stats = TenantStats::default();
         if let Some(s) = &seed {
@@ -133,6 +137,7 @@ impl Tenant {
             in_flight: AtomicBool::new(false),
             drain: Mutex::new(None),
             durable,
+            coherence,
             last_activity: AtomicU64::new(uptime_ms()),
         });
         let t = Arc::clone(&tenant);
@@ -304,7 +309,7 @@ impl Tenant {
                     let mut rf = 0u64;
                     let mut re = 0u64;
                     let res = m.stream_from(0, |frame| {
-                        self.analyzer.lock().on_frame(frame);
+                        self.analyze_frame(frame);
                         rf += 1;
                         re += frame.len() as u64;
                     });
@@ -333,6 +338,16 @@ impl Tenant {
         self.in_flight.store(false, Ordering::Release);
     }
 
+    /// One frame into every backend: the profiler's analyzer and, when
+    /// enabled, the coherence backend — both see the exact same events in
+    /// the exact same order.
+    fn analyze_frame(&self, frame: &[StampedEvent]) {
+        self.analyzer.lock().on_frame(frame);
+        if let Some(c) = &self.coherence {
+            c.on_frame(frame);
+        }
+    }
+
     fn drain_loop(&self, faults: Option<Arc<FaultInjector>>) {
         while let Some(frame) = self.next_frame() {
             self.in_flight.store(true, Ordering::Release);
@@ -350,7 +365,7 @@ impl Tenant {
                         // producers stall behind it — the backpressure
                         // path, not a loss.
                         std::thread::sleep(Duration::from_millis(ms));
-                        self.analyzer.lock().on_frame(&frame);
+                        self.analyze_frame(&frame);
                         true
                     }
                     // An I/O-flavored fault at the drain seam consumes
@@ -359,7 +374,7 @@ impl Tenant {
                     | Some(FaultAction::ShortWrite { .. })
                     | Some(FaultAction::BitFlip { .. }) => false,
                     None => {
-                        self.analyzer.lock().on_frame(&frame);
+                        self.analyze_frame(&frame);
                         true
                     }
                 }
@@ -406,6 +421,20 @@ impl Tenant {
     pub fn canonical(&self) -> String {
         let analyzer = self.analyzer.lock();
         canonical_report(&analyzer.report(), analyzer.events())
+    }
+
+    /// Snapshot the coherence report, when the backend is enabled.
+    pub fn coherence_report(&self) -> Option<lc_cachesim::CoherenceReport> {
+        self.coherence.as_ref().map(|c| c.report())
+    }
+
+    /// The canonical plain-text coherence report — byte-identical to
+    /// offline `loopcomm analyze --coherence --coherence-out` on the same
+    /// events. `None` when the backend is off.
+    pub fn coherence_canonical(&self) -> Option<String> {
+        self.coherence
+            .as_ref()
+            .map(|c| lc_cachesim::canonical_coherence_report(&c.report()))
     }
 
     /// Events that reached the analyzer.
@@ -484,7 +513,7 @@ mod tests {
 
     #[test]
     fn frames_flow_to_analyzer_and_quiesce() {
-        let t = Tenant::spawn("t".into(), analyzer(), 4, None, None, None);
+        let t = Tenant::spawn("t".into(), analyzer(), 4, None, None, None, None);
         for i in 0..10 {
             t.enqueue(frame(i * 8, 8));
         }
@@ -506,7 +535,7 @@ mod tests {
                 2,
             )],
         }));
-        let t = Tenant::spawn("t".into(), analyzer(), 4, Some(inj), None, None);
+        let t = Tenant::spawn("t".into(), analyzer(), 4, Some(inj), None, None, None);
         for i in 0..6 {
             t.enqueue(frame(i * 5, 5));
         }

@@ -17,9 +17,7 @@
 use std::sync::Arc;
 
 use lc_profiler::shards::{AccumConfig, FlushTarget, LoopRegistry, ShardSet};
-use lc_profiler::{
-    AsymmetricProfiler, CommMatrix, FusedConfig, FusedScratch, ProfilerConfig,
-};
+use lc_profiler::{AsymmetricProfiler, CommMatrix, FusedConfig, FusedScratch, ProfilerConfig};
 use lc_sigmem::{
     BloomGeometry, ConcurrentBloom, PerfectReaderSet, PerfectWriterMap, ReadSignature, ReaderSet,
     SignatureConfig, WriteSignature, WriterMap,

@@ -83,3 +83,101 @@ fn synth_working_set_zero_is_rejected() {
         "error must name the flag, got: {err}"
     );
 }
+
+#[test]
+fn non_power_of_two_line_size_is_rejected() {
+    // 48-byte "lines" would break the set-index sharding argument; the
+    // geometry flags demand powers of two at parse time.
+    let out = loopcomm(&[
+        "analyze",
+        "whatever.lctrace",
+        "--coherence",
+        "--line-size",
+        "48",
+    ]);
+    assert!(!out.status.success(), "--line-size 48 must fail");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit with 2");
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("--line-size must be a power of two in 16..=512") && err.contains("got 48"),
+        "error must state range and echo the value, got: {err}"
+    );
+}
+
+#[test]
+fn out_of_range_cache_kib_is_rejected_not_clamped() {
+    let out = loopcomm(&[
+        "analyze",
+        "whatever.lctrace",
+        "--coherence",
+        "--cache-kib",
+        "131072",
+    ]);
+    assert!(!out.status.success(), "--cache-kib 131072 must fail");
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("--cache-kib must be a power of two in 1..=65536"),
+        "error must state the valid range, got: {err}"
+    );
+}
+
+#[test]
+fn oversized_assoc_is_rejected() {
+    let out = loopcomm(&[
+        "analyze",
+        "whatever.lctrace",
+        "--coherence",
+        "--assoc",
+        "128",
+    ]);
+    assert!(!out.status.success(), "--assoc 128 must fail");
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("--assoc must be a power of two in 1..=64") && err.contains("got 128"),
+        "error must state range and echo the value, got: {err}"
+    );
+}
+
+#[test]
+fn non_integer_geometry_value_is_rejected() {
+    let out = loopcomm(&[
+        "analyze",
+        "whatever.lctrace",
+        "--coherence",
+        "--line-size",
+        "big",
+    ]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("--line-size expects an integer"),
+        "non-integer must name the flag, got: {err}"
+    );
+}
+
+#[test]
+fn geometry_cross_constraint_is_rejected() {
+    // 1 KiB cannot hold even one set of 16 ways x 512 B lines — the
+    // cross-constraint must fire even when each flag is individually valid.
+    let out = loopcomm(&[
+        "analyze",
+        "whatever.lctrace",
+        "--coherence",
+        "--cache-kib",
+        "1",
+        "--assoc",
+        "16",
+        "--line-size",
+        "512",
+    ]);
+    assert!(!out.status.success(), "impossible geometry must fail");
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("cannot hold one set"),
+        "error must explain the cross constraint, got: {err}"
+    );
+}

@@ -14,10 +14,13 @@
 //! without review.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
+use lc_cachesim::{analyze_trace_coherence, canonical_coherence_report, CoherenceConfig};
 use lc_profiler::report::{ascii_table, fmt_bytes, fmt_slowdown, write_csv};
 use lc_profiler::{HistId, MergedHist, MetricsRegistry, Stat, Telemetry, TelemetryConfig};
-use lc_trace::AccessKind;
+use lc_trace::{AccessKind, RecordingSink, StampedEvent, Trace, TraceCtx};
+use lc_workloads::{by_name, InputSize, RunConfig};
 
 fn golden_path(name: &str) -> PathBuf {
     // GOLDEN_DIR redirects reads *and* writes — the CI drift guard points
@@ -147,4 +150,46 @@ fn telemetry_export_snapshot() {
     let mut reg = MetricsRegistry::new();
     t.export_into(&mut reg);
     assert_golden("telemetry_export.prom", &reg.to_prometheus());
+}
+
+/// Record `name` and normalize the schedule to thread-serial order: stable
+/// sort by `(tid, seq)` and re-stamp. Each thread's own stream depends
+/// only on the seed, so the normalized trace — and therefore the coherence
+/// report — is bit-stable across runs regardless of how the OS interleaved
+/// the recording threads.
+fn thread_serial_trace(name: &str) -> Trace {
+    const THREADS: usize = 4;
+    let rec = Arc::new(RecordingSink::new());
+    let ctx = TraceCtx::new(rec.clone(), THREADS);
+    by_name(name)
+        .unwrap()
+        .run(&ctx, &RunConfig::new(THREADS, InputSize::SimDev, 13));
+    let mut evs: Vec<StampedEvent> = rec.finish().events().to_vec();
+    evs.sort_by_key(|e| (e.event.tid, e.seq));
+    for (i, e) in evs.iter_mut().enumerate() {
+        e.seq = i as u64;
+    }
+    Trace::new(evs)
+}
+
+#[test]
+fn coherence_report_snapshots() {
+    // Three recorded SPLASH-style kernels plus the engineered
+    // false-sharing trio; jobs=2 so the goldens also pin the sharded
+    // merge path (byte-identical to jobs=1 by the determinism contract).
+    for name in [
+        "radix",
+        "fft",
+        "lu_cb",
+        "fs_unpadded",
+        "fs_padded",
+        "fs_straddle",
+    ] {
+        let trace = thread_serial_trace(name);
+        let rep = analyze_trace_coherence(&trace, CoherenceConfig::default(), 4, 2);
+        assert_golden(
+            &format!("coherence_{name}.txt"),
+            &canonical_coherence_report(&rep),
+        );
+    }
 }
